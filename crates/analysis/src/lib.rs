@@ -1,0 +1,32 @@
+//! Analytic cost model of the join protocol (the paper's §5.2).
+//!
+//! Implements Theorems 3–5 — the bound on `CpRstMsg + JoinWaitMsg`
+//! messages, the exact expectation of `JoinNotiMsg` for a single join, and
+//! the upper bound for `m` concurrent joins — together with the log-domain
+//! special functions ([`special`]) needed to evaluate binomials with
+//! arguments as large as `16^40`.
+//!
+//! The module reproduces the paper's printed numbers: the Theorem-5 bounds
+//! for the four Figure 15(b) configurations evaluate to 8.001, 8.001,
+//! 6.986, 6.986 (a unit test pins them down).
+//!
+//! # Examples
+//!
+//! ```
+//! use hyperring_analysis::{upper_bound_join_noti, theorem3_bound};
+//! // One of the paper's own data points (§5.2).
+//! let bound = upper_bound_join_noti(16, 8, 3096, 1000);
+//! assert!((bound - 8.001).abs() < 0.01);
+//! assert_eq!(theorem3_bound(8), 9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod special;
+mod theorems;
+
+pub use theorems::{
+    expected_filled_entries, expected_join_noti, expected_noti_level, p_vector,
+    p_vector_exact_small, theorem3_bound, upper_bound_join_noti, AnalyticConfig,
+};

@@ -1,0 +1,410 @@
+//! The paper's analytic cost model (§5.2, Theorems 3–5).
+
+use crate::special::{ln_choose_big, LogSumExp};
+
+/// Theorem 3: a joiner sends at most `d + 1` messages of types `CpRstMsg`
+/// and `JoinWaitMsg` combined.
+pub fn theorem3_bound(d: usize) -> u64 {
+    d as u64 + 1
+}
+
+/// The distribution `P_i(n)` of Theorem 4: the probability that a fresh
+/// joiner's longest common suffix with an `n`-node network (of uniformly
+/// random distinct identifiers in a `b^d` space) has length exactly `i`,
+/// for `i = 0 ..= d-1`.
+///
+/// The paper gives:
+///
+/// * `P_0(n) = C(b^d − b^{d−1}, n) / C(b^d − 1, n)`;
+/// * for `1 ≤ i < d−1`,
+///   `P_i(n) = Σ_{k=1}^{min(n,B)} C(B,k)·C(b^d − b^{d−i}, n−k) / C(b^d − 1, n)`
+///   with `B = (b−1)·b^{d−1−i}`;
+/// * `P_{d−1}(n) = 1 − Σ_{j<d−1} P_j(n)`.
+///
+/// All binomials are evaluated in log space; the inner sum converges after
+/// `O(nB/b^d)` terms and is truncated once terms fall 10^-20 below the peak.
+///
+/// # Panics
+///
+/// Panics if `b < 2`, `d < 2`, `n == 0`, or `n >= b^d` (more nodes than
+/// identifiers).
+#[allow(clippy::needless_range_loop)] // level index i is the math's subscript
+pub fn p_vector(b: u32, d: u32, n: u64) -> Vec<f64> {
+    assert!(b >= 2, "base must be at least 2");
+    assert!(d >= 2, "need at least two digits");
+    assert!(n >= 1, "network must be non-empty");
+    let bd = (b as f64).powi(d as i32);
+    assert!((n as f64) < bd, "n = {n} exceeds the identifier space");
+
+    let ln_denom = ln_choose_big(bd - 1.0, n);
+    let mut p = vec![0.0f64; d as usize];
+
+    // P_0.
+    let m0 = bd - bd / b as f64; // b^d − b^{d−1}
+    p[0] = (ln_choose_big(m0, n) - ln_denom).exp();
+
+    // P_i, 1 ≤ i ≤ d−2 (the paper sums these explicitly; P_{d−1} is the
+    // remainder).
+    for i in 1..=(d as usize - 2) {
+        let big_b = (b as f64 - 1.0) * (b as f64).powi(d as i32 - 1 - i as i32);
+        let m = bd - (b as f64).powi(d as i32 - i as i32); // b^d − b^{d−i}
+        let kmax = if (n as f64) < big_b { n } else { big_b as u64 };
+        if kmax == 0 {
+            continue;
+        }
+        // k = 1 term.
+        let mut ln_cb = big_b.ln(); // ln C(B, 1)
+        let mut ln_cm = ln_choose_big(m, n - 1);
+        let mut acc = LogSumExp::new();
+        let mut prev = f64::NEG_INFINITY;
+        for k in 1..=kmax {
+            let l = ln_cb + ln_cm - ln_denom;
+            acc.push(l);
+            // The term sequence is unimodal; once it decays 46 nats (1e-20)
+            // below the peak, the tail is irrelevant.
+            if l < prev && l < acc.max_term() - 46.0 {
+                break;
+            }
+            prev = l;
+            if k == kmax {
+                break;
+            }
+            // Advance C(B, k) -> C(B, k+1) and C(M, n−k) -> C(M, n−k−1).
+            ln_cb += (big_b - k as f64).ln() - (k as f64 + 1.0).ln();
+            if n - k == 0 {
+                break;
+            }
+            ln_cm += ((n - k) as f64).ln() - (m - (n - k) as f64 + 1.0).ln();
+        }
+        p[i] = acc.value().exp();
+    }
+
+    // P_{d−1} is the remainder, clamped against rounding.
+    let partial: f64 = p[..d as usize - 1].iter().sum();
+    p[d as usize - 1] = (1.0 - partial).max(0.0);
+    p
+}
+
+/// Theorem 4: the expected number of `JoinNotiMsg` sent by a *single* node
+/// joining a consistent `n`-node network:
+/// `E(J) = Σ_{i=0}^{d−1} (n / b^i) · P_i(n) − 1`.
+///
+/// # Examples
+///
+/// ```
+/// let e = hyperring_analysis::expected_join_noti(16, 8, 3096);
+/// assert!(e > 4.0 && e < 7.0);
+/// ```
+pub fn expected_join_noti(b: u32, d: u32, n: u64) -> f64 {
+    let p = p_vector(b, d, n);
+    series_sum(b, n as f64, &p) - 1.0
+}
+
+/// Theorem 5: an upper bound on the expected number of `JoinNotiMsg` sent
+/// by each of `m` nodes joining an `n`-node network concurrently:
+/// `E(J) ≤ Σ_{i=0}^{d−1} ((n+m) / b^i) · P_i(n)`.
+pub fn upper_bound_join_noti(b: u32, d: u32, n: u64, m: u64) -> f64 {
+    let p = p_vector(b, d, n);
+    series_sum(b, (n + m) as f64, &p)
+}
+
+fn series_sum(b: u32, scale: f64, p: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    let mut pow = 1.0f64;
+    for &pi in p {
+        sum += scale / pow * pi;
+        pow *= b as f64;
+    }
+    sum
+}
+
+/// Expected length of the longest common suffix (`Σ i·P_i`) — the expected
+/// notification level of a joiner, useful for workload sizing.
+pub fn expected_noti_level(b: u32, d: u32, n: u64) -> f64 {
+    p_vector(b, d, n)
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| i as f64 * p)
+        .sum()
+}
+
+/// Expected number of filled entries in one node's neighbor table when
+/// `n` nodes (the owner included) hold uniformly random distinct
+/// identifiers.
+///
+/// Self entries contribute `d`; every other `(i, j)` entry is filled iff
+/// some *other* node carries the desired `(i+1)`-digit suffix. With
+/// `n − 1` other identifiers drawn uniformly *without replacement* from
+/// the `b^d − 1` non-owner identifiers, of which `s = b^{d−i−1}` carry
+/// the suffix, that probability is the hypergeometric
+/// `1 − C(b^d − 1 − s, n−1) / C(b^d − 1, n−1)`. This predicts the volume
+/// of the protocol's *small* messages — each filled entry copied or
+/// installed triggers one `RvNghNotiMsg` — complementing the paper's
+/// §5.2 analysis of big messages (the small-message analysis lives in
+/// the paper's technical report).
+///
+/// # Panics
+///
+/// Panics if `b < 2`, `d < 1`, `n == 0`, or `n > b^d`.
+pub fn expected_filled_entries(b: u32, d: u32, n: u64) -> f64 {
+    assert!(b >= 2 && d >= 1 && n >= 1);
+    let bd = (b as f64).powi(d as i32);
+    assert!((n as f64) <= bd, "n exceeds the identifier space");
+    let others = n - 1;
+    let mut filled = d as f64; // self entries
+    for i in 0..d {
+        let s = (b as f64).powi(d as i32 - i as i32 - 1);
+        let ln_empty =
+            ln_choose_big(bd - 1.0 - s, others) - ln_choose_big(bd - 1.0, others);
+        let p_filled = 1.0 - ln_empty.exp();
+        filled += (b as f64 - 1.0) * p_filled;
+    }
+    filled
+}
+
+/// Convenience struct bundling the parameters of the paper's analytic
+/// figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalyticConfig {
+    /// Digit base `b`.
+    pub b: u32,
+    /// Digits per identifier `d`.
+    pub d: u32,
+    /// Initial network size `n = |V|`.
+    pub n: u64,
+    /// Number of concurrent joiners `m = |W|`.
+    pub m: u64,
+}
+
+impl AnalyticConfig {
+    /// Theorem 5 upper bound for this configuration.
+    pub fn upper_bound(&self) -> f64 {
+        upper_bound_join_noti(self.b, self.d, self.n, self.m)
+    }
+
+    /// Theorem 4 single-join expectation for this configuration.
+    pub fn single_join_expectation(&self) -> f64 {
+        expected_join_noti(self.b, self.d, self.n)
+    }
+}
+
+/// The exact `P_i` by brute force for tiny spaces (used in tests): draws
+/// all `C(b^d − 1, n)` node sets is infeasible, so instead computes the
+/// hypergeometric expression with exact `u128` binomials. Only valid while
+/// everything fits in `u128` (roughly `b^d ≤ 64` with small `n`).
+#[doc(hidden)]
+#[allow(clippy::needless_range_loop)] // level index i is the math's subscript
+pub fn p_vector_exact_small(b: u32, d: u32, n: u64) -> Vec<f64> {
+    fn choose(n: u128, k: u128) -> u128 {
+        if k > n {
+            return 0;
+        }
+        let mut acc: u128 = 1;
+        for t in 0..k {
+            acc = acc * (n - t) / (t + 1);
+        }
+        acc
+    }
+    let bd = (b as u128).pow(d);
+    let denom = choose(bd - 1, n as u128);
+    let mut p = vec![0.0f64; d as usize];
+    p[0] = choose(bd - bd / b as u128, n as u128) as f64 / denom as f64;
+    for i in 1..=(d as usize - 2) {
+        let big_b = (b as u128 - 1) * (b as u128).pow(d - 1 - i as u32);
+        let m = bd - (b as u128).pow(d - i as u32);
+        let mut sum = 0.0;
+        for k in 1..=n.min(big_b as u64) {
+            sum += (choose(big_b, k as u128) as f64 * choose(m, (n - k) as u128) as f64)
+                / denom as f64;
+        }
+        p[i] = sum;
+    }
+    let partial: f64 = p[..d as usize - 1].iter().sum();
+    p[d as usize - 1] = (1.0 - partial).max(0.0);
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p_vector_is_a_distribution() {
+        for (b, d, n) in [
+            (16u32, 8u32, 100u64),
+            (16, 8, 3096),
+            (16, 8, 100_000),
+            (16, 40, 3096),
+            (16, 40, 100_000),
+            (4, 6, 50),
+            (2, 10, 500),
+        ] {
+            let p = p_vector(b, d, n);
+            assert_eq!(p.len(), d as usize);
+            assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)), "{b} {d} {n}");
+            let s: f64 = p.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "b={b} d={d} n={n}: Σ = {s}");
+        }
+    }
+
+    #[test]
+    fn p_vector_matches_exact_for_tiny_spaces() {
+        for (b, d, n) in [(2u32, 4u32, 3u64), (2, 4, 7), (3, 3, 5), (2, 5, 10)] {
+            let fast = p_vector(b, d, n);
+            let exact = p_vector_exact_small(b, d, n);
+            for i in 0..d as usize {
+                assert!(
+                    (fast[i] - exact[i]).abs() < 1e-9,
+                    "b={b} d={d} n={n} i={i}: {} vs {}",
+                    fast[i],
+                    exact[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_printed_upper_bounds() {
+        // §5.2: "the upper bounds by Theorem 5 are 8.001, 8.001, 6.986 and
+        // 6.986" for (n=3096, d=8), (n=3096, d=40), (n=7192, d=8),
+        // (n=7192, d=40), all with b=16, m=1000.
+        for d in [8u32, 40] {
+            let b3096 = upper_bound_join_noti(16, d, 3096, 1000);
+            assert!(
+                (b3096 - 8.001).abs() < 0.01,
+                "d={d}: bound(3096) = {b3096}"
+            );
+            let b7192 = upper_bound_join_noti(16, d, 7192, 1000);
+            assert!(
+                (b7192 - 6.986).abs() < 0.01,
+                "d={d}: bound(7192) = {b7192}"
+            );
+        }
+    }
+
+    #[test]
+    fn figure_15a_shape() {
+        // Figure 15(a) plots the Theorem-5 bound for n ∈ [10^4, 10^5]. The
+        // curve stays in the figure's y-range (3..9) and scallops with a
+        // period of ×b in n (P_i mass shifts to the next level near powers
+        // of b): a local minimum near n = 2·10^4 and a local maximum near
+        // n = 8·10^4.
+        let at = |n: u64| upper_bound_join_noti(16, 40, n, 1000);
+        for n in (10_000..=100_000).step_by(10_000) {
+            let v = at(n);
+            assert!((3.0..9.0).contains(&v), "bound {v} at n={n} out of range");
+        }
+        assert!(at(20_000) < at(10_000));
+        assert!(at(20_000) < at(50_000));
+        assert!(at(80_000) > at(50_000));
+        assert!(at(100_000) < at(80_000));
+        // m = 1000 lies slightly above m = 500; d barely matters.
+        let m500 = upper_bound_join_noti(16, 40, 10_000, 500);
+        let m1000 = upper_bound_join_noti(16, 40, 10_000, 1000);
+        assert!(m1000 > m500);
+        let d8 = upper_bound_join_noti(16, 8, 50_000, 1000);
+        let d40 = upper_bound_join_noti(16, 40, 50_000, 1000);
+        assert!((d8 - d40).abs() < 1e-3, "d8={d8} d40={d40}");
+    }
+
+    #[test]
+    fn theorem4_vs_theorem5_relation() {
+        // The m-joiner bound exceeds the single-join expectation, and
+        // approaches it as m -> 0 (up to the −1 and the n+m scaling).
+        let e = expected_join_noti(16, 8, 3096);
+        let ub = upper_bound_join_noti(16, 8, 3096, 1000);
+        assert!(ub > e);
+        let ub_tiny = upper_bound_join_noti(16, 8, 3096, 1);
+        assert!((ub_tiny - (e + 1.0)).abs() < 0.01);
+    }
+
+    #[test]
+    fn expected_noti_level_grows_with_n() {
+        let small = expected_noti_level(16, 8, 100);
+        let large = expected_noti_level(16, 8, 100_000);
+        assert!(large > small);
+        // With n = 100k and b=16, E[level] ≈ log_16(100k) ≈ 4.15.
+        assert!((3.5..5.0).contains(&large), "{large}");
+    }
+
+    #[test]
+    fn expected_filled_entries_limits() {
+        // n = 1: only the d self entries.
+        assert!((expected_filled_entries(16, 8, 1) - 8.0).abs() < 1e-12);
+        // Saturated space (n = b^d): every entry filled (d·b total).
+        let full = expected_filled_entries(4, 5, 1024);
+        assert!((full - 20.0).abs() < 1e-6, "{full}");
+        // Monotone in n.
+        let mut prev = 0.0;
+        for n in [1u64, 10, 100, 1_000, 10_000] {
+            let f = expected_filled_entries(16, 8, n);
+            assert!(f >= prev);
+            prev = f;
+        }
+        // Level-0 row fills fast: with n = 1000, all 16 level-0 entries
+        // are essentially filled.
+        let f = expected_filled_entries(16, 8, 1_000);
+        assert!(f > 8.0 + 15.0, "{f}");
+    }
+
+    #[test]
+    fn expected_filled_entries_matches_monte_carlo() {
+        // Brute-force check on a tiny space.
+        use std::collections::HashSet;
+        let (b, d, n) = (3u32, 3u32, 6u64);
+        let capacity = (b as u64).pow(d);
+        // Exhaustive expectation over random draws is costly; estimate via
+        // a simple deterministic LCG sampler.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let trials = 4000;
+        let mut total_filled = 0u64;
+        for _ in 0..trials {
+            let mut ids = HashSet::new();
+            while ids.len() < n as usize {
+                ids.insert(next() % capacity);
+            }
+            let ids: Vec<u64> = ids.into_iter().collect();
+            let me = ids[0];
+            // Count filled entries of `me`'s table.
+            let digit = |x: u64, i: u32| (x / (b as u64).pow(i)) % b as u64;
+            for i in 0..d {
+                for j in 0..b as u64 {
+                    if digit(me, i) == j {
+                        total_filled += 1; // self entry
+                        continue;
+                    }
+                    let fits = |x: u64| {
+                        (0..i).all(|t| digit(x, t) == digit(me, t)) && digit(x, i) == j
+                    };
+                    if ids[1..].iter().any(|&x| fits(x)) {
+                        total_filled += 1;
+                    }
+                }
+            }
+        }
+        let measured = total_filled as f64 / trials as f64;
+        let analytic = expected_filled_entries(b, d, n);
+        assert!(
+            (measured - analytic).abs() < 0.15,
+            "measured {measured} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn theorem3_is_d_plus_one() {
+        assert_eq!(theorem3_bound(8), 9);
+        assert_eq!(theorem3_bound(40), 41);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the identifier space")]
+    fn overfull_network_rejected() {
+        p_vector(2, 2, 4);
+    }
+}

@@ -1,0 +1,29 @@
+//! Optimistic-join baseline vs the paper's protocol: run cost on the same
+//! workload (the paper's protocol pays messages for its guarantee).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyperring_harness::baseline::{run_optimistic, run_paper_protocol};
+use hyperring_harness::workload::JoinWorkload;
+use hyperring_id::IdSpace;
+use std::hint::black_box;
+
+fn bench_baseline(c: &mut Criterion) {
+    let space = IdSpace::new(4, 6).unwrap();
+    let w = JoinWorkload::generate(space, 16, 32, 3);
+    let mut g = c.benchmark_group("baseline");
+    g.sample_size(10);
+    g.bench_function("optimistic_join_wave", |b| {
+        b.iter(|| black_box(run_optimistic(&w, 3, 0).false_negatives))
+    });
+    g.bench_function("paper_protocol_wave", |b| {
+        b.iter(|| {
+            let r = run_paper_protocol(&w, 3);
+            assert!(r.consistent());
+            black_box(r.unreachable_pairs)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_baseline);
+criterion_main!(benches);

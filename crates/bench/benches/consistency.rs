@@ -1,0 +1,40 @@
+//! Cost of the Definition-3.8 consistency checker and the quadratic
+//! reachability verifier.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hyperring_core::{build_consistent_tables, check_consistency, check_reachability};
+use hyperring_harness::distinct_ids;
+use hyperring_id::IdSpace;
+use std::hint::black_box;
+
+fn bench_consistency(c: &mut Criterion) {
+    let space = IdSpace::new(16, 8).unwrap();
+    let mut g = c.benchmark_group("consistency");
+    g.sample_size(10);
+    for n in [256usize, 1024] {
+        let ids = distinct_ids(space, n, 13);
+        let tables = build_consistent_tables(space, &ids);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("check_definition_3_8", n), &n, |b, _| {
+            b.iter(|| {
+                let r = check_consistency(space, black_box(&tables));
+                assert!(r.is_consistent());
+                black_box(r.entries_checked())
+            })
+        });
+    }
+    // Reachability is O(n² d): bench at a smaller size.
+    let ids = distinct_ids(space, 128, 13);
+    let tables = build_consistent_tables(space, &ids);
+    g.bench_function("check_reachability_n128", |b| {
+        b.iter(|| {
+            let fails = check_reachability(black_box(&tables));
+            assert!(fails.is_empty());
+            black_box(fails.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_consistency);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Benchmarks of the extension layers: graceful leave, nearest-neighbor
+//! table optimization, and surrogate-routing object lookups.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hyperring_core::{build_consistent_tables, optimize_tables, SimNetworkBuilder};
+use hyperring_harness::distinct_ids;
+use hyperring_id::IdSpace;
+use hyperring_object::ObjectStore;
+use hyperring_sim::UniformDelay;
+use std::hint::black_box;
+
+fn bench_leave(c: &mut Criterion) {
+    let space = IdSpace::new(16, 8).unwrap();
+    let ids = distinct_ids(space, 128, 3);
+    let mut g = c.benchmark_group("leave");
+    g.sample_size(10);
+    g.bench_function("single_graceful_leave_n128", |b| {
+        b.iter(|| {
+            let mut builder = SimNetworkBuilder::new(space);
+            for id in &ids {
+                builder.add_member(*id);
+            }
+            let mut net = builder.build(UniformDelay::new(500, 20_000), 7);
+            net.run();
+            net.depart(&ids[64]);
+            black_box(net.tables().len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_optimize(c: &mut Criterion) {
+    let space = IdSpace::new(16, 8).unwrap();
+    let mut g = c.benchmark_group("optimize");
+    g.sample_size(10);
+    for n in [128usize, 512] {
+        let ids = distinct_ids(space, n, 5);
+        let tables = build_consistent_tables(space, &ids);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("two_rounds", n), &n, |b, _| {
+            b.iter(|| {
+                let mut t = tables.clone();
+                let r = optimize_tables(
+                    &mut t,
+                    |a, b_| {
+                        // Cheap synthetic metric.
+                        let x = a.digits_lsd()[0] as u64 + 7 * b_.digits_lsd()[0] as u64;
+                        1 + (x * 2_654_435_761) % 10_000
+                    },
+                    2,
+                );
+                black_box(r.replacements)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_object_lookup(c: &mut Criterion) {
+    let space = IdSpace::new(16, 8).unwrap();
+    let ids = distinct_ids(space, 512, 9);
+    let mut store = ObjectStore::new(space, build_consistent_tables(space, &ids));
+    for i in 0..100 {
+        store.publish(ids[i % ids.len()], &format!("obj-{i}"));
+    }
+    let mut g = c.benchmark_group("object");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("lookup_n512", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let name = format!("obj-{}", i % 100);
+            let from = ids[(i * 13) % ids.len()];
+            i += 1;
+            black_box(store.lookup(from, &name))
+        })
+    });
+    g.bench_function("surrogate_root_n512", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let oid = space.id_from_hash(format!("probe-{i}").as_bytes());
+            let from = ids[i % ids.len()];
+            i += 1;
+            black_box(store.root_from(from, &oid))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_leave, bench_optimize, bench_object_lookup);
+criterion_main!(benches);

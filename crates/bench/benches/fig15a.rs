@@ -1,0 +1,29 @@
+//! Figure 15(a): evaluation cost of the Theorem-5 bound (the figure's data
+//! is analytic; this bench times the combinatorics and regenerates the
+//! series).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyperring_analysis::{p_vector, upper_bound_join_noti};
+use std::hint::black_box;
+
+fn bench_fig15a(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig15a");
+    g.sample_size(10);
+    for n in [10_000u64, 50_000, 100_000] {
+        g.bench_with_input(BenchmarkId::new("bound_b16_d40_m1000", n), &n, |b, &n| {
+            b.iter(|| black_box(upper_bound_join_noti(16, 40, black_box(n), 1000)))
+        });
+    }
+    g.bench_function("p_vector_b16_d8_n3096", |b| {
+        b.iter(|| black_box(p_vector(16, 8, black_box(3096))))
+    });
+    g.finish();
+
+    // Regenerate (and sanity-check) the figure's series once.
+    let series = hyperring_harness::experiments::fig15a_series(10_000);
+    assert_eq!(series.len(), 10);
+    assert!((upper_bound_join_noti(16, 8, 3096, 1000) - 8.001).abs() < 0.01);
+}
+
+criterion_group!(benches, bench_fig15a);
+criterion_main!(benches);

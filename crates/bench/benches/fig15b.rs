@@ -1,0 +1,25 @@
+//! Figure 15(b) end-to-end at reduced scale: simulate m concurrent joins
+//! on a transit-stub topology and collect the per-join `JoinNotiMsg`
+//! distribution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyperring_harness::experiments::{run_fig15b, Fig15bConfig};
+use std::hint::black_box;
+
+fn bench_fig15b(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig15b_small");
+    g.sample_size(10);
+    for d in [8usize, 40] {
+        g.bench_with_input(BenchmarkId::new("n192_m64_b16", d), &d, |b, &d| {
+            b.iter(|| {
+                let r = run_fig15b(&Fig15bConfig::small(black_box(d), 1));
+                assert!(r.consistent);
+                black_box(r.average())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig15b);
+criterion_main!(benches);

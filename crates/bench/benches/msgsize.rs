@@ -1,0 +1,43 @@
+//! §6.2 ablation as a benchmark: the three payload modes on the same
+//! workload, reporting (via assertions) that savings are real.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyperring_core::PayloadMode;
+use hyperring_harness::experiments::{run_fig15b, Fig15bConfig};
+use std::hint::black_box;
+
+fn bench_msgsize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("msgsize_ablation");
+    g.sample_size(10);
+    for (name, payload) in [
+        ("full", PayloadMode::Full),
+        ("levels", PayloadMode::Levels),
+        ("bitvector", PayloadMode::BitVector),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("n192_m64_b16_d16", name),
+            &payload,
+            |b, &payload| {
+                b.iter(|| {
+                    let cfg = Fig15bConfig {
+                        payload,
+                        ..Fig15bConfig::small(16, 5)
+                    };
+                    let r = run_fig15b(&cfg);
+                    assert!(r.consistent);
+                    black_box(r.joiner_bytes)
+                })
+            },
+        );
+    }
+    g.finish();
+
+    // The ablation's headline numbers, checked once.
+    let r = hyperring_harness::experiments::run_msgsize_ablation(&Fig15bConfig::small(16, 5));
+    assert!(r.all_consistent);
+    assert!(r.levels_bytes < r.full_bytes);
+    assert!(r.bitvector_bytes < r.full_bytes);
+}
+
+criterion_group!(benches, bench_msgsize);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Hypercube routing: next-hop lookups and full route resolution over a
+//! consistent network (§2.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hyperring_core::{build_consistent_tables, next_hop, route, NeighborTable};
+use hyperring_harness::distinct_ids;
+use hyperring_id::{IdSpace, NodeId};
+use std::collections::HashMap;
+use std::hint::black_box;
+
+fn bench_routing(c: &mut Criterion) {
+    let space = IdSpace::new(16, 8).unwrap();
+    for n in [256usize, 2048] {
+        let ids = distinct_ids(space, n, 11);
+        let tables: HashMap<NodeId, NeighborTable> = build_consistent_tables(space, &ids)
+            .into_iter()
+            .map(|t| (t.owner(), t))
+            .collect();
+        let mut g = c.benchmark_group(format!("routing_n{n}"));
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(BenchmarkId::new("route_full", n), &n, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let s = ids[i % n];
+                let t = ids[(i * 7 + 13) % n];
+                i += 1;
+                black_box(route(s, t, |id| tables.get(id)))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("next_hop", n), &n, |b, _| {
+            let table = &tables[&ids[0]];
+            let mut i = 0usize;
+            b.iter(|| {
+                let t = ids[(i * 7 + 13) % n];
+                i += 1;
+                black_box(next_hop(table, &t))
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Theorem 4: cost of one complete single-node join (end to end through
+//! the simulator) and of the closed-form expectation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyperring_analysis::expected_join_noti;
+use hyperring_core::SimNetworkBuilder;
+use hyperring_harness::distinct_ids;
+use hyperring_id::IdSpace;
+use hyperring_sim::UniformDelay;
+use std::hint::black_box;
+
+fn bench_theorem4(c: &mut Criterion) {
+    let space = IdSpace::new(16, 8).unwrap();
+    let mut g = c.benchmark_group("theorem4");
+    g.sample_size(10);
+    for n in [128usize, 512] {
+        let ids = distinct_ids(space, n + 1, 3);
+        g.bench_with_input(BenchmarkId::new("single_join_sim", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut builder = SimNetworkBuilder::new(space);
+                for id in &ids[..n] {
+                    builder.add_member(*id);
+                }
+                builder.add_joiner(ids[n], ids[0], 0);
+                let mut net = builder.build(UniformDelay::new(1_000, 50_000), 9);
+                net.run();
+                assert!(net.all_in_system());
+                let j = net.joiners().next().unwrap().stats().join_noti();
+                black_box(j)
+            })
+        });
+    }
+    g.bench_function("analytic_E_J_n100k", |b| {
+        b.iter(|| black_box(expected_join_noti(16, 8, black_box(100_000))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_theorem4);
+criterion_main!(benches);

@@ -1,0 +1,391 @@
+//! The consistency checker: Definition 3.8 of the paper, plus reachability.
+//!
+//! A network `⟨V, N(V)⟩` is *consistent* iff for every node `x` and entry
+//! `(i, j)`:
+//!
+//! * **(a) false-negative freedom** — if some node carries the desired
+//!   suffix `j ∘ x[i-1..0]`, the entry stores such a node;
+//! * **(b) false-positive freedom** — if no node carries the desired
+//!   suffix, the entry is empty.
+//!
+//! By Lemma 3.1, (a) is equivalent to every node being reachable from every
+//! other node; [`check_reachability`] verifies that equivalence directly.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use hyperring_id::{IdSpace, NodeId, Suffix};
+
+use crate::routing::route;
+use crate::table::{NeighborTable, NodeState};
+
+/// One consistency violation found by [`check_consistency`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Condition (a) violated: nodes with the desired suffix exist but the
+    /// entry is empty.
+    FalseNegative {
+        /// The node whose table is inconsistent.
+        node: NodeId,
+        /// Entry level.
+        level: usize,
+        /// Entry digit.
+        digit: u8,
+        /// A node that should have been stored (a witness).
+        witness: NodeId,
+    },
+    /// Condition (b) violated: the entry stores a node although no live
+    /// node has the desired suffix (or it stores a node with the *wrong*
+    /// suffix).
+    FalsePositive {
+        /// The node whose table is inconsistent.
+        node: NodeId,
+        /// Entry level.
+        level: usize,
+        /// Entry digit.
+        digit: u8,
+        /// The bogus stored node.
+        stored: NodeId,
+    },
+    /// An entry stores a node that is not a member of the network at all.
+    UnknownNeighbor {
+        /// The node whose table is inconsistent.
+        node: NodeId,
+        /// Entry level.
+        level: usize,
+        /// Entry digit.
+        digit: u8,
+        /// The stored, unknown node.
+        stored: NodeId,
+    },
+    /// An entry still records state `T` although the join process is over.
+    StaleState {
+        /// The node whose table holds the stale entry.
+        node: NodeId,
+        /// Entry level.
+        level: usize,
+        /// Entry digit.
+        digit: u8,
+        /// The neighbor still recorded as `T`.
+        stored: NodeId,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::FalseNegative {
+                node,
+                level,
+                digit,
+                witness,
+            } => write!(
+                f,
+                "false negative: {node} entry ({level},{digit}) empty but {witness} exists"
+            ),
+            Violation::FalsePositive {
+                node,
+                level,
+                digit,
+                stored,
+            } => write!(
+                f,
+                "false positive: {node} entry ({level},{digit}) stores {stored} with wrong/ghost suffix"
+            ),
+            Violation::UnknownNeighbor {
+                node,
+                level,
+                digit,
+                stored,
+            } => write!(
+                f,
+                "unknown neighbor: {node} entry ({level},{digit}) stores non-member {stored}"
+            ),
+            Violation::StaleState {
+                node,
+                level,
+                digit,
+                stored,
+            } => write!(
+                f,
+                "stale state: {node} entry ({level},{digit}) records {stored} as T"
+            ),
+        }
+    }
+}
+
+/// Result of a consistency check.
+#[derive(Debug, Clone, Default)]
+pub struct ConsistencyReport {
+    violations: Vec<Violation>,
+    nodes: usize,
+    entries_checked: usize,
+}
+
+impl ConsistencyReport {
+    /// Whether no violation was found.
+    pub fn is_consistent(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The violations, in table order.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Number of nodes checked.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of table entries checked.
+    pub fn entries_checked(&self) -> usize {
+        self.entries_checked
+    }
+}
+
+impl fmt::Display for ConsistencyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_consistent() {
+            write!(
+                f,
+                "consistent: {} nodes, {} entries",
+                self.nodes, self.entries_checked
+            )
+        } else {
+            writeln!(
+                f,
+                "INCONSISTENT: {} violations over {} nodes",
+                self.violations.len(),
+                self.nodes
+            )?;
+            for v in self.violations.iter().take(20) {
+                writeln!(f, "  {v}")?;
+            }
+            if self.violations.len() > 20 {
+                writeln!(f, "  … and {} more", self.violations.len() - 20)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Checks Definition 3.8 over a closed set of tables (one per live node),
+/// and additionally flags entries still recorded as `T` — after all joins
+/// have completed, every neighbor must be known to be an S-node.
+///
+/// # Examples
+///
+/// ```
+/// use hyperring_core::{build_consistent_tables, check_consistency};
+/// use hyperring_id::IdSpace;
+///
+/// let space = IdSpace::new(4, 3)?;
+/// let ids: Vec<_> = ["012", "230", "111"]
+///     .iter().map(|s| space.parse_id(s).unwrap()).collect();
+/// let mut tables = build_consistent_tables(space, &ids);
+/// assert!(check_consistency(space, &tables).is_consistent());
+/// // Blanking a required entry is detected as a false negative.
+/// tables[0].clear(0, 1);
+/// let report = check_consistency(space, &tables);
+/// assert!(!report.is_consistent());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
+/// # Panics
+///
+/// Panics if `tables` is empty or contains duplicate owners.
+pub fn check_consistency(space: IdSpace, tables: &[NeighborTable]) -> ConsistencyReport {
+    assert!(!tables.is_empty(), "no tables to check");
+    let members: HashSet<NodeId> = tables.iter().map(|t| t.owner()).collect();
+    assert_eq!(members.len(), tables.len(), "duplicate table owners");
+
+    // Representative per suffix for witness lookups.
+    let mut repr: HashMap<Suffix, NodeId> = HashMap::new();
+    for t in tables {
+        let id = t.owner();
+        for k in 1..=space.digit_count() {
+            repr.entry(id.suffix(k)).or_insert(id);
+        }
+    }
+
+    let mut report = ConsistencyReport {
+        nodes: tables.len(),
+        ..Default::default()
+    };
+    for t in tables {
+        let x = t.owner();
+        for i in 0..space.digit_count() {
+            for j in 0..space.base() as u8 {
+                report.entries_checked += 1;
+                let desired = t.desired_suffix(i, j);
+                let witness = repr.get(&desired).copied();
+                match (t.get(i, j), witness) {
+                    (None, Some(w)) => report.violations.push(Violation::FalseNegative {
+                        node: x,
+                        level: i,
+                        digit: j,
+                        witness: w,
+                    }),
+                    (Some(e), w) => {
+                        if !members.contains(&e.node) {
+                            report.violations.push(Violation::UnknownNeighbor {
+                                node: x,
+                                level: i,
+                                digit: j,
+                                stored: e.node,
+                            });
+                        } else if w.is_none() || !e.node.has_suffix(&desired) {
+                            report.violations.push(Violation::FalsePositive {
+                                node: x,
+                                level: i,
+                                digit: j,
+                                stored: e.node,
+                            });
+                        } else if e.state == NodeState::T {
+                            report.violations.push(Violation::StaleState {
+                                node: x,
+                                level: i,
+                                digit: j,
+                                stored: e.node,
+                            });
+                        }
+                    }
+                    (None, None) => {}
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Verifies Lemma 3.1 directly: every node can route to every other node
+/// within `d` hops. Returns the list of failing `(source, target)` pairs
+/// (empty means fully reachable).
+///
+/// Quadratic in the number of nodes — intended for tests and small-to-mid
+/// networks; `check_consistency` is the linear-time proxy (the two agree by
+/// Lemma 3.1).
+pub fn check_reachability(tables: &[NeighborTable]) -> Vec<(NodeId, NodeId)> {
+    let by_id: HashMap<NodeId, &NeighborTable> =
+        tables.iter().map(|t| (t.owner(), t)).collect();
+    let mut failures = Vec::new();
+    for s in tables {
+        for t in tables {
+            if s.owner() == t.owner() {
+                continue;
+            }
+            let outcome = route(s.owner(), t.owner(), |id| by_id.get(id).copied());
+            if !outcome.is_delivered() {
+                failures.push((s.owner(), t.owner()));
+            }
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::build_consistent_tables;
+    use crate::table::Entry;
+
+    fn ids(space: IdSpace, ss: &[&str]) -> Vec<NodeId> {
+        ss.iter().map(|s| space.parse_id(s).unwrap()).collect()
+    }
+
+    #[test]
+    fn oracle_network_is_consistent_and_reachable() {
+        let space = IdSpace::new(4, 4).unwrap();
+        let v = ids(space, &["0123", "3210", "1111", "2222", "0001", "1001"]);
+        let tables = build_consistent_tables(space, &v);
+        let report = check_consistency(space, &tables);
+        assert!(report.is_consistent(), "{report}");
+        assert_eq!(report.nodes(), 6);
+        assert_eq!(report.entries_checked(), 6 * 4 * 4);
+        assert!(check_reachability(&tables).is_empty());
+    }
+
+    #[test]
+    fn false_negative_detected_and_breaks_reachability() {
+        let space = IdSpace::new(4, 3).unwrap();
+        let v = ids(space, &["012", "230", "111"]);
+        let mut tables = build_consistent_tables(space, &v);
+        // Blank 012's level-0 entry toward digit 1 (the only path to 111
+        // from 012 starts there).
+        tables[0].clear(0, 1);
+        let report = check_consistency(space, &tables);
+        assert!(!report.is_consistent());
+        assert!(matches!(
+            report.violations()[0],
+            Violation::FalseNegative { level: 0, digit: 1, .. }
+        ));
+        let failures = check_reachability(&tables);
+        assert!(failures
+            .iter()
+            .any(|(s, t)| s.to_string() == "012" && t.to_string() == "111"));
+    }
+
+    #[test]
+    fn false_positive_detected() {
+        let space = IdSpace::new(4, 3).unwrap();
+        let v = ids(space, &["012", "230"]);
+        let mut tables = build_consistent_tables(space, &v);
+        // 012 claims a neighbor with suffix "3" although none exists.
+        let ghost = space.parse_id("230").unwrap();
+        // Occupying (0, 0): desired suffix "0"; 230 fits "0". Use an entry
+        // whose desired suffix no member carries: (0, 3).
+        // 230 does not end in 3, so `set` would trip the fits() debug
+        // assertion; craft the violation via a node that fits but is dead.
+        let dead = space.parse_id("013").unwrap();
+        tables[0].set(
+            0,
+            3,
+            Entry {
+                node: dead,
+                state: NodeState::S,
+            },
+        );
+        let _ = ghost;
+        let report = check_consistency(space, &tables);
+        assert!(report
+            .violations()
+            .iter()
+            .any(|v| matches!(v, Violation::UnknownNeighbor { .. })));
+    }
+
+    #[test]
+    fn stale_t_state_detected() {
+        let space = IdSpace::new(4, 3).unwrap();
+        let v = ids(space, &["012", "230"]);
+        let mut tables = build_consistent_tables(space, &v);
+        let other = space.parse_id("230").unwrap();
+        tables[0].set(
+            0,
+            0,
+            Entry {
+                node: other,
+                state: NodeState::T,
+            },
+        );
+        let report = check_consistency(space, &tables);
+        assert!(report
+            .violations()
+            .iter()
+            .any(|v| matches!(v, Violation::StaleState { .. })));
+    }
+
+    #[test]
+    fn report_display_is_informative() {
+        let space = IdSpace::new(4, 3).unwrap();
+        let v = ids(space, &["012", "230", "111"]);
+        let tables = build_consistent_tables(space, &v);
+        let ok = check_consistency(space, &tables);
+        assert!(ok.to_string().contains("consistent"));
+        let mut broken = build_consistent_tables(space, &v);
+        broken[0].clear(0, 1);
+        let bad = check_consistency(space, &broken);
+        assert!(bad.to_string().contains("INCONSISTENT"));
+        assert!(bad.to_string().contains("false negative"));
+    }
+}

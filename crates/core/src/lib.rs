@@ -1,0 +1,76 @@
+//! Hypercube routing with a consistency-preserving join protocol.
+//!
+//! This crate implements the core contribution of Liu & Lam, *Neighbor
+//! Table Construction and Update in a Dynamic Peer-to-Peer Network*
+//! (ICDCS 2003):
+//!
+//! * the PRR-style **hypercube routing scheme** — per-node neighbor tables
+//!   of `d` levels × `b` entries and suffix-matching routing
+//!   ([`NeighborTable`], [`route`]);
+//! * the **join protocol** of §4 ([`JoinEngine`]) — a sans-io state
+//!   machine implementing Figures 5–14, under which an *arbitrary number of
+//!   concurrent joins* leaves all neighbor tables consistent (the paper's
+//!   Theorem 1) and every joiner eventually becomes an S-node (Theorem 2);
+//! * the **consistency definition** of §3 as an executable checker
+//!   ([`check_consistency`], [`check_reachability`]);
+//! * network initialization per §6.1 ([`bootstrap_sequential`], or
+//!   concurrent bootstrap through [`SimNetworkBuilder`]);
+//! * the §6.2 message-size reductions ([`PayloadMode`]);
+//! * an adapter ([`SimNetwork`]) that runs whole networks on the
+//!   deterministic event-driven simulator of `hyperring-sim`.
+//!
+//! # Quick start
+//!
+//! ```
+//! use hyperring_core::SimNetworkBuilder;
+//! use hyperring_id::IdSpace;
+//! use hyperring_sim::UniformDelay;
+//! use rand::SeedableRng;
+//!
+//! // 16 members + 8 concurrent joiners over random 8-digit hex ids.
+//! let space = IdSpace::new(16, 8)?;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let mut ids = std::collections::BTreeSet::new();
+//! while ids.len() < 24 {
+//!     ids.insert(space.random_id(&mut rng));
+//! }
+//! let ids: Vec<_> = ids.into_iter().collect();
+//!
+//! let mut b = SimNetworkBuilder::new(space);
+//! for id in &ids[..16] {
+//!     b.add_member(*id);
+//! }
+//! for id in &ids[16..] {
+//!     b.add_joiner(*id, ids[0], 0); // all joins start at t = 0
+//! }
+//! let mut net = b.build(UniformDelay::new(1_000, 50_000), 7);
+//! net.run();
+//! assert!(net.all_in_system());
+//! assert!(net.check_consistency().is_consistent());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod consistency;
+mod engine;
+mod messages;
+mod optimize;
+mod options;
+mod oracle;
+mod routing;
+mod simnet;
+mod stats;
+mod table;
+
+pub use consistency::{check_consistency, check_reachability, ConsistencyReport, Violation};
+pub use engine::{JoinEngine, Outbox, Status};
+pub use messages::{packed_id_bytes, BitVec, Message, MessageKind};
+pub use optimize::{optimize_tables, OptimizeReport};
+pub use options::{PayloadMode, ProtocolOptions};
+pub use oracle::build_consistent_tables;
+pub use routing::{next_hop, route, RouteOutcome};
+pub use simnet::{bootstrap_sequential, SimMsg, SimNetwork, SimNetworkBuilder, SimNode};
+pub use stats::MessageStats;
+pub use table::{Entry, NeighborTable, NodeState, SnapshotRow, TableSnapshot};

@@ -1,0 +1,56 @@
+/// How much of a neighbor table a notification message carries — the §6.2
+/// message-size reduction enhancements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PayloadMode {
+    /// Every message carries the sender's full table (the base protocol of
+    /// §4, and the default).
+    #[default]
+    Full,
+    /// A `JoinNotiMsg` from `x` to `y` carries only levels
+    /// `x.noti_level ..= |csuf(x, y)|` of `x`'s table (§6.2, first bullet).
+    Levels,
+    /// In addition to [`PayloadMode::Levels`], the `JoinNotiMsg` carries a
+    /// bit vector of `x`'s filled entries and the reply omits entries `x`
+    /// already has below its notification level (§6.2, second bullet).
+    BitVector,
+}
+
+/// Tunable options of the join protocol.
+///
+/// The defaults reproduce the paper's base protocol exactly; the payload
+/// modes are the paper's own §6.2 enhancements, kept optional so their
+/// effect can be measured (see the `ablation_msgsize` experiment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProtocolOptions {
+    /// Table-payload reduction mode.
+    pub payload: PayloadMode,
+}
+
+impl ProtocolOptions {
+    /// The base protocol (full tables in every message).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Base protocol with the given payload mode.
+    pub fn with_payload(payload: PayloadMode) -> Self {
+        ProtocolOptions { payload }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_full_payload() {
+        assert_eq!(ProtocolOptions::new().payload, PayloadMode::Full);
+        assert_eq!(ProtocolOptions::default(), ProtocolOptions::new());
+    }
+
+    #[test]
+    fn with_payload_sets_mode() {
+        let o = ProtocolOptions::with_payload(PayloadMode::BitVector);
+        assert_eq!(o.payload, PayloadMode::BitVector);
+    }
+}

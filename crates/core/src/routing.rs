@@ -1,0 +1,201 @@
+//! The hypercube (suffix) routing scheme of §2.2.
+
+use hyperring_id::NodeId;
+
+use crate::table::NeighborTable;
+
+/// Outcome of routing a message toward `target`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteOutcome {
+    /// The target was reached; `path` lists every node visited, starting
+    /// with the source and ending with the target.
+    Delivered {
+        /// Nodes visited, source first.
+        path: Vec<NodeId>,
+    },
+    /// Some node on the way had an empty entry for the next hop — with
+    /// consistent tables this means the target does not exist (§3.1's
+    /// false-positive freedom), with inconsistent tables it may be a lost
+    /// message.
+    Dropped {
+        /// Nodes visited before the drop.
+        path: Vec<NodeId>,
+        /// Level of the missing entry.
+        level: usize,
+        /// Digit of the missing entry.
+        digit: u8,
+    },
+}
+
+impl RouteOutcome {
+    /// Whether the message reached the target.
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, RouteOutcome::Delivered { .. })
+    }
+
+    /// Number of overlay hops taken (path length minus one).
+    pub fn hops(&self) -> usize {
+        match self {
+            RouteOutcome::Delivered { path } | RouteOutcome::Dropped { path, .. } => {
+                path.len().saturating_sub(1)
+            }
+        }
+    }
+}
+
+/// The next hop from `table`'s owner toward `target` (§2.2): the primary
+/// neighbor at level `k = |csuf(owner, target)|` whose digit matches
+/// `target[k]`. Returns `None` for the owner itself or when the entry is
+/// empty.
+pub fn next_hop(table: &NeighborTable, target: &NodeId) -> Option<NodeId> {
+    let owner = table.owner();
+    if owner == *target {
+        return None;
+    }
+    let k = owner.csuf_len(target);
+    table.get(k, target.digit(k)).map(|e| e.node)
+}
+
+/// Routes from `source` to `target` by following primary neighbors,
+/// resolving each node's table through `lookup`.
+///
+/// Since the primary `(i, x[i])`-neighbor of `x` is `x` itself, routing
+/// starts at level `|csuf(source, target)|` and needs at most `d` hops
+/// (Definition 3.7).
+///
+/// # Examples
+///
+/// ```
+/// use hyperring_core::{build_consistent_tables, route};
+/// use hyperring_id::IdSpace;
+/// use std::collections::HashMap;
+///
+/// let space = IdSpace::new(4, 3)?;
+/// let ids: Vec<_> = ["012", "230", "111"]
+///     .iter().map(|s| space.parse_id(s).unwrap()).collect();
+/// let tables: HashMap<_, _> = build_consistent_tables(space, &ids)
+///     .into_iter().map(|t| (t.owner(), t)).collect();
+/// let out = route(ids[0], ids[2], |id| tables.get(id));
+/// assert!(out.is_delivered());
+/// assert!(out.hops() <= 3);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
+/// # Panics
+///
+/// Panics if `lookup` returns `None` for a node that another table points
+/// at (the caller promised a closed set of tables), or if the path exceeds
+/// `d + 1` hops, which consistent tables make impossible.
+pub fn route<'a, F>(source: NodeId, target: NodeId, mut lookup: F) -> RouteOutcome
+where
+    F: FnMut(&NodeId) -> Option<&'a NeighborTable>,
+{
+    let mut path = vec![source];
+    let mut at = source;
+    let d = lookup(&source)
+        .expect("source table must exist")
+        .space()
+        .digit_count();
+    while at != target {
+        assert!(
+            path.len() <= d + 1,
+            "path {path:?} exceeded d+1 hops — tables are inconsistent"
+        );
+        let table = lookup(&at).unwrap_or_else(|| panic!("no table for {at}"));
+        let k = at.csuf_len(&target);
+        match table.get(k, target.digit(k)) {
+            Some(e) => {
+                // Each hop must strictly increase the matched suffix.
+                debug_assert!(e.node.csuf_len(&target) > k || e.node == target);
+                path.push(e.node);
+                at = e.node;
+            }
+            None => {
+                return RouteOutcome::Dropped {
+                    path,
+                    level: k,
+                    digit: target.digit(k),
+                }
+            }
+        }
+    }
+    RouteOutcome::Delivered { path }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::build_consistent_tables;
+    use hyperring_id::IdSpace;
+    use std::collections::HashMap;
+
+    fn network(ids: &[&str], b: u16, d: usize) -> (IdSpace, HashMap<NodeId, NeighborTable>) {
+        let space = IdSpace::new(b, d).unwrap();
+        let ids: Vec<NodeId> = ids.iter().map(|s| space.parse_id(s).unwrap()).collect();
+        let tables = build_consistent_tables(space, &ids);
+        (space, tables.into_iter().map(|t| (t.owner(), t)).collect())
+    }
+
+    #[test]
+    fn route_to_self_is_trivial() {
+        let (space, tables) = network(&["012", "230"], 4, 3);
+        let a = space.parse_id("012").unwrap();
+        let r = route(a, a, |id| tables.get(id));
+        assert!(r.is_delivered());
+        assert_eq!(r.hops(), 0);
+    }
+
+    #[test]
+    fn route_reaches_every_node_within_d_hops() {
+        let ids = [
+            "0123", "3210", "1111", "2222", "0001", "1001", "2001", "3321",
+        ];
+        let (space, tables) = network(&ids, 4, 4);
+        for s in ids {
+            for t in ids {
+                let (s, t) = (space.parse_id(s).unwrap(), space.parse_id(t).unwrap());
+                let r = route(s, t, |id| tables.get(id));
+                assert!(r.is_delivered(), "{s} -> {t}: {r:?}");
+                assert!(r.hops() <= 4);
+            }
+        }
+    }
+
+    #[test]
+    fn route_suffix_match_grows_along_path() {
+        let ids = ["0123", "3210", "1111", "2223", "0003", "1003", "2003"];
+        let (space, tables) = network(&ids, 4, 4);
+        let s = space.parse_id("0123").unwrap();
+        let t = space.parse_id("2003").unwrap();
+        if let RouteOutcome::Delivered { path } = route(s, t, |id| tables.get(id)) {
+            for w in path.windows(2) {
+                assert!(w[1].csuf_len(&t) > w[0].csuf_len(&t) || w[1] == t);
+            }
+        } else {
+            panic!("undelivered");
+        }
+    }
+
+    #[test]
+    fn missing_target_is_dropped_not_misrouted() {
+        let (space, tables) = network(&["012", "230", "111"], 4, 3);
+        let s = space.parse_id("012").unwrap();
+        let ghost = space.parse_id("333").unwrap();
+        let r = route(s, ghost, |id| tables.get(id));
+        assert!(!r.is_delivered());
+    }
+
+    #[test]
+    fn next_hop_matches_route_first_step() {
+        let ids = ["0123", "3210", "1111", "2223"];
+        let (space, tables) = network(&ids, 4, 4);
+        let s = space.parse_id("0123").unwrap();
+        let t = space.parse_id("1111").unwrap();
+        let hop = next_hop(&tables[&s], &t).unwrap();
+        if let RouteOutcome::Delivered { path } = route(s, t, |id| tables.get(id)) {
+            assert_eq!(path[1], hop);
+        } else {
+            panic!("undelivered");
+        }
+    }
+}

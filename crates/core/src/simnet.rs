@@ -1,0 +1,464 @@
+//! Glue between the sans-io [`JoinEngine`] and the deterministic
+//! discrete-event simulator: build a network of members and joiners, run
+//! the join protocol to quiescence, inspect the result.
+//!
+//! # Examples
+//!
+//! Five members (oracle-built consistent tables) plus three concurrent
+//! joiners, the paper's Figure 2 scenario:
+//!
+//! ```
+//! use hyperring_core::SimNetworkBuilder;
+//! use hyperring_sim::UniformDelay;
+//! use hyperring_id::IdSpace;
+//!
+//! let space = IdSpace::new(8, 5)?;
+//! let mut b = SimNetworkBuilder::new(space);
+//! for s in ["72430", "10353", "62332", "13141", "31701"] {
+//!     b.add_member(space.parse_id(s)?);
+//! }
+//! for s in ["10261", "47051", "00261"] {
+//!     b.add_joiner(space.parse_id(s)?, space.parse_id("72430")?, 0);
+//! }
+//! let mut net = b.build(UniformDelay::new(1_000, 50_000), 7);
+//! net.run();
+//! assert!(net.all_in_system());
+//! assert!(net.check_consistency().is_consistent());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use hyperring_id::{IdSpace, NodeId};
+use hyperring_sim::{Actor, Context, DelayModel, RunReport, Simulator, Time};
+
+use crate::consistency::{check_consistency, ConsistencyReport};
+use crate::engine::{JoinEngine, Outbox, Status};
+use crate::messages::Message;
+use crate::options::ProtocolOptions;
+use crate::oracle::build_consistent_tables;
+use crate::table::NeighborTable;
+
+/// Message wrapper carried by the simulator.
+#[derive(Debug, Clone)]
+pub enum SimMsg {
+    /// A protocol message from `from`.
+    Proto {
+        /// The overlay-level sender.
+        from: NodeId,
+        /// The protocol message.
+        msg: Message,
+    },
+    /// Control: begin joining through `gateway` (delivered to the joiner
+    /// itself at its start time).
+    Start {
+        /// The known member to join through (assumption (ii) of §3.1).
+        gateway: NodeId,
+    },
+    /// Control: begin a graceful leave (extension).
+    Leave,
+}
+
+/// One simulated overlay node: an engine plus the shared address directory.
+#[derive(Debug)]
+pub struct SimNode {
+    engine: JoinEngine,
+    dir: Arc<HashMap<NodeId, usize>>,
+    outbox: Outbox,
+}
+
+impl SimNode {
+    /// The wrapped protocol engine.
+    pub fn engine(&self) -> &JoinEngine {
+        &self.engine
+    }
+}
+
+impl Actor for SimNode {
+    type Msg = SimMsg;
+
+    fn on_message(&mut self, ctx: &mut Context<'_, SimMsg>, _from: usize, msg: SimMsg) {
+        match msg {
+            SimMsg::Start { gateway } => self.engine.start_join(gateway, &mut self.outbox),
+            SimMsg::Leave => self.engine.begin_leave(&mut self.outbox),
+            SimMsg::Proto { from, msg } => self.engine.handle(from, msg, &mut self.outbox),
+        }
+        let me = self.engine.id();
+        for (to, msg) in self.outbox.drain() {
+            let idx = *self
+                .dir
+                .get(&to)
+                .unwrap_or_else(|| panic!("message addressed to unknown node {to}"));
+            ctx.send(idx, SimMsg::Proto { from: me, msg });
+        }
+    }
+}
+
+/// Builder for a [`SimNetwork`].
+#[derive(Debug)]
+pub struct SimNetworkBuilder {
+    space: IdSpace,
+    opts: ProtocolOptions,
+    members: Vec<NodeId>,
+    member_tables: Option<Vec<NeighborTable>>,
+    joiners: Vec<(NodeId, NodeId, Time)>,
+}
+
+impl SimNetworkBuilder {
+    /// Starts a builder over `space` with default protocol options.
+    pub fn new(space: IdSpace) -> Self {
+        SimNetworkBuilder {
+            space,
+            opts: ProtocolOptions::default(),
+            members: Vec::new(),
+            member_tables: None,
+            joiners: Vec::new(),
+        }
+    }
+
+    /// Sets the protocol options for every node.
+    pub fn options(&mut self, opts: ProtocolOptions) -> &mut Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Adds a member of the initial consistent network `V`. Tables for all
+    /// members are built by the oracle at [`build`](Self::build) time.
+    pub fn add_member(&mut self, id: NodeId) -> &mut Self {
+        assert!(
+            self.member_tables.is_none(),
+            "cannot mix add_member with preset tables"
+        );
+        self.members.push(id);
+        self
+    }
+
+    /// Uses pre-built member tables instead of the oracle (e.g. tables that
+    /// came out of a previous run).
+    pub fn with_member_tables(&mut self, tables: Vec<NeighborTable>) -> &mut Self {
+        assert!(self.members.is_empty(), "cannot mix preset tables with add_member");
+        self.member_tables = Some(tables);
+        self
+    }
+
+    /// Adds a node that joins through `gateway`, starting at virtual time
+    /// `at` (the paper starts all joins at time 0).
+    pub fn add_joiner(&mut self, id: NodeId, gateway: NodeId, at: Time) -> &mut Self {
+        self.joiners.push((id, gateway, at));
+        self
+    }
+
+    /// Builds the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no members, if identifiers collide, or if a
+    /// joiner's gateway is not a member or joiner.
+    pub fn build<D: DelayModel>(&mut self, delay: D, seed: u64) -> SimNetwork<D> {
+        let member_tables = match self.member_tables.take() {
+            Some(t) => t,
+            None => build_consistent_tables(self.space, &self.members),
+        };
+        assert!(!member_tables.is_empty(), "network needs at least one member");
+
+        let mut ids: Vec<NodeId> = member_tables.iter().map(|t| t.owner()).collect();
+        ids.extend(self.joiners.iter().map(|(id, _, _)| *id));
+        let dir: HashMap<NodeId, usize> =
+            ids.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+        assert_eq!(dir.len(), ids.len(), "duplicate node identifier");
+        let dir = Arc::new(dir);
+
+        let mut actors: Vec<SimNode> = member_tables
+            .into_iter()
+            .map(|t| SimNode {
+                engine: JoinEngine::new_member(self.space, self.opts, t),
+                dir: Arc::clone(&dir),
+                outbox: Outbox::new(),
+            })
+            .collect();
+        for (id, _, _) in &self.joiners {
+            actors.push(SimNode {
+                engine: JoinEngine::new_joiner(self.space, self.opts, *id),
+                dir: Arc::clone(&dir),
+                outbox: Outbox::new(),
+            });
+        }
+
+        let mut sim = Simulator::new(actors, delay, seed);
+        for (id, gateway, at) in &self.joiners {
+            assert!(dir.contains_key(gateway), "gateway {gateway} unknown");
+            assert_ne!(id, gateway, "node cannot join via itself");
+            let idx = dir[id];
+            sim.inject_at(*at, idx, idx, SimMsg::Start { gateway: *gateway });
+        }
+        SimNetwork {
+            space: self.space,
+            sim,
+            dir,
+            ids,
+            joiner_count: self.joiners.len(),
+        }
+    }
+}
+
+/// A simulated overlay network running the join protocol.
+#[derive(Debug)]
+pub struct SimNetwork<D: DelayModel> {
+    space: IdSpace,
+    sim: Simulator<SimNode, D>,
+    dir: Arc<HashMap<NodeId, usize>>,
+    ids: Vec<NodeId>,
+    joiner_count: usize,
+}
+
+impl<D: DelayModel> SimNetwork<D> {
+    /// The identifier space.
+    pub fn space(&self) -> IdSpace {
+        self.space
+    }
+
+    /// All node identifiers (members first, then joiners).
+    pub fn ids(&self) -> &[NodeId] {
+        &self.ids
+    }
+
+    /// Number of joiners configured.
+    pub fn joiner_count(&self) -> usize {
+        self.joiner_count
+    }
+
+    /// Runs to quiescence and returns the simulator's report.
+    pub fn run(&mut self) -> RunReport {
+        self.sim.run()
+    }
+
+    /// Runs, but aborts after `max_deliveries` — for liveness tests.
+    pub fn run_limited(&mut self, max_deliveries: u64) -> RunReport {
+        self.sim.run_limited(max_deliveries)
+    }
+
+    /// The engine of node `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    pub fn engine(&self, id: &NodeId) -> &JoinEngine {
+        self.sim.actor(self.dir[id]).engine()
+    }
+
+    /// Iterates over all engines (members first, then joiners).
+    pub fn engines(&self) -> impl Iterator<Item = &JoinEngine> {
+        self.sim.actors().map(|a| a.engine())
+    }
+
+    /// Iterates over the joiners' engines only.
+    pub fn joiners(&self) -> impl Iterator<Item = &JoinEngine> {
+        let members = self.ids.len() - self.joiner_count;
+        self.sim.actors().skip(members).map(|a| a.engine())
+    }
+
+    /// Whether every node (member and joiner) is an S-node.
+    pub fn all_in_system(&self) -> bool {
+        self.engines().all(|e| e.status() == Status::InSystem)
+    }
+
+    /// Checks Definition 3.8 over the tables of *live* (non-departed)
+    /// nodes.
+    pub fn check_consistency(&self) -> ConsistencyReport {
+        check_consistency(self.space, &self.tables())
+    }
+
+    /// Clones out the tables of live (non-departed) nodes.
+    pub fn tables(&self) -> Vec<NeighborTable> {
+        self.engines()
+            .filter(|e| e.status() != Status::Departed)
+            .map(|e| e.table().clone())
+            .collect()
+    }
+
+    /// Schedules a graceful leave of `id` at the current virtual time,
+    /// then runs the simulation to quiescence (extension; sequential-churn
+    /// scope — call between waves, not during one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown or the leave fails to complete.
+    pub fn depart(&mut self, id: &NodeId) -> RunReport {
+        let idx = self.dir[id];
+        let now = self.sim.now();
+        self.sim.inject_at(now, idx, idx, SimMsg::Leave);
+        let report = self.sim.run();
+        assert_eq!(
+            self.engine(id).status(),
+            Status::Departed,
+            "{id} failed to depart"
+        );
+        report
+    }
+
+    /// Whether every node is either an S-node or cleanly departed.
+    pub fn all_settled(&self) -> bool {
+        self.engines()
+            .all(|e| matches!(e.status(), Status::InSystem | Status::Departed))
+    }
+
+    /// Virtual time (µs).
+    pub fn now(&self) -> Time {
+        self.sim.now()
+    }
+}
+
+/// Initializes a network per §6.1: `ids[0]` becomes the seed node, the rest
+/// join **sequentially** (each join runs to quiescence before the next
+/// starts). Returns the final consistent tables.
+///
+/// Sequential joins are timing-insensitive (Lemma 5.2 holds for any
+/// latencies), so a fixed 1 µs delay is used internally.
+///
+/// # Panics
+///
+/// Panics if `ids` is empty or contains duplicates.
+pub fn bootstrap_sequential(
+    space: IdSpace,
+    opts: ProtocolOptions,
+    ids: &[NodeId],
+) -> Vec<NeighborTable> {
+    assert!(!ids.is_empty());
+    let seed_node = ids[0];
+    let mut tables = {
+        let e = JoinEngine::new_seed(space, opts, seed_node);
+        vec![e.table().clone()]
+    };
+    for id in &ids[1..] {
+        let mut b = SimNetworkBuilder::new(space);
+        b.options(opts).with_member_tables(tables);
+        b.add_joiner(*id, seed_node, 0);
+        let mut net = b.build(hyperring_sim::ConstantDelay(1), 0);
+        net.run();
+        assert!(net.all_in_system(), "sequential join failed to terminate");
+        tables = net.tables();
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperring_sim::{ConstantDelay, UniformDelay};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space() -> IdSpace {
+        IdSpace::new(8, 5).unwrap()
+    }
+
+    fn paper_members(b: &mut SimNetworkBuilder) -> Vec<NodeId> {
+        ["72430", "10353", "62332", "13141", "31701"]
+            .iter()
+            .map(|s| {
+                let id = space().parse_id(s).unwrap();
+                b.add_member(id);
+                id
+            })
+            .collect()
+    }
+
+    #[test]
+    fn paper_figure2_scenario_converges_consistently() {
+        let mut b = SimNetworkBuilder::new(space());
+        let v = paper_members(&mut b);
+        for s in ["10261", "47051", "00261"] {
+            b.add_joiner(space().parse_id(s).unwrap(), v[0], 0);
+        }
+        let mut net = b.build(UniformDelay::new(1_000, 80_000), 1234);
+        let report = net.run();
+        assert!(!report.truncated);
+        assert!(net.all_in_system());
+        let c = net.check_consistency();
+        assert!(c.is_consistent(), "{c}");
+    }
+
+    #[test]
+    fn many_seeds_always_consistent() {
+        for seed in 0..20 {
+            let mut b = SimNetworkBuilder::new(space());
+            let v = paper_members(&mut b);
+            for s in ["10261", "47051", "00261", "20261", "57051"] {
+                b.add_joiner(space().parse_id(s).unwrap(), v[seed as usize % v.len()], 0);
+            }
+            let mut net = b.build(UniformDelay::new(1, 1_000_000), seed);
+            net.run_limited(10_000_000);
+            assert!(net.all_in_system(), "seed {seed}: not all in system");
+            let c = net.check_consistency();
+            assert!(c.is_consistent(), "seed {seed}: {c}");
+        }
+    }
+
+    #[test]
+    fn random_concurrent_joins_consistent() {
+        let sp = IdSpace::new(4, 6).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ids = Vec::new();
+        while ids.len() < 40 {
+            let id = sp.random_id(&mut rng);
+            if !ids.contains(&id) {
+                ids.push(id);
+            }
+        }
+        let (v, w) = ids.split_at(25);
+        let mut b = SimNetworkBuilder::new(sp);
+        for id in v {
+            b.add_member(*id);
+        }
+        for id in w {
+            b.add_joiner(*id, v[0], 0);
+        }
+        let mut net = b.build(UniformDelay::new(100, 200_000), 99);
+        net.run();
+        assert!(net.all_in_system());
+        let c = net.check_consistency();
+        assert!(c.is_consistent(), "{c}");
+        assert_eq!(net.joiners().count(), 15);
+    }
+
+    #[test]
+    fn staggered_start_times_also_consistent() {
+        let mut b = SimNetworkBuilder::new(space());
+        let v = paper_members(&mut b);
+        for (i, s) in ["10261", "47051", "00261"].iter().enumerate() {
+            b.add_joiner(space().parse_id(s).unwrap(), v[0], (i as u64) * 30_000);
+        }
+        let mut net = b.build(UniformDelay::new(1_000, 60_000), 7);
+        net.run();
+        assert!(net.all_in_system());
+        assert!(net.check_consistency().is_consistent());
+    }
+
+    #[test]
+    fn bootstrap_sequential_builds_consistent_network() {
+        let sp = IdSpace::new(4, 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut ids = Vec::new();
+        while ids.len() < 12 {
+            let id = sp.random_id(&mut rng);
+            if !ids.contains(&id) {
+                ids.push(id);
+            }
+        }
+        let tables = bootstrap_sequential(sp, ProtocolOptions::new(), &ids);
+        assert_eq!(tables.len(), 12);
+        let report = check_consistency(sp, &tables);
+        assert!(report.is_consistent(), "{report}");
+    }
+
+    #[test]
+    #[should_panic(expected = "gateway")]
+    fn unknown_gateway_rejected() {
+        let mut b = SimNetworkBuilder::new(space());
+        paper_members(&mut b);
+        let ghost = space().parse_id("77777").unwrap();
+        b.add_joiner(space().parse_id("10261").unwrap(), ghost, 0);
+        b.build(ConstantDelay(1), 0);
+    }
+}

@@ -1,0 +1,126 @@
+use std::fmt;
+
+use crate::messages::MessageKind;
+
+/// Per-node message accounting: how many messages of each kind the node
+/// sent, and the modeled bytes on the wire.
+///
+/// The paper's evaluation (Figure 15, Theorems 3–5) is entirely in terms of
+/// message counts per joining node; the byte counters additionally support
+/// the §6.2 message-size ablation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MessageStats {
+    sent: [u64; MessageKind::ALL.len()],
+    bytes: [u64; MessageKind::ALL.len()],
+}
+
+impl MessageStats {
+    /// Fresh, all-zero statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sent message of `kind` with modeled `bytes`.
+    pub fn record(&mut self, kind: MessageKind, bytes: usize) {
+        let i = kind as usize;
+        self.sent[i] += 1;
+        self.bytes[i] += bytes as u64;
+    }
+
+    /// Messages of `kind` sent.
+    pub fn sent(&self, kind: MessageKind) -> u64 {
+        self.sent[kind as usize]
+    }
+
+    /// Bytes of `kind` sent (modeled).
+    pub fn bytes(&self, kind: MessageKind) -> u64 {
+        self.bytes[kind as usize]
+    }
+
+    /// Total messages sent.
+    pub fn total_sent(&self) -> u64 {
+        self.sent.iter().sum()
+    }
+
+    /// Total modeled bytes sent.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// The paper's Theorem 3 quantity: `CpRstMsg` plus `JoinWaitMsg` sent.
+    pub fn cprst_plus_joinwait(&self) -> u64 {
+        self.sent(MessageKind::CpRst) + self.sent(MessageKind::JoinWait)
+    }
+
+    /// The paper's `J`: number of `JoinNotiMsg` sent.
+    pub fn join_noti(&self) -> u64 {
+        self.sent(MessageKind::JoinNoti)
+    }
+
+    /// Number of `SpeNotiMsg` sent (footnote 8: "rarely sent").
+    pub fn spe_noti(&self) -> u64 {
+        self.sent(MessageKind::SpeNoti)
+    }
+
+    /// Merges another node's statistics into this accumulator.
+    pub fn merge(&mut self, other: &MessageStats) {
+        for i in 0..self.sent.len() {
+            self.sent[i] += other.sent[i];
+            self.bytes[i] += other.bytes[i];
+        }
+    }
+}
+
+impl fmt::Display for MessageStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for kind in MessageKind::ALL {
+            let n = self.sent(kind);
+            if n > 0 {
+                writeln!(f, "{:<16} {:>8}  {:>10} B", kind.name(), n, self.bytes(kind))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_totals() {
+        let mut s = MessageStats::new();
+        s.record(MessageKind::CpRst, 17);
+        s.record(MessageKind::CpRst, 17);
+        s.record(MessageKind::JoinWait, 16);
+        s.record(MessageKind::JoinNoti, 300);
+        assert_eq!(s.sent(MessageKind::CpRst), 2);
+        assert_eq!(s.cprst_plus_joinwait(), 3);
+        assert_eq!(s.join_noti(), 1);
+        assert_eq!(s.spe_noti(), 0);
+        assert_eq!(s.total_sent(), 4);
+        assert_eq!(s.total_bytes(), 17 + 17 + 16 + 300);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = MessageStats::new();
+        a.record(MessageKind::JoinNoti, 10);
+        let mut b = MessageStats::new();
+        b.record(MessageKind::JoinNoti, 20);
+        b.record(MessageKind::SpeNoti, 30);
+        a.merge(&b);
+        assert_eq!(a.sent(MessageKind::JoinNoti), 2);
+        assert_eq!(a.bytes(MessageKind::JoinNoti), 30);
+        assert_eq!(a.spe_noti(), 1);
+    }
+
+    #[test]
+    fn display_lists_only_nonzero_kinds() {
+        let mut s = MessageStats::new();
+        s.record(MessageKind::JoinNoti, 10);
+        let text = s.to_string();
+        assert!(text.contains("JoinNotiMsg"));
+        assert!(!text.contains("CpRstMsg"));
+    }
+}

@@ -1,0 +1,529 @@
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+use hyperring_id::{IdSpace, NodeId, Suffix};
+
+/// The paper's per-neighbor state: `T` while the neighbor is still joining,
+/// `S` once it is known to be an S-node (status *in_system*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeState {
+    /// The neighbor has not (yet) been observed to be in the system.
+    T,
+    /// The neighbor is in the system.
+    S,
+}
+
+/// One neighbor-table entry: a node and the state recorded for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Entry {
+    /// The primary neighbor stored in this entry.
+    pub node: NodeId,
+    /// The recorded state of that neighbor.
+    pub state: NodeState,
+}
+
+/// A node's neighbor table: `d` levels × `b` entries.
+///
+/// Entry `(i, j)` holds a node sharing the rightmost `i` digits with the
+/// owner and whose `i`-th digit is `j` (the paper's §2.1). The table also
+/// tracks reverse neighbors — `R_x(i, j)` in the paper — which the join
+/// protocol needs when a node switches to *in_system*.
+///
+/// # Examples
+///
+/// ```
+/// use hyperring_core::{Entry, NeighborTable, NodeState};
+/// use hyperring_id::IdSpace;
+///
+/// let space = IdSpace::new(4, 5)?;
+/// let me = space.parse_id("21233")?;
+/// let mut t = NeighborTable::new(space, me);
+/// t.set_self_entries(NodeState::S);
+/// assert_eq!(t.get(2, 2).unwrap().node, me);
+/// let y = space.parse_id("31033")?;
+/// // y shares suffix "33" (2 digits) and y[2] = 0:
+/// t.set(2, 0, Entry { node: y, state: NodeState::S });
+/// assert_eq!(t.get(2, 0).unwrap().node, y);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NeighborTable {
+    space: IdSpace,
+    owner: NodeId,
+    entries: Vec<Option<Entry>>,
+    reverse: Vec<BTreeSet<NodeId>>,
+}
+
+impl NeighborTable {
+    /// Creates an empty table for `owner`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `owner` does not belong to `space`.
+    pub fn new(space: IdSpace, owner: NodeId) -> Self {
+        assert!(space.contains(&owner), "owner id not in space");
+        let slots = space.digit_count() * space.base() as usize;
+        NeighborTable {
+            space,
+            owner,
+            entries: vec![None; slots],
+            reverse: vec![BTreeSet::new(); slots],
+        }
+    }
+
+    /// The identifier space of the table.
+    #[inline]
+    pub fn space(&self) -> IdSpace {
+        self.space
+    }
+
+    /// The owning node.
+    #[inline]
+    pub fn owner(&self) -> NodeId {
+        self.owner
+    }
+
+    #[inline]
+    fn slot(&self, level: usize, digit: u8) -> usize {
+        debug_assert!(level < self.space.digit_count(), "level {level} too big");
+        debug_assert!((digit as u16) < self.space.base(), "digit {digit} too big");
+        level * self.space.base() as usize + digit as usize
+    }
+
+    /// The `(level, digit)` entry, i.e. the paper's `N_x(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `level` or `digit` are out of range.
+    #[inline]
+    pub fn get(&self, level: usize, digit: u8) -> Option<Entry> {
+        self.entries[self.slot(level, digit)]
+    }
+
+    /// Sets the `(level, digit)` entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the entry's node does not have the desired
+    /// suffix for the slot (a protocol-invariant violation).
+    pub fn set(&mut self, level: usize, digit: u8, entry: Entry) {
+        debug_assert!(
+            self.fits(level, digit, &entry.node),
+            "node {} does not fit entry ({level}, {digit}) of {}",
+            entry.node,
+            self.owner
+        );
+        let s = self.slot(level, digit);
+        self.entries[s] = Some(entry);
+    }
+
+    /// Clears the `(level, digit)` entry (used only by tests and tooling —
+    /// the join protocol never removes neighbors).
+    pub fn clear(&mut self, level: usize, digit: u8) {
+        let s = self.slot(level, digit);
+        self.entries[s] = None;
+    }
+
+    /// Updates the recorded state of the `(level, digit)` entry if it
+    /// currently stores `node`. Returns whether an update happened.
+    pub fn set_state_if(&mut self, level: usize, digit: u8, node: &NodeId, state: NodeState) -> bool {
+        let s = self.slot(level, digit);
+        match &mut self.entries[s] {
+            Some(e) if e.node == *node => {
+                e.state = state;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether `node` may legally occupy entry `(level, digit)`: it shares
+    /// the rightmost `level` digits with the owner and its `level`-th digit
+    /// is `digit`.
+    pub fn fits(&self, level: usize, digit: u8, node: &NodeId) -> bool {
+        node.csuf_len(&self.owner) >= level && node.digit(level) == digit
+    }
+
+    /// The desired suffix of entry `(level, digit)`: `digit ∘ owner[level-1..0]`.
+    pub fn desired_suffix(&self, level: usize, digit: u8) -> Suffix {
+        self.owner.suffix(level).extend_left(digit)
+    }
+
+    /// Sets every self entry `N_x(i, x[i]) = x` with the given state
+    /// (the paper chooses the primary `(i, x[i])`-neighbor of `x` to be `x`).
+    pub fn set_self_entries(&mut self, state: NodeState) {
+        let owner = self.owner;
+        for i in 0..self.space.digit_count() {
+            self.set(
+                i,
+                owner.digit(i),
+                Entry {
+                    node: owner,
+                    state,
+                },
+            );
+        }
+    }
+
+    /// Iterates all non-empty entries as `(level, digit, entry)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u8, Entry)> + '_ {
+        let b = self.space.base() as usize;
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(move |(s, e)| e.map(|e| (s / b, (s % b) as u8, e)))
+    }
+
+    /// Number of non-empty entries.
+    pub fn filled(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Adds `node` to the reverse-neighbor set `R_x(level, digit)`.
+    pub fn add_reverse(&mut self, level: usize, digit: u8, node: NodeId) {
+        let s = self.slot(level, digit);
+        self.reverse[s].insert(node);
+    }
+
+    /// Removes `node` from every reverse-neighbor set (the node is
+    /// leaving). Returns how many sets contained it.
+    pub fn remove_reverse(&mut self, node: &NodeId) -> usize {
+        self.reverse
+            .iter_mut()
+            .map(|set| usize::from(set.remove(node)))
+            .sum()
+    }
+
+    /// A replacement candidate sharing at least `min_csuf` digits with the
+    /// owner: the first non-self entry at level `min_csuf` or deeper. Used
+    /// by the leave extension — every node at level `i ≥ min_csuf` shares
+    /// `≥ min_csuf` rightmost digits with the owner by the table invariant.
+    pub fn find_sharer(&self, min_csuf: usize) -> Option<Entry> {
+        for level in min_csuf..self.space.digit_count() {
+            for digit in 0..self.space.base() as u8 {
+                if let Some(e) = self.get(level, digit) {
+                    if e.node != self.owner {
+                        return Some(e);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// All reverse neighbors across all entries, deduplicated.
+    pub fn reverse_neighbors(&self) -> BTreeSet<NodeId> {
+        let mut out = BTreeSet::new();
+        for set in &self.reverse {
+            out.extend(set.iter().copied());
+        }
+        out
+    }
+
+    /// Reverse neighbors of one entry.
+    pub fn reverse_of(&self, level: usize, digit: u8) -> &BTreeSet<NodeId> {
+        &self.reverse[self.slot(level, digit)]
+    }
+
+    /// Takes an immutable snapshot of all non-empty entries, for inclusion
+    /// in a protocol message.
+    pub fn snapshot(&self) -> TableSnapshot {
+        self.snapshot_levels(0, self.space.digit_count())
+    }
+
+    /// Snapshot restricted to levels `lo..hi` (the §6.2 "levels only"
+    /// message-size reduction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or `hi` exceeds the level count.
+    pub fn snapshot_levels(&self, lo: usize, hi: usize) -> TableSnapshot {
+        assert!(lo <= hi && hi <= self.space.digit_count());
+        let rows = self
+            .iter()
+            .filter(|&(i, _, _)| i >= lo && i < hi)
+            .map(|(i, j, e)| SnapshotRow {
+                level: i as u8,
+                digit: j,
+                entry: e,
+            })
+            .collect();
+        TableSnapshot {
+            owner: self.owner,
+            rows: Arc::new(rows),
+        }
+    }
+
+    /// Snapshot filtered by the §6.2 bit-vector rule: for levels below
+    /// `noti_level`, include only entries whose slot is *not* marked filled
+    /// in `filled_bits`; from `noti_level` up, include everything.
+    pub fn snapshot_bitvec(&self, noti_level: usize, filled_bits: &[u64]) -> TableSnapshot {
+        let b = self.space.base() as usize;
+        let rows = self
+            .iter()
+            .filter(|&(i, j, _)| {
+                if i >= noti_level {
+                    return true;
+                }
+                let slot = i * b + j as usize;
+                filled_bits
+                    .get(slot / 64)
+                    .is_none_or(|w| w & (1u64 << (slot % 64)) == 0)
+            })
+            .map(|(i, j, e)| SnapshotRow {
+                level: i as u8,
+                digit: j,
+                entry: e,
+            })
+            .collect();
+        TableSnapshot {
+            owner: self.owner,
+            rows: Arc::new(rows),
+        }
+    }
+
+    /// The bit vector of filled entries (one bit per slot, level-major),
+    /// as attached to a `JoinNotiMsg` in bit-vector mode.
+    pub fn filled_bitvec(&self) -> Vec<u64> {
+        let slots = self.entries.len();
+        let mut bits = vec![0u64; slots.div_ceil(64)];
+        for (s, e) in self.entries.iter().enumerate() {
+            if e.is_some() {
+                bits[s / 64] |= 1u64 << (s % 64);
+            }
+        }
+        bits
+    }
+
+    /// Renders the table like the paper's Figure 1: one column per level
+    /// (highest first), one row per digit, empty entries blank.
+    pub fn render(&self) -> String {
+        let d = self.space.digit_count();
+        let b = self.space.base() as usize;
+        let width = d + 2;
+        let mut out = String::new();
+        out.push_str(&format!("Neighbor table of node {}  (b={}, d={})\n", self.owner, self.space.base(), d));
+        for line in [true, false] {
+            if line {
+                let mut header = String::new();
+                for i in (0..d).rev() {
+                    header.push_str(&format!("{:>width$}", format!("lv{i}"), width = width + 1));
+                }
+                out.push_str(&header);
+                out.push('\n');
+            }
+        }
+        for j in 0..b {
+            for i in (0..d).rev() {
+                let cell = match self.get(i, j as u8) {
+                    Some(e) => format!("{}{}", e.node, if e.state == NodeState::S { "" } else { "*" }),
+                    None => String::new(),
+                };
+                out.push_str(&format!("{cell:>width$} ", width = width));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A compact row of a [`TableSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotRow {
+    /// Level `i` of the entry.
+    pub level: u8,
+    /// Digit `j` of the entry.
+    pub digit: u8,
+    /// The entry itself.
+    pub entry: Entry,
+}
+
+/// An immutable, cheaply clonable copy of (part of) a neighbor table, as
+/// carried inside protocol messages.
+///
+/// Snapshots are reference-counted: attaching one to several messages does
+/// not copy the rows, mirroring how a real implementation would serialize a
+/// table once.
+#[derive(Debug, Clone)]
+pub struct TableSnapshot {
+    owner: NodeId,
+    rows: Arc<Vec<SnapshotRow>>,
+}
+
+impl TableSnapshot {
+    /// The node whose table was photographed.
+    #[inline]
+    pub fn owner(&self) -> NodeId {
+        self.owner
+    }
+
+    /// Rows (non-empty entries) in the snapshot.
+    #[inline]
+    pub fn rows(&self) -> &[SnapshotRow] {
+        &self.rows
+    }
+
+    /// Looks up entry `(level, digit)` in the snapshot.
+    pub fn get(&self, level: usize, digit: u8) -> Option<Entry> {
+        self.rows
+            .iter()
+            .find(|r| r.level as usize == level && r.digit == digit)
+            .map(|r| r.entry)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the snapshot has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for TableSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "snapshot of {} ({} rows)", self.owner, self.rows.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> IdSpace {
+        IdSpace::new(4, 5).unwrap()
+    }
+
+    fn id(s: &str) -> NodeId {
+        space().parse_id(s).unwrap()
+    }
+
+    #[test]
+    fn fits_enforces_desired_suffix() {
+        let t = NeighborTable::new(space(), id("21233"));
+        // Entry (2, 0): desired suffix 0 ∘ "33" = "033".
+        assert!(t.fits(2, 0, &id("31033")));
+        assert!(!t.fits(2, 0, &id("31133")));
+        assert!(!t.fits(2, 0, &id("31030")));
+        assert_eq!(t.desired_suffix(2, 0).to_string(), "033");
+        // Level 0 entries only constrain the last digit.
+        assert!(t.fits(0, 1, &id("33121")));
+        assert!(!t.fits(0, 1, &id("33123")));
+    }
+
+    #[test]
+    fn self_entries_cover_all_levels() {
+        let me = id("21233");
+        let mut t = NeighborTable::new(space(), me);
+        t.set_self_entries(NodeState::T);
+        for i in 0..5 {
+            let e = t.get(i, me.digit(i)).unwrap();
+            assert_eq!(e.node, me);
+            assert_eq!(e.state, NodeState::T);
+        }
+        assert_eq!(t.filled(), 5);
+    }
+
+    #[test]
+    fn set_state_if_only_matches_same_node() {
+        let mut t = NeighborTable::new(space(), id("21233"));
+        t.set(
+            2,
+            0,
+            Entry {
+                node: id("31033"),
+                state: NodeState::T,
+            },
+        );
+        assert!(!t.set_state_if(2, 0, &id("21033"), NodeState::S));
+        assert_eq!(t.get(2, 0).unwrap().state, NodeState::T);
+        assert!(t.set_state_if(2, 0, &id("31033"), NodeState::S));
+        assert_eq!(t.get(2, 0).unwrap().state, NodeState::S);
+    }
+
+    #[test]
+    fn snapshot_reflects_entries_and_is_shared() {
+        let mut t = NeighborTable::new(space(), id("21233"));
+        t.set_self_entries(NodeState::S);
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 5);
+        assert_eq!(snap.owner(), id("21233"));
+        assert_eq!(snap.get(0, 3).unwrap().node, id("21233"));
+        assert!(snap.get(0, 0).is_none());
+        let c = snap.clone();
+        assert_eq!(c.rows().as_ptr(), snap.rows().as_ptr());
+    }
+
+    #[test]
+    fn snapshot_levels_restricts_range() {
+        let mut t = NeighborTable::new(space(), id("21233"));
+        t.set_self_entries(NodeState::S);
+        let snap = t.snapshot_levels(2, 4);
+        assert_eq!(snap.len(), 2);
+        assert!(snap.rows().iter().all(|r| (2..4).contains(&(r.level as usize))));
+    }
+
+    #[test]
+    fn bitvec_snapshot_hides_filled_low_levels() {
+        let mut t = NeighborTable::new(space(), id("21233"));
+        t.set_self_entries(NodeState::S);
+        // Receiver claims everything filled: low levels drop out, levels
+        // >= noti_level stay.
+        let all_ones = vec![u64::MAX; 4];
+        let snap = t.snapshot_bitvec(3, &all_ones);
+        assert_eq!(snap.len(), 2); // levels 3 and 4 self entries
+        // Receiver claims nothing filled: everything included.
+        let zeros = vec![0u64; 4];
+        let snap = t.snapshot_bitvec(3, &zeros);
+        assert_eq!(snap.len(), 5);
+    }
+
+    #[test]
+    fn filled_bitvec_matches_entries() {
+        let mut t = NeighborTable::new(space(), id("21233"));
+        t.set(
+            0,
+            1,
+            Entry {
+                node: id("33121"),
+                state: NodeState::S,
+            },
+        );
+        let bits = t.filled_bitvec();
+        let slot = 1; // level 0, digit 1
+        assert_ne!(bits[slot / 64] & (1 << (slot % 64)), 0);
+        assert_eq!(bits.iter().map(|w| w.count_ones()).sum::<u32>(), 1);
+    }
+
+    #[test]
+    fn reverse_neighbor_bookkeeping() {
+        let mut t = NeighborTable::new(space(), id("21233"));
+        t.add_reverse(1, 3, id("31033"));
+        t.add_reverse(1, 3, id("31033")); // dedup
+        t.add_reverse(0, 3, id("13113"));
+        assert_eq!(t.reverse_of(1, 3).len(), 1);
+        let all = t.reverse_neighbors();
+        assert_eq!(all.len(), 2);
+        assert!(all.contains(&id("31033")));
+    }
+
+    #[test]
+    fn render_contains_owner_and_neighbors() {
+        let mut t = NeighborTable::new(space(), id("21233"));
+        t.set_self_entries(NodeState::S);
+        let s = t.render();
+        assert!(s.contains("21233"));
+        assert!(s.contains("b=4, d=5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "owner id not in space")]
+    fn rejects_owner_from_other_space() {
+        let other = IdSpace::new(8, 3).unwrap();
+        let id8 = other.parse_id("777").unwrap();
+        NeighborTable::new(space(), id8);
+    }
+}

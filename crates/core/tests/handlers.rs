@@ -1,0 +1,667 @@
+//! White-box tests of every protocol action, figure by figure: each test
+//! drives a `JoinEngine` with hand-crafted messages and asserts the exact
+//! state transition and outgoing messages the paper's pseudo-code
+//! prescribes.
+
+use hyperring_core::{
+    build_consistent_tables, Entry, JoinEngine, Message, NeighborTable, NodeState,
+    Outbox, ProtocolOptions, Status,
+};
+use hyperring_id::{IdSpace, NodeId};
+
+fn space() -> IdSpace {
+    IdSpace::new(4, 4).unwrap()
+}
+
+fn id(s: &str) -> NodeId {
+    space().parse_id(s).unwrap()
+}
+
+fn member(ids: &[&str], who: &str) -> JoinEngine {
+    let ids: Vec<NodeId> = ids.iter().map(|s| id(s)).collect();
+    let me = id(who);
+    let table = build_consistent_tables(space(), &ids)
+        .into_iter()
+        .find(|t| t.owner() == me)
+        .expect("member id present");
+    JoinEngine::new_member(space(), ProtocolOptions::new(), table)
+}
+
+fn joiner(who: &str) -> JoinEngine {
+    JoinEngine::new_joiner(space(), ProtocolOptions::new(), id(who))
+}
+
+fn sent(out: &mut Outbox) -> Vec<(NodeId, Message)> {
+    out.drain().collect()
+}
+
+/// Delivers every queued message from `from`'s outbox that is addressed to
+/// one specific engine, returning the rest.
+fn snapshot_of(e: &JoinEngine) -> hyperring_core::TableSnapshot {
+    e.table().snapshot()
+}
+
+// ---------------------------------------------------------------------
+// Figure 5 — status copying
+// ---------------------------------------------------------------------
+
+#[test]
+fn fig5_copying_walks_levels_and_stops_at_null() {
+    // g0 = 0000 in V = {0000, 3210, 1110}; joiner x = 2110.
+    // Copy chain: level 0 from 0000 -> N(0, 0) of 0000 ... x[0] = 0, so
+    // next = N_g(0, 0) = 0000 itself (self entry) — chain stays at g0?
+    // Choose x = 2113 instead: x[0] = 3; 0000's (0,3) entry covers 3210's
+    // suffix "3"? 3210 ends in 0. Use V where the chain is interesting.
+    let v = ["0000", "3213", "1113"];
+    let g0 = member(&v, "0000");
+    let mut g0 = g0;
+    let mut x = joiner("2113");
+    let mut out = Outbox::new();
+    x.start_join(id("0000"), &mut out);
+    let msgs = sent(&mut out);
+    assert_eq!(msgs.len(), 1);
+    assert_eq!(msgs[0].0, id("0000"));
+    assert!(matches!(msgs[0].1, Message::CpRst { level: 0 }));
+
+    // g0 replies with its full table.
+    let mut out = Outbox::new();
+    g0.handle(id("2113"), Message::CpRst { level: 0 }, &mut out);
+    let msgs = sent(&mut out);
+    assert_eq!(msgs.len(), 1);
+    let (to, reply) = &msgs[0];
+    assert_eq!(*to, id("2113"));
+    assert!(matches!(reply, Message::CpRly { level: 0, .. }));
+
+    // x copies level 0; next hop = g0's (0, 3)-neighbor (suffix "3"),
+    // which the oracle filled with 1113 (smallest of {3213, 1113}).
+    let mut out = Outbox::new();
+    x.handle(id("0000"), reply.clone(), &mut out);
+    assert_eq!(x.status(), Status::Copying);
+    let msgs = sent(&mut out);
+    // x copied entries -> RvNghNoti to each copied neighbor, plus the next
+    // CpRst to 1113 at level 1.
+    let cprsts: Vec<_> = msgs
+        .iter()
+        .filter(|(_, m)| matches!(m, Message::CpRst { .. }))
+        .collect();
+    assert_eq!(cprsts.len(), 1);
+    assert_eq!(cprsts[0].0, id("1113"));
+    assert!(matches!(cprsts[0].1, Message::CpRst { level: 1 }));
+    assert!(msgs
+        .iter()
+        .any(|(_, m)| matches!(m, Message::RvNghNoti { .. })));
+}
+
+#[test]
+fn fig5_copying_enters_waiting_when_no_deeper_node() {
+    // V = {0000}: the chain ends immediately for any joiner whose last
+    // digit differs; x waits on g0 itself (g = null case).
+    let mut g0 = member(&["0000"], "0000");
+    let mut x = joiner("3213");
+    let mut out = Outbox::new();
+    x.start_join(id("0000"), &mut out);
+    let (_, cprst) = sent(&mut out).pop().unwrap();
+    let mut out = Outbox::new();
+    g0.handle(id("3213"), cprst, &mut out);
+    let (_, cprly) = sent(&mut out).pop().unwrap();
+
+    let mut out = Outbox::new();
+    x.handle(id("0000"), cprly, &mut out);
+    assert_eq!(x.status(), Status::Waiting);
+    // Self entries are installed on the transition (Figure 5's last loop).
+    for i in 0..4 {
+        let e = x.table().get(i, id("3213").digit(i)).unwrap();
+        assert_eq!(e.node, id("3213"));
+        assert_eq!(e.state, NodeState::T);
+    }
+    let msgs = sent(&mut out);
+    let joinwaits: Vec<_> = msgs
+        .iter()
+        .filter(|(_, m)| matches!(m, Message::JoinWait))
+        .collect();
+    assert_eq!(joinwaits.len(), 1);
+    assert_eq!(joinwaits[0].0, id("0000"));
+}
+
+#[test]
+fn fig5_copying_waits_on_t_node() {
+    // x copies a level whose (i, x[i]) entry records a T-node: x must send
+    // the JoinWaitMsg to that T-node (the "g_{k+1} is still a T-node"
+    // branch), not continue copying from it.
+    let mut x = joiner("3213");
+    // Hand-craft a reply from a fake g0 whose (0,3) entry is a T-state
+    // node 1113.
+    let mut g0_table = NeighborTable::new(space(), id("0000"));
+    g0_table.set_self_entries(NodeState::S);
+    g0_table.set(
+        0,
+        3,
+        Entry {
+            node: id("1113"),
+            state: NodeState::T,
+        },
+    );
+    let mut out = Outbox::new();
+    x.start_join(id("0000"), &mut out);
+    out.drain().count();
+    let mut out = Outbox::new();
+    x.handle(
+        id("0000"),
+        Message::CpRly {
+            level: 0,
+            table: g0_table.snapshot(),
+        },
+        &mut out,
+    );
+    assert_eq!(x.status(), Status::Waiting);
+    let msgs = sent(&mut out);
+    let (to, _) = msgs
+        .iter()
+        .find(|(_, m)| matches!(m, Message::JoinWait))
+        .expect("JoinWaitMsg sent");
+    assert_eq!(*to, id("1113"), "must wait on the T-node, not copy from it");
+}
+
+// ---------------------------------------------------------------------
+// Figure 6 — receiving JoinWaitMsg
+// ---------------------------------------------------------------------
+
+#[test]
+fn fig6_s_node_with_empty_entry_replies_positive_and_stores() {
+    let mut y = member(&["0000", "1110"], "0000");
+    let x = id("3213");
+    let mut out = Outbox::new();
+    y.handle(x, Message::JoinWait, &mut out);
+    // k = |csuf(0000, 3213)| = 0; entry (0, 3) was empty.
+    let e = y.table().get(0, 3).unwrap();
+    assert_eq!(e.node, x);
+    assert_eq!(e.state, NodeState::T);
+    let msgs = sent(&mut out);
+    assert_eq!(msgs.len(), 1);
+    match &msgs[0].1 {
+        Message::JoinWaitRly {
+            positive, next, ..
+        } => {
+            assert!(*positive);
+            assert_eq!(*next, x);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn fig6_s_node_with_occupied_entry_replies_negative_with_occupant() {
+    let mut y = member(&["0000", "1113"], "0000");
+    // (0, 3) already holds 1113; joiner 3213 must be redirected there.
+    let mut out = Outbox::new();
+    y.handle(id("3213"), Message::JoinWait, &mut out);
+    let msgs = sent(&mut out);
+    match &msgs[0].1 {
+        Message::JoinWaitRly {
+            positive, next, ..
+        } => {
+            assert!(!*positive);
+            assert_eq!(*next, id("1113"));
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    // The entry is untouched.
+    assert_eq!(y.table().get(0, 3).unwrap().node, id("1113"));
+}
+
+#[test]
+fn fig6_t_node_queues_the_request_until_switching() {
+    // A joiner in waiting status receives JoinWaitMsg: no reply now (Q_j).
+    let mut x = joiner("3213");
+    let mut g0 = member(&["0000"], "0000");
+    // Drive x into waiting via the usual exchange.
+    let mut out = Outbox::new();
+    x.start_join(id("0000"), &mut out);
+    let (_, m) = sent(&mut out).pop().unwrap();
+    let mut out = Outbox::new();
+    g0.handle(id("3213"), m, &mut out);
+    let (_, m) = sent(&mut out).pop().unwrap();
+    let mut out = Outbox::new();
+    x.handle(id("0000"), m, &mut out);
+    out.drain().count();
+    assert_eq!(x.status(), Status::Waiting);
+
+    // Another joiner asks x to store it: silence.
+    let mut out = Outbox::new();
+    x.handle(id("1113"), Message::JoinWait, &mut out);
+    assert!(out.is_empty(), "T-node must delay its JoinWaitRlyMsg");
+
+    // Now let x's own join finish: g0 replies positive; x has nobody to
+    // notify, switches, and must answer the queued joiner (Figure 13).
+    let mut out = Outbox::new();
+    g0.handle(id("3213"), Message::JoinWait, &mut out);
+    let (_, rly) = sent(&mut out)
+        .into_iter()
+        .find(|(_, m)| matches!(m, Message::JoinWaitRly { .. }))
+        .unwrap();
+    let mut out = Outbox::new();
+    x.handle(id("0000"), rly, &mut out);
+    assert_eq!(x.status(), Status::InSystem);
+    let msgs = sent(&mut out);
+    let queued_reply = msgs
+        .iter()
+        .find(|(to, m)| *to == id("1113") && matches!(m, Message::JoinWaitRly { .. }))
+        .expect("queued joiner must get a reply on switch");
+    match &queued_reply.1 {
+        Message::JoinWaitRly { positive, .. } => assert!(*positive),
+        _ => unreachable!(),
+    }
+    // And x stored the queued joiner: csuf(3213, 1113) = 2 ⇒ entry (2, 1).
+    assert_eq!(x.table().get(2, 1).unwrap().node, id("1113"));
+}
+
+// ---------------------------------------------------------------------
+// Figures 7 + 8 — JoinWaitRlyMsg and Check_Ngh_Table
+// ---------------------------------------------------------------------
+
+#[test]
+fn fig7_negative_reply_extends_the_wait_chain() {
+    let mut x = joiner("3213");
+    let mut g0 = member(&["0000"], "0000");
+    let mut out = Outbox::new();
+    x.start_join(id("0000"), &mut out);
+    let (_, m) = sent(&mut out).pop().unwrap();
+    let mut out = Outbox::new();
+    g0.handle(id("3213"), m, &mut out);
+    let (_, m) = sent(&mut out).pop().unwrap();
+    let mut out = Outbox::new();
+    x.handle(id("0000"), m, &mut out);
+    out.drain().count();
+
+    // Craft a negative reply pointing at 1113.
+    let mut holder = NeighborTable::new(space(), id("0000"));
+    holder.set_self_entries(NodeState::S);
+    let mut out = Outbox::new();
+    x.handle(
+        id("0000"),
+        Message::JoinWaitRly {
+            positive: false,
+            next: id("1113"),
+            table: holder.snapshot(),
+        },
+        &mut out,
+    );
+    assert_eq!(x.status(), Status::Waiting, "still waiting after negative");
+    let msgs = sent(&mut out);
+    let (to, _) = msgs
+        .iter()
+        .find(|(_, m)| matches!(m, Message::JoinWait))
+        .expect("chained JoinWaitMsg");
+    assert_eq!(*to, id("1113"));
+}
+
+#[test]
+fn fig7_positive_reply_sets_noti_level_and_fig8_notifies() {
+    let mut x = joiner("3213");
+    let g = member(&["0000"], "0000");
+    // Pretend the chain ran; deliver a positive reply from a member whose
+    // table contains another node sharing >= noti_level digits with x.
+    let mut gt = NeighborTable::new(space(), id("0000"));
+    gt.set_self_entries(NodeState::S);
+    gt.set(
+        0,
+        3,
+        Entry {
+            node: id("1113"), // shares suffix "3" with x (k = 1... csuf(3213,1113)=2)
+            state: NodeState::S,
+        },
+    );
+    drop(g);
+    let mut out = Outbox::new();
+    x.start_join(id("0000"), &mut out);
+    out.drain().count();
+    // Skip the copy: deliver CpRly with an empty-ish table to reach waiting.
+    let mut out = Outbox::new();
+    x.handle(
+        id("0000"),
+        Message::CpRly {
+            level: 0,
+            table: NeighborTable::new(space(), id("0000")).snapshot(),
+        },
+        &mut out,
+    );
+    out.drain().count();
+    assert_eq!(x.status(), Status::Waiting);
+
+    let mut out = Outbox::new();
+    x.handle(
+        id("0000"),
+        Message::JoinWaitRly {
+            positive: true,
+            next: id("3213"),
+            table: gt.snapshot(),
+        },
+        &mut out,
+    );
+    // noti_level = |csuf(3213, 0000)| = 0.
+    assert_eq!(x.noti_level(), 0);
+    // Check_Ngh_Table saw 1113 (csuf 2 >= 0, not yet notified): JoinNoti.
+    let msgs = sent(&mut out);
+    let notis: Vec<_> = msgs
+        .iter()
+        .filter(|(_, m)| matches!(m, Message::JoinNoti { .. }))
+        .collect();
+    assert_eq!(notis.len(), 1);
+    assert_eq!(notis[0].0, id("1113"));
+    // x filled its (2, 1) entry with 1113 and is now notifying.
+    assert_eq!(x.status(), Status::Notifying);
+    assert_eq!(x.table().get(2, 1).unwrap().node, id("1113"));
+}
+
+// ---------------------------------------------------------------------
+// Figures 9 + 10 — JoinNotiMsg / JoinNotiRlyMsg and the f-flag
+// ---------------------------------------------------------------------
+
+#[test]
+fn fig9_s_node_sets_flag_when_notifier_stored_someone_else() {
+    // y (S-node 1113) receives JoinNoti from x (3213) whose table maps
+    // y's slot (k=2, digit y[2]=1) to a *different* node 2113: f = true.
+    let mut y = member(&["1113", "0000"], "1113");
+    let mut xt = NeighborTable::new(space(), id("3213"));
+    xt.set_self_entries(NodeState::T);
+    xt.set(
+        2,
+        1,
+        Entry {
+            node: id("2113"),
+            state: NodeState::T,
+        },
+    );
+    let mut out = Outbox::new();
+    y.handle(
+        id("3213"),
+        Message::JoinNoti {
+            table: xt.snapshot(),
+            filled_bits: None,
+        },
+        &mut out,
+    );
+    let msgs = sent(&mut out);
+    let rly = msgs
+        .iter()
+        .find(|(_, m)| matches!(m, Message::JoinNotiRly { .. }))
+        .unwrap();
+    match &rly.1 {
+        Message::JoinNotiRly { positive, flag, .. } => {
+            assert!(*positive, "y stored x (entry was empty)");
+            assert!(*flag, "f must be set: x's table held 2113, not y");
+        }
+        _ => unreachable!(),
+    }
+    // y stores x at (k = 2, x[2] = 2).
+    assert_eq!(y.table().get(2, 2).unwrap().node, id("3213"));
+}
+
+#[test]
+fn fig10_flag_triggers_spenoti_toward_the_occupant() {
+    // x in notifying with noti_level 0 has entry (2,1) = 2113; a flagged
+    // reply from 1113 (k = 2 > 0) must trigger SpeNoti(x, 1113) to 2113.
+    let mut x = joiner("3213");
+    let mut out = Outbox::new();
+    x.start_join(id("0000"), &mut out);
+    out.drain().count();
+    let mut out = Outbox::new();
+    x.handle(
+        id("0000"),
+        Message::CpRly {
+            level: 0,
+            table: NeighborTable::new(space(), id("0000")).snapshot(),
+        },
+        &mut out,
+    );
+    out.drain().count();
+    // Positive wait-reply whose table contains 2113, so x fills (2,1).
+    let mut gt = NeighborTable::new(space(), id("0000"));
+    gt.set_self_entries(NodeState::S);
+    gt.set(
+        0,
+        3,
+        Entry {
+            node: id("2113"),
+            state: NodeState::S,
+        },
+    );
+    let mut out = Outbox::new();
+    x.handle(
+        id("0000"),
+        Message::JoinWaitRly {
+            positive: true,
+            next: id("3213"),
+            table: gt.snapshot(),
+        },
+        &mut out,
+    );
+    out.drain().count();
+    assert_eq!(x.status(), Status::Notifying);
+    assert_eq!(x.table().get(2, 1).unwrap().node, id("2113"));
+
+    // Flagged JoinNotiRly from 1113.
+    let mut yt = NeighborTable::new(space(), id("1113"));
+    yt.set_self_entries(NodeState::S);
+    let mut out = Outbox::new();
+    x.handle(
+        id("1113"),
+        Message::JoinNotiRly {
+            positive: true,
+            table: yt.snapshot(),
+            flag: true,
+        },
+        &mut out,
+    );
+    let msgs = sent(&mut out);
+    let spe = msgs
+        .iter()
+        .find(|(_, m)| matches!(m, Message::SpeNoti { .. }))
+        .expect("SpeNotiMsg must be sent");
+    assert_eq!(spe.0, id("2113"), "sent to the slot's occupant");
+    match &spe.1 {
+        Message::SpeNoti { initiator, subject } => {
+            assert_eq!(*initiator, id("3213"));
+            assert_eq!(*subject, id("1113"));
+        }
+        _ => unreachable!(),
+    }
+    // x must not switch while the SpeNoti is outstanding (Q_sr nonempty).
+    assert_eq!(x.status(), Status::Notifying);
+
+    // 2113's own JoinNotiRly drains Q_r, but Q_sr still holds 1113.
+    let mut zt = NeighborTable::new(space(), id("2113"));
+    zt.set_self_entries(NodeState::S);
+    x.handle(
+        id("2113"),
+        Message::JoinNotiRly {
+            positive: true,
+            table: zt.snapshot(),
+            flag: false,
+        },
+        &mut Outbox::new(),
+    );
+    assert_eq!(x.status(), Status::Notifying, "Q_sr still outstanding");
+
+    // The flagged reply's Check_Ngh_Table also made x notify 1113 itself
+    // (it appeared in the reply table); answer that too.
+    let mut yt2 = NeighborTable::new(space(), id("1113"));
+    yt2.set_self_entries(NodeState::S);
+    x.handle(
+        id("1113"),
+        Message::JoinNotiRly {
+            positive: true,
+            table: yt2.snapshot(),
+            flag: false,
+        },
+        &mut Outbox::new(),
+    );
+    assert_eq!(x.status(), Status::Notifying, "Q_sr still outstanding");
+
+    // The SpeNotiRly releases it.
+    let mut out = Outbox::new();
+    x.handle(
+        id("2113"),
+        Message::SpeNotiRly { subject: id("1113") },
+        &mut out,
+    );
+    assert_eq!(x.status(), Status::InSystem);
+}
+
+// ---------------------------------------------------------------------
+// Figure 11 — SpeNotiMsg forwarding
+// ---------------------------------------------------------------------
+
+#[test]
+fn fig11_receiver_stores_subject_or_forwards() {
+    // u = 2113 with empty (3, 1): stores subject 1113 (state S) and
+    // replies to the initiator.
+    let mut u = member(&["2113", "0000"], "2113");
+    let mut out = Outbox::new();
+    u.handle(
+        id("0000"), // transport sender is irrelevant
+        Message::SpeNoti {
+            initiator: id("3213"),
+            subject: id("1113"),
+        },
+        &mut out,
+    );
+    // csuf(2113, 1113) = 3; subject digit(3) = 1 ⇒ entry (3, 1).
+    let e = u.table().get(3, 1).unwrap();
+    assert_eq!(e.node, id("1113"));
+    assert_eq!(e.state, NodeState::S);
+    let msgs = sent(&mut out);
+    let rly = msgs
+        .iter()
+        .find(|(_, m)| matches!(m, Message::SpeNotiRly { .. }))
+        .expect("reply to initiator");
+    assert_eq!(rly.0, id("3213"));
+
+    // Occupied-slot case: u's (2, 0) entry (desired suffix "013") holds
+    // member 3013; a SpeNoti about subject 0013 (csuf(2113, 0013) = 2,
+    // digit 0) must be *forwarded* to the occupant, not answered.
+    let mut u2 = member(&["2113", "0000", "3013"], "2113");
+    assert_eq!(u2.table().get(2, 0).unwrap().node, id("3013"));
+    let mut out = Outbox::new();
+    u2.handle(
+        id("0000"),
+        Message::SpeNoti {
+            initiator: id("3213"),
+            subject: id("0013"),
+        },
+        &mut out,
+    );
+    let msgs = sent(&mut out);
+    assert!(
+        !msgs.iter().any(|(_, m)| matches!(m, Message::SpeNotiRly { .. })),
+        "must not reply while the slot holds another node"
+    );
+    let fwd = msgs
+        .iter()
+        .find(|(_, m)| matches!(m, Message::SpeNoti { .. }))
+        .expect("forwarded SpeNoti");
+    assert_eq!(fwd.0, id("3013"));
+    match &fwd.1 {
+        Message::SpeNoti { initiator, subject } => {
+            assert_eq!(*initiator, id("3213"));
+            assert_eq!(*subject, id("0013"));
+        }
+        _ => unreachable!(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 14 + RvNghNoti — state upgrades
+// ---------------------------------------------------------------------
+
+#[test]
+fn fig14_insysnoti_upgrades_t_to_s() {
+    let mut y = member(&["0000"], "0000");
+    // Store a T-state neighbor by receiving its JoinWait.
+    y.handle(id("3213"), Message::JoinWait, &mut Outbox::new());
+    assert_eq!(y.table().get(0, 3).unwrap().state, NodeState::T);
+    y.handle(id("3213"), Message::InSysNoti, &mut Outbox::new());
+    assert_eq!(y.table().get(0, 3).unwrap().state, NodeState::S);
+}
+
+#[test]
+fn rvnghnoti_mismatch_gets_corrected() {
+    // An S-node member receives RvNghNoti recording it as T: it must
+    // immediately reply with its actual state S.
+    let mut y = member(&["0000"], "0000");
+    let mut out = Outbox::new();
+    y.handle(
+        id("3213"),
+        Message::RvNghNoti {
+            recorded: NodeState::T,
+        },
+        &mut out,
+    );
+    let msgs = sent(&mut out);
+    assert_eq!(msgs.len(), 1);
+    match &msgs[0].1 {
+        Message::RvNghNotiRly { actual } => assert_eq!(*actual, NodeState::S),
+        other => panic!("unexpected {other:?}"),
+    }
+    // Consistent recording: silence.
+    let mut out = Outbox::new();
+    y.handle(
+        id("1110"),
+        Message::RvNghNoti {
+            recorded: NodeState::S,
+        },
+        &mut out,
+    );
+    assert!(out.is_empty());
+    // And the reverse-neighbor set now holds both senders.
+    let rv = y.table().reverse_neighbors();
+    assert!(rv.contains(&id("3213")));
+    assert!(rv.contains(&id("1110")));
+}
+
+#[test]
+fn rvnghnotirly_updates_recorded_state() {
+    let mut x = joiner("3213");
+    // Seed x's table with a stale T-state record of 0001 at slot (0, 1)
+    // through a crafted CpRly. (0, 1) is not one of x's self slots, so it
+    // survives the transition to waiting.
+    let mut gt = NeighborTable::new(space(), id("0000"));
+    gt.set_self_entries(NodeState::S);
+    gt.set(
+        0,
+        1,
+        Entry {
+            node: id("0001"),
+            state: NodeState::T,
+        },
+    );
+    let mut out = Outbox::new();
+    x.start_join(id("0000"), &mut out);
+    out.drain().count();
+    x.handle(
+        id("0000"),
+        Message::CpRly {
+            level: 0,
+            table: gt.snapshot(),
+        },
+        &mut Outbox::new(),
+    );
+    // next = gt(0, 3) is empty, so x entered waiting; the copied record
+    // remains, still marked T.
+    assert_eq!(x.status(), Status::Waiting);
+    let before = x.table().get(0, 1).unwrap();
+    assert_eq!(before.node, id("0001"));
+    assert_eq!(before.state, NodeState::T);
+
+    // 0001's corrective RvNghNotiRly (it is actually an S-node) upgrades
+    // the record: csuf(3213, 0001) = 0 targets slot (0, 0001[0]) = (0, 1).
+    x.handle(
+        id("0001"),
+        Message::RvNghNotiRly {
+            actual: NodeState::S,
+        },
+        &mut Outbox::new(),
+    );
+    assert_eq!(x.table().get(0, 1).unwrap().state, NodeState::S);
+    let _ = snapshot_of(&x);
+}

@@ -1,0 +1,191 @@
+use hyperring_id::{NodeId, Suffix};
+
+/// The suffix `ω` of the notification set `V_ω = V^Notify_x` of joiner `x`
+/// with respect to the member set `v` (Definition 3.4).
+///
+/// `ω` is the longest suffix of `x` that some member shares; when no member
+/// shares even the last digit, `ω` is the empty suffix and the notification
+/// set is all of `V`.
+///
+/// # Panics
+///
+/// Panics if `v` is empty (a joiner always knows a non-empty network) or if
+/// `x` is itself a member (its notification set would be ill-defined).
+pub fn notify_suffix(v: &[NodeId], x: &NodeId) -> Suffix {
+    assert!(!v.is_empty(), "notification set of an empty network");
+    let k = v
+        .iter()
+        .map(|y| {
+            assert_ne!(y, x, "joiner {x} is already a member");
+            x.csuf_len(y)
+        })
+        .max()
+        .expect("non-empty V");
+    x.suffix(k)
+}
+
+/// The notification set itself: the members sharing [`notify_suffix`] with
+/// `x`, i.e. `V^Notify_x` (Definition 3.4).
+///
+/// # Examples
+///
+/// ```
+/// use hyperring_cset::notify_set;
+/// use hyperring_id::IdSpace;
+/// let space = IdSpace::new(8, 5)?;
+/// let v: Vec<_> = ["72430", "13141", "31701"]
+///     .iter().map(|s| space.parse_id(s).unwrap()).collect();
+/// let (suffix, set) = notify_set(&v, &space.parse_id("10261")?);
+/// assert_eq!(suffix.to_string(), "1");
+/// assert_eq!(set.len(), 2); // 13141 and 31701 end in 1
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
+/// # Panics
+///
+/// As for [`notify_suffix`].
+pub fn notify_set(v: &[NodeId], x: &NodeId) -> (Suffix, Vec<NodeId>) {
+    let s = notify_suffix(v, x);
+    let set = v.iter().filter(|y| y.has_suffix(&s)).copied().collect();
+    (s, set)
+}
+
+/// Partitions joiners into C-set-tree groups: joiners with the same
+/// notification set belong to the same tree (§3.3). Returns
+/// `(root suffix, joiners)` pairs sorted by suffix.
+///
+/// # Panics
+///
+/// As for [`notify_suffix`].
+pub fn tree_groups(v: &[NodeId], w: &[NodeId]) -> Vec<(Suffix, Vec<NodeId>)> {
+    let mut map: std::collections::BTreeMap<Suffix, Vec<NodeId>> = Default::default();
+    for x in w {
+        map.entry(notify_suffix(v, x)).or_default().push(*x);
+    }
+    map.into_iter().collect()
+}
+
+/// Partitions joiners into *dependency groups* following the construction
+/// in the paper's proof of Lemma 5.5: two joiners are grouped together when
+/// their notification sets intersect, or when both notification sets are
+/// contained in a third joiner's notification set; groups are closed
+/// transitively. Joins in different groups are mutually independent
+/// (Definition 3.5).
+///
+/// # Panics
+///
+/// As for [`notify_suffix`].
+pub fn dependency_groups(v: &[NodeId], w: &[NodeId]) -> Vec<Vec<NodeId>> {
+    let suffixes: Vec<Suffix> = w.iter().map(|x| notify_suffix(v, x)).collect();
+    // V_ω1 ∩ V_ω2 ≠ ∅ iff one suffix extends the other (both sets are
+    // non-empty suffix sets of V). The "contained in a third" clause is
+    // subsumed: containment also requires suffix extension, so relate pairs
+    // through the third joiner transitively via union-find.
+    let n = w.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let r = find(parent, parent[i]);
+            parent[i] = r;
+        }
+        parent[i]
+    }
+    for i in 0..n {
+        for j in i + 1..n {
+            let (a, b) = (&suffixes[i], &suffixes[j]);
+            if a.ends_with(b) || b.ends_with(a) {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                parent[ri] = rj;
+            }
+        }
+    }
+    let mut groups: std::collections::BTreeMap<usize, Vec<NodeId>> = Default::default();
+    for (i, &x) in w.iter().enumerate() {
+        let r = find(&mut parent, i);
+        groups.entry(r).or_default().push(x);
+    }
+    groups.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperring_id::IdSpace;
+
+    fn ids(space: IdSpace, ss: &[&str]) -> Vec<NodeId> {
+        ss.iter().map(|s| space.parse_id(s).unwrap()).collect()
+    }
+
+    #[test]
+    fn paper_example_notify_sets() {
+        // §3.3: W = {10261, 00261, 67320, 11445} against the Figure 2 V.
+        let space = IdSpace::new(8, 5).unwrap();
+        let v = ids(space, &["72430", "10353", "62332", "13141", "31701"]);
+        let x = space.parse_id("10261").unwrap();
+        let (s, set) = notify_set(&v, &x);
+        assert_eq!(s.to_string(), "1");
+        // V_1 = {13141, 31701}.
+        assert_eq!(
+            set.iter().map(|n| n.to_string()).collect::<Vec<_>>(),
+            vec!["13141", "31701"]
+        );
+        assert_eq!(
+            notify_suffix(&v, &space.parse_id("00261").unwrap()).to_string(),
+            "1"
+        );
+        assert_eq!(
+            notify_suffix(&v, &space.parse_id("67320").unwrap()).to_string(),
+            "0"
+        );
+        // 11445: no member ends in 5 ⇒ noti-set is V (empty suffix).
+        let (s, set) = notify_set(&v, &space.parse_id("11445").unwrap());
+        assert!(s.is_empty());
+        assert_eq!(set.len(), v.len());
+    }
+
+    #[test]
+    fn tree_groups_split_by_suffix() {
+        let space = IdSpace::new(8, 5).unwrap();
+        let v = ids(space, &["72430", "10353", "62332", "13141", "31701"]);
+        let w = ids(space, &["10261", "00261", "67320", "11445"]);
+        let groups = tree_groups(&v, &w);
+        assert_eq!(groups.len(), 3);
+        let by_suffix: Vec<(String, usize)> = groups
+            .iter()
+            .map(|(s, g)| (s.to_string(), g.len()))
+            .collect();
+        assert!(by_suffix.contains(&("1".into(), 2)));
+        assert!(by_suffix.contains(&("0".into(), 1)));
+        assert!(by_suffix.contains(&("ε".into(), 1)));
+    }
+
+    #[test]
+    fn dependency_groups_merge_nested_suffixes() {
+        let space = IdSpace::new(8, 5).unwrap();
+        let v = ids(space, &["72430", "10353", "62332", "13141", "31701"]);
+        // 10261 notifies V_1; 11445 notifies V (empty suffix) ⊇ V_1:
+        // dependent. 67320 notifies V_0 ⊂ V: also dependent through 11445.
+        let w = ids(space, &["10261", "67320", "11445"]);
+        let groups = dependency_groups(&v, &w);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 3);
+    }
+
+    #[test]
+    fn disjoint_notify_sets_are_independent() {
+        let space = IdSpace::new(8, 5).unwrap();
+        let v = ids(space, &["72430", "10353", "62332", "13141", "31701"]);
+        // Suffixes "1" and "0" are disjoint suffix sets.
+        let w = ids(space, &["10261", "67320"]);
+        let groups = dependency_groups(&v, &w);
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already a member")]
+    fn member_joiner_rejected() {
+        let space = IdSpace::new(8, 5).unwrap();
+        let v = ids(space, &["72430"]);
+        notify_suffix(&v, &v[0].clone());
+    }
+}

@@ -1,0 +1,56 @@
+//! C-set trees — the paper's conceptual foundation (§3, §5.1) made
+//! executable.
+//!
+//! The paper reasons about multiple concurrent joins through *C-set trees*:
+//! given a consistent network `V` and joiners `W` that share a notification
+//! set `V_ω`, the *tree template* `C(V, W)` (Definition 3.9) fixes which
+//! C-sets must exist, and the *realized tree* `cset(V, W)` (Definition 5.1)
+//! is read off the final neighbor tables. Consistency after the joins is
+//! equivalent to the three conditions of §3.3:
+//!
+//! 1. `cset(V, W)` has the template's structure and no C-set is empty;
+//! 2. every node of `V_ω` stores a node of each child C-set of the root;
+//! 3. every joiner stores a node of each sibling C-set along its
+//!    root-to-leaf path.
+//!
+//! The paper stresses that C-set trees are "conceptual structures … *not
+//! implemented* in any node" — accordingly, this crate never touches
+//! protocol state; it only *analyzes* identifier sets and finished tables,
+//! and is used by the test suite to verify the propositions of §5.1 on real
+//! runs.
+//!
+//! # Examples
+//!
+//! The paper's Figure 2 (b = 8, d = 5):
+//!
+//! ```
+//! use hyperring_cset::{notify_suffix, CsetTemplate};
+//! use hyperring_id::IdSpace;
+//!
+//! let space = IdSpace::new(8, 5)?;
+//! let v: Vec<_> = ["72430", "10353", "62332", "13141", "31701"]
+//!     .iter().map(|s| space.parse_id(s).unwrap()).collect();
+//! let w: Vec<_> = ["10261", "47051", "00261"]
+//!     .iter().map(|s| space.parse_id(s).unwrap()).collect();
+//!
+//! // All three joiners notify V_1 (suffix "1").
+//! for x in &w {
+//!     assert_eq!(notify_suffix(&v, x).to_string(), "1");
+//! }
+//! let t = CsetTemplate::build(space, space.parse_suffix("1")?, &w);
+//! // The template has exactly the C-sets of Figure 2(b), level by level.
+//! let names: Vec<String> = t.csets().map(|s| s.to_string()).collect();
+//! assert_eq!(names, ["51", "61", "051", "261", "7051", "0261", "47051", "00261", "10261"]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod groups;
+mod realized;
+mod template;
+
+pub use groups::{dependency_groups, notify_set, notify_suffix, tree_groups};
+pub use realized::{check_conditions, CsetConditionViolation, RealizedCset};
+pub use template::CsetTemplate;

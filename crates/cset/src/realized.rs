@@ -1,0 +1,318 @@
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use hyperring_core::NeighborTable;
+use hyperring_id::{NodeId, Suffix};
+
+use crate::CsetTemplate;
+
+/// The realized C-set tree `cset(V, W)` of Definition 5.1, computed from a
+/// snapshot of neighbor tables (normally taken at `t_e`, the end of all
+/// joins).
+#[derive(Debug, Clone)]
+pub struct RealizedCset {
+    root: Suffix,
+    root_members: Vec<NodeId>,
+    sets: BTreeMap<Suffix, BTreeSet<NodeId>>,
+}
+
+impl RealizedCset {
+    /// Reads the realized tree off the final tables.
+    ///
+    /// `lookup` must resolve the table of every node in `v` and of every
+    /// node placed in a C-set (all are in `v ∪ w`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lookup` fails for a required node.
+    pub fn compute<'a, F>(
+        template: &CsetTemplate,
+        v: &[NodeId],
+        w: &[NodeId],
+        mut lookup: F,
+    ) -> Self
+    where
+        F: FnMut(&NodeId) -> Option<&'a NeighborTable>,
+    {
+        let root = template.root();
+        let root_members: Vec<NodeId> =
+            v.iter().filter(|y| y.has_suffix(&root)).copied().collect();
+        let w_set: BTreeSet<NodeId> = w.iter().copied().collect();
+        let mut sets: BTreeMap<Suffix, BTreeSet<NodeId>> = BTreeMap::new();
+
+        // Template C-sets are stored breadth-first, so parents are computed
+        // before children.
+        for cset in template.csets() {
+            let level = cset.len() - 1;
+            let digit = cset.digit(level);
+            let parent = cset.parent().expect("C-set suffix is non-empty");
+            let parent_nodes: Vec<NodeId> = if parent == root {
+                root_members.clone()
+            } else {
+                sets.get(&parent).into_iter().flatten().copied().collect()
+            };
+            let mut members = BTreeSet::new();
+            for u in parent_nodes {
+                let table = lookup(&u).unwrap_or_else(|| panic!("no table for {u}"));
+                if let Some(e) = table.get(level, digit) {
+                    // Definition 5.1 restricts members to W with the C-set's
+                    // suffix.
+                    if w_set.contains(&e.node) && e.node.has_suffix(cset) {
+                        members.insert(e.node);
+                    }
+                }
+            }
+            sets.insert(*cset, members);
+        }
+        RealizedCset {
+            root,
+            root_members,
+            sets,
+        }
+    }
+
+    /// The root suffix `ω`.
+    pub fn root(&self) -> Suffix {
+        self.root
+    }
+
+    /// The members of the root `V_ω`.
+    pub fn root_members(&self) -> &[NodeId] {
+        &self.root_members
+    }
+
+    /// The members of C-set `s` (empty when `s` is not in the tree).
+    pub fn members(&self, s: &Suffix) -> impl Iterator<Item = &NodeId> {
+        self.sets.get(s).into_iter().flatten()
+    }
+
+    /// Number of C-sets computed.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Whether the realized tree has no C-sets.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// All `(suffix, members)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Suffix, &BTreeSet<NodeId>)> {
+        self.sets.iter()
+    }
+}
+
+/// A violation of the §3.3 end-of-join conditions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsetConditionViolation {
+    /// Condition (1): a template C-set realized empty.
+    EmptyCset {
+        /// The empty C-set's suffix.
+        cset: Suffix,
+    },
+    /// Condition (2): a root member stores no node of a child C-set.
+    RootMemberMissesChild {
+        /// The member of `V_ω`.
+        member: NodeId,
+        /// The child C-set whose suffix the member should store.
+        cset: Suffix,
+    },
+    /// Condition (3): a joiner stores no node of a sibling C-set on its
+    /// root path.
+    JoinerMissesSibling {
+        /// The joiner.
+        joiner: NodeId,
+        /// The sibling C-set whose suffix the joiner should store.
+        sibling: Suffix,
+    },
+}
+
+impl fmt::Display for CsetConditionViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsetConditionViolation::EmptyCset { cset } => {
+                write!(f, "condition (1): C_{cset} is empty")
+            }
+            CsetConditionViolation::RootMemberMissesChild { member, cset } => {
+                write!(f, "condition (2): {member} stores no node of C_{cset}")
+            }
+            CsetConditionViolation::JoinerMissesSibling { joiner, sibling } => {
+                write!(f, "condition (3): {joiner} stores no node of sibling C_{sibling}")
+            }
+        }
+    }
+}
+
+/// Checks the three conditions of §3.3 that, together with each joiner's
+/// copying phase, make the network consistent at the end of the joins.
+///
+/// Returns all violations (empty means the conditions hold).
+///
+/// # Panics
+///
+/// Panics if `lookup` fails for a node of `v ∪ w`.
+pub fn check_conditions<'a, F>(
+    template: &CsetTemplate,
+    realized: &RealizedCset,
+    w: &[NodeId],
+    mut lookup: F,
+) -> Vec<CsetConditionViolation>
+where
+    F: FnMut(&NodeId) -> Option<&'a NeighborTable>,
+{
+    let mut out = Vec::new();
+
+    // Condition (1): every template C-set is realized non-empty.
+    for cset in template.csets() {
+        if realized.members(cset).next().is_none() {
+            out.push(CsetConditionViolation::EmptyCset { cset: *cset });
+        }
+    }
+
+    // Condition (2): each root member stores a node with each child
+    // C-set's suffix.
+    for y in realized.root_members() {
+        let table = lookup(y).unwrap_or_else(|| panic!("no table for {y}"));
+        for child in template.children(&template.root()) {
+            let level = child.len() - 1;
+            let digit = child.digit(level);
+            let ok = table
+                .get(level, digit)
+                .is_some_and(|e| e.node.has_suffix(child));
+            if !ok {
+                out.push(CsetConditionViolation::RootMemberMissesChild {
+                    member: *y,
+                    cset: *child,
+                });
+            }
+        }
+    }
+
+    // Condition (3): each joiner stores a node of every sibling C-set on
+    // its path to the root.
+    for x in w {
+        let table = lookup(x).unwrap_or_else(|| panic!("no table for {x}"));
+        for cset in template.path_to_root(x) {
+            for sibling in template.siblings(&cset) {
+                let level = sibling.len() - 1;
+                let digit = sibling.digit(level);
+                let ok = table
+                    .get(level, digit)
+                    .is_some_and(|e| e.node.has_suffix(&sibling));
+                if !ok {
+                    out.push(CsetConditionViolation::JoinerMissesSibling {
+                        joiner: *x,
+                        sibling,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperring_core::SimNetworkBuilder;
+    use hyperring_id::IdSpace;
+    use hyperring_sim::UniformDelay;
+    use std::collections::HashMap;
+
+    /// Runs the paper's Figure 2 scenario and returns (v, w, tables).
+    fn run_paper_scenario(seed: u64) -> (Vec<NodeId>, Vec<NodeId>, HashMap<NodeId, NeighborTable>) {
+        let space = IdSpace::new(8, 5).unwrap();
+        let v: Vec<NodeId> = ["72430", "10353", "62332", "13141", "31701"]
+            .iter()
+            .map(|s| space.parse_id(s).unwrap())
+            .collect();
+        let w: Vec<NodeId> = ["10261", "47051", "00261"]
+            .iter()
+            .map(|s| space.parse_id(s).unwrap())
+            .collect();
+        let mut b = SimNetworkBuilder::new(space);
+        for id in &v {
+            b.add_member(*id);
+        }
+        for id in &w {
+            b.add_joiner(*id, v[0], 0);
+        }
+        let mut net = b.build(UniformDelay::new(500, 90_000), seed);
+        net.run();
+        assert!(net.all_in_system());
+        let tables = net
+            .tables()
+            .into_iter()
+            .map(|t| (t.owner(), t))
+            .collect();
+        (v, w, tables)
+    }
+
+    #[test]
+    fn realized_tree_satisfies_all_conditions_across_seeds() {
+        let space = IdSpace::new(8, 5).unwrap();
+        let root = space.parse_suffix("1").unwrap();
+        for seed in 0..10 {
+            let (v, w, tables) = run_paper_scenario(seed);
+            let template = CsetTemplate::build(space, root, &w);
+            let realized =
+                RealizedCset::compute(&template, &v, &w, |id| tables.get(id));
+            let violations = check_conditions(&template, &realized, &w, |id| tables.get(id));
+            assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+            // The leaves contain exactly the joiners (condition (1)
+            // corollary: union of C-sets is W).
+            for x in &w {
+                let leaf = x.suffix(5);
+                let members: Vec<&NodeId> = realized.members(&leaf).collect();
+                assert_eq!(members, vec![x], "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn root_members_are_v_omega() {
+        let space = IdSpace::new(8, 5).unwrap();
+        let root = space.parse_suffix("1").unwrap();
+        let (v, w, tables) = run_paper_scenario(3);
+        let template = CsetTemplate::build(space, root, &w);
+        let realized = RealizedCset::compute(&template, &v, &w, |id| tables.get(id));
+        let names: Vec<String> = realized
+            .root_members()
+            .iter()
+            .map(|n| n.to_string())
+            .collect();
+        assert_eq!(names, vec!["13141", "31701"]);
+        assert_eq!(realized.len(), template.len());
+        assert!(!realized.is_empty());
+    }
+
+    #[test]
+    fn sabotaged_tables_fail_conditions() {
+        let space = IdSpace::new(8, 5).unwrap();
+        let root = space.parse_suffix("1").unwrap();
+        let (v, w, mut tables) = run_paper_scenario(5);
+        let template = CsetTemplate::build(space, root, &w);
+        // Blank the (1, 6)-entries of all V_1 members: C_61 realizes empty.
+        for y in ["13141", "31701"] {
+            let y = space.parse_id(y).unwrap();
+            tables.get_mut(&y).unwrap().clear(1, 6);
+        }
+        let realized = RealizedCset::compute(&template, &v, &w, |id| tables.get(id));
+        let violations = check_conditions(&template, &realized, &w, |id| tables.get(id));
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, CsetConditionViolation::EmptyCset { .. })));
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, CsetConditionViolation::RootMemberMissesChild { .. })));
+    }
+
+    #[test]
+    fn violation_display_is_readable() {
+        let space = IdSpace::new(8, 5).unwrap();
+        let v = CsetConditionViolation::EmptyCset {
+            cset: space.parse_suffix("61").unwrap(),
+        };
+        assert_eq!(v.to_string(), "condition (1): C_61 is empty");
+    }
+}

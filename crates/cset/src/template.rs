@@ -1,0 +1,236 @@
+use std::collections::BTreeMap;
+
+use hyperring_id::{IdSpace, NodeId, Suffix};
+
+/// The C-set tree template `C(V, W)` of Definition 3.9.
+///
+/// Given the root suffix `ω` (the joiners' common notification suffix) and
+/// the joiner set `W`, the template is the trie of all suffixes `l_j…l_1∘ω`
+/// for which `W_{l_j…l_1∘ω} ≠ ∅`. The root `V_ω` is not itself a C-set.
+///
+/// The template is *determined* by `V` and `W` — realizations may differ in
+/// which nodes fill each C-set, but never in shape.
+#[derive(Debug, Clone)]
+pub struct CsetTemplate {
+    space: IdSpace,
+    root: Suffix,
+    /// All C-set suffixes, breadth-first (shorter first), each level in
+    /// `Suffix` order.
+    csets: Vec<Suffix>,
+    /// Children of the root and of each C-set.
+    children: BTreeMap<Suffix, Vec<Suffix>>,
+}
+
+impl CsetTemplate {
+    /// Builds the template for joiners `w` whose common notification suffix
+    /// is `root`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some joiner does not carry the suffix `root` (it would
+    /// belong to a different C-set tree).
+    pub fn build(space: IdSpace, root: Suffix, w: &[NodeId]) -> Self {
+        let mut csets: Vec<Suffix> = Vec::new();
+        let mut children: BTreeMap<Suffix, Vec<Suffix>> = BTreeMap::new();
+        for k in root.len() + 1..=space.digit_count() {
+            let mut level: Vec<Suffix> = Vec::new();
+            for x in w {
+                assert!(
+                    x.has_suffix(&root),
+                    "joiner {x} lacks the tree's root suffix {root}"
+                );
+                let s = x.suffix(k);
+                if !level.contains(&s) {
+                    level.push(s);
+                }
+            }
+            level.sort();
+            for s in &level {
+                let parent = s.parent().expect("non-empty C-set suffix");
+                children.entry(parent).or_default().push(*s);
+            }
+            csets.extend(level);
+        }
+        // Children were inserted in sorted order per level already.
+        CsetTemplate {
+            space,
+            root,
+            csets,
+            children,
+        }
+    }
+
+    /// The identifier space.
+    pub fn space(&self) -> IdSpace {
+        self.space
+    }
+
+    /// The root suffix `ω` (the root `V_ω` is not a C-set).
+    pub fn root(&self) -> Suffix {
+        self.root
+    }
+
+    /// All C-set suffixes, breadth-first.
+    pub fn csets(&self) -> impl Iterator<Item = &Suffix> {
+        self.csets.iter()
+    }
+
+    /// Number of C-sets in the template.
+    pub fn len(&self) -> usize {
+        self.csets.len()
+    }
+
+    /// Whether the template has no C-sets (i.e. `W` was empty).
+    pub fn is_empty(&self) -> bool {
+        self.csets.is_empty()
+    }
+
+    /// Children of `node` (`node` may be the root suffix or any C-set).
+    pub fn children(&self, node: &Suffix) -> &[Suffix] {
+        self.children.get(node).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Siblings of C-set `node`: the other children of its parent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is the root (it has no parent).
+    pub fn siblings(&self, node: &Suffix) -> Vec<Suffix> {
+        let parent = node.parent().expect("root has no siblings");
+        self.children(&parent)
+            .iter()
+            .filter(|s| *s != node)
+            .copied()
+            .collect()
+    }
+
+    /// The path of C-sets from the leaf with suffix = `x`'s identifier up
+    /// to (excluding) the root, leaf first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` lacks the root suffix.
+    pub fn path_to_root(&self, x: &NodeId) -> Vec<Suffix> {
+        assert!(x.has_suffix(&self.root), "{x} not in this tree");
+        (self.root.len() + 1..=self.space.digit_count())
+            .rev()
+            .map(|k| x.suffix(k))
+            .collect()
+    }
+
+    /// Renders the tree as indented text (for examples and debugging).
+    pub fn render(&self) -> String {
+        let mut out = format!("V_{}\n", self.root);
+        let mut stack: Vec<(Suffix, usize)> = self
+            .children(&self.root)
+            .iter()
+            .rev()
+            .map(|s| (*s, 1))
+            .collect();
+        while let Some((s, depth)) = stack.pop() {
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(&format!("C_{s}\n"));
+            for c in self.children(&s).iter().rev() {
+                stack.push((*c, depth + 1));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_setup() -> (IdSpace, Suffix, Vec<NodeId>) {
+        let space = IdSpace::new(8, 5).unwrap();
+        let w = ["10261", "47051", "00261"]
+            .iter()
+            .map(|s| space.parse_id(s).unwrap())
+            .collect();
+        (space, space.parse_suffix("1").unwrap(), w)
+    }
+
+    #[test]
+    fn figure_2b_structure() {
+        let (space, root, w) = paper_setup();
+        let t = CsetTemplate::build(space, root, &w);
+        assert_eq!(t.len(), 9);
+        assert_eq!(t.root().to_string(), "1");
+
+        let kids: Vec<String> = t.children(&root).iter().map(|s| s.to_string()).collect();
+        assert_eq!(kids, vec!["51", "61"]);
+
+        let c61 = space.parse_suffix("61").unwrap();
+        let kids: Vec<String> = t.children(&c61).iter().map(|s| s.to_string()).collect();
+        assert_eq!(kids, vec!["261"]);
+
+        let c0261 = space.parse_suffix("0261").unwrap();
+        let kids: Vec<String> = t.children(&c0261).iter().map(|s| s.to_string()).collect();
+        assert_eq!(kids, vec!["00261", "10261"]);
+
+        // Leaves have no children.
+        let leaf = space.parse_suffix("47051").unwrap();
+        assert!(t.children(&leaf).is_empty());
+    }
+
+    #[test]
+    fn siblings_match_figure_2() {
+        // From C_00261's path: siblings are C_10261 (at level 5) and C_51
+        // (at level 2) — the paper's footnote 7 example.
+        let (space, root, w) = paper_setup();
+        let t = CsetTemplate::build(space, root, &w);
+        let x = space.parse_id("00261").unwrap();
+        let path = t.path_to_root(&x);
+        assert_eq!(
+            path.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+            vec!["00261", "0261", "261", "61"]
+        );
+        let mut sibs: Vec<String> = path
+            .iter()
+            .flat_map(|s| t.siblings(s))
+            .map(|s| s.to_string())
+            .collect();
+        sibs.sort();
+        assert_eq!(sibs, vec!["10261", "51"]);
+    }
+
+    #[test]
+    fn single_joiner_template_is_a_path() {
+        let space = IdSpace::new(4, 4).unwrap();
+        let x = space.parse_id("3210").unwrap();
+        let root = Suffix::empty();
+        let t = CsetTemplate::build(space, root, &[x]);
+        assert_eq!(t.len(), 4);
+        let names: Vec<String> = t.csets().map(|s| s.to_string()).collect();
+        assert_eq!(names, vec!["0", "10", "210", "3210"]);
+        assert!(t.siblings(&space.parse_suffix("10").unwrap()).is_empty());
+    }
+
+    #[test]
+    fn empty_w_gives_empty_template() {
+        let space = IdSpace::new(4, 4).unwrap();
+        let t = CsetTemplate::build(space, Suffix::empty(), &[]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn render_shows_hierarchy() {
+        let (space, root, w) = paper_setup();
+        let t = CsetTemplate::build(space, root, &w);
+        let s = t.render();
+        assert!(s.starts_with("V_1\n"));
+        assert!(s.contains("C_61"));
+        assert!(s.contains("      C_0261"));
+    }
+
+    #[test]
+    #[should_panic(expected = "lacks the tree's root suffix")]
+    fn wrong_tree_membership_panics() {
+        let space = IdSpace::new(8, 5).unwrap();
+        let root = space.parse_suffix("1").unwrap();
+        let outsider = space.parse_id("67320").unwrap();
+        CsetTemplate::build(space, root, &[outsider]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests of the C-set tree machinery: template structure
+//! invariants and grouping laws, over random identifier populations.
+
+use hyperring_cset::{dependency_groups, notify_set, notify_suffix, tree_groups, CsetTemplate};
+use hyperring_id::{IdSpace, NodeId, Suffix};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Draws `n` members and `m` joiners, shrinking the request when the
+/// identifier space is too small to hold `n + m` distinct ids (tiny b^d
+/// combinations are otherwise an infinite rejection loop).
+fn population(
+    b: u16,
+    d: usize,
+    n: usize,
+    m: usize,
+    seed: u64,
+) -> (IdSpace, Vec<NodeId>, Vec<NodeId>) {
+    let space = IdSpace::new(b, d).unwrap();
+    let cap = space.capacity().unwrap_or(u128::MAX);
+    let mut n = n;
+    let mut m = m;
+    while (n + m) as u128 * 2 > cap {
+        if m > 1 {
+            m -= 1;
+        } else if n > 1 {
+            n -= 1;
+        } else {
+            break;
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut set = std::collections::BTreeSet::new();
+    while set.len() < n + m {
+        set.insert(space.random_id(&mut rng));
+    }
+    let ids: Vec<NodeId> = set.into_iter().collect();
+    (space, ids[..n].to_vec(), ids[n..].to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn notify_suffix_is_maximal(
+        b in 2u16..=8, d in 3usize..=8, n in 1usize..=20, seed in 0u64..10_000,
+    ) {
+        let (_space, v, w) = population(b, d, n, 1, seed);
+        let x = w[0];
+        let (s, set) = notify_set(&v, &x);
+        // The suffix belongs to x.
+        prop_assert!(x.has_suffix(&s));
+        // Everyone in the set carries it; nobody carries anything longer.
+        prop_assert!(!set.is_empty() || s.is_empty());
+        for y in &v {
+            if y.has_suffix(&s) {
+                prop_assert!(set.contains(y));
+            }
+            prop_assert!(y.csuf_len(&x) <= s.len());
+        }
+    }
+
+    #[test]
+    fn template_is_the_suffix_trie_of_w(
+        b in 2u16..=8, d in 3usize..=8, n in 1usize..=10, m in 1usize..=10, seed in 0u64..10_000,
+    ) {
+        let (space, v, w) = population(b, d, n, m, seed);
+        for (root, group) in tree_groups(&v, &w) {
+            let t = CsetTemplate::build(space, root, &group);
+            // Every joiner's full identifier is a leaf.
+            for x in &group {
+                let leaf = x.suffix(d);
+                prop_assert!(t.csets().any(|s| *s == leaf), "missing leaf for {}", x);
+                prop_assert!(t.children(&leaf).is_empty());
+                // The path has exactly d − |root| C-sets, ending above root.
+                let path = t.path_to_root(x);
+                prop_assert_eq!(path.len(), d - root.len());
+                for s in &path {
+                    prop_assert!(x.has_suffix(s));
+                }
+            }
+            // Every C-set's suffix is carried by at least one joiner, and
+            // its parent chain stays in the tree (or is the root).
+            for s in t.csets() {
+                prop_assert!(group.iter().any(|x| x.has_suffix(s)));
+                let p = s.parent().unwrap();
+                prop_assert!(p == root || t.csets().any(|c| *c == p));
+                // Siblings share the parent but differ.
+                for sib in t.siblings(s) {
+                    prop_assert_ne!(&sib, s);
+                    prop_assert_eq!(sib.parent().unwrap(), p);
+                }
+            }
+            // Tree size is bounded by |group| · (d − |root|).
+            prop_assert!(t.len() <= group.len() * (d - root.len()));
+        }
+    }
+
+    #[test]
+    fn tree_groups_partition_w(
+        b in 2u16..=8, d in 3usize..=8, n in 1usize..=10, m in 1usize..=12, seed in 0u64..10_000,
+    ) {
+        let (_space, v, w) = population(b, d, n, m, seed);
+        let groups = tree_groups(&v, &w);
+        let total: usize = groups.iter().map(|(_, g)| g.len()).sum();
+        prop_assert_eq!(total, w.len());
+        // Within a group, all joiners share the root suffix; across groups
+        // the suffixes differ.
+        let mut roots: Vec<Suffix> = Vec::new();
+        for (root, g) in &groups {
+            prop_assert!(!roots.contains(root));
+            roots.push(*root);
+            for x in g {
+                prop_assert_eq!(notify_suffix(&v, x), *root);
+            }
+        }
+    }
+
+    #[test]
+    fn dependency_groups_refine_into_tree_groups(
+        b in 2u16..=4, d in 3usize..=6, n in 1usize..=8, m in 1usize..=10, seed in 0u64..10_000,
+    ) {
+        let (_space, v, w) = population(b, d, n, m, seed);
+        let deps = dependency_groups(&v, &w);
+        let total: usize = deps.iter().map(|g| g.len()).sum();
+        prop_assert_eq!(total, w.len());
+        // Joiners with the same notify suffix always land in the same
+        // dependency group (same tree ⇒ dependent).
+        for (root, g) in tree_groups(&v, &w) {
+            let holder = deps.iter().position(|dg| dg.contains(&g[0])).unwrap();
+            for x in &g {
+                prop_assert!(
+                    deps[holder].contains(x),
+                    "tree V_{} split across dependency groups",
+                    root
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! The *optimistic join* baseline.
+//!
+//! §1 of the paper contrasts its join protocol with Pastry's optimistic
+//! approach to concurrent joins ("the authors believe 'contention' to be
+//! rare") and notes that SPRR raised — but did not address — the
+//! consistency of tables under concurrent joins. This module implements
+//! such an optimistic join, modeled on Pastry's: the joiner copies tables
+//! level by level along a chain (as in the paper's *copying* phase), then
+//! announces itself **once** to every node in its new table and declares
+//! itself joined. There is no `T`/`S` state, no `JoinWaitMsg` arbitration,
+//! no delayed reply from still-joining nodes, no reply-driven traversal of
+//! the notification set, and no `SpeNotiMsg` repair.
+//!
+//! The announce round does elicit one reply carrying the receiver's table
+//! (which the joiner absorbs to improve *its own* entries — Pastry's
+//! joiner also receives state from its contacts), but nobody forwards
+//! announcements. Real Pastry additionally maintains *leaf sets* that
+//! paper over routing-table gaps; this baseline isolates exactly the
+//! neighbor-table consistency question the paper studies.
+//!
+//! Expected outcome (and what the tests pin down): violations occur even
+//! under light load whenever the notification set has members the copied
+//! tables do not expose, and the violation count grows with the number of
+//! *concurrent* dependent joins — while the paper's protocol stays at zero
+//! violations in every run.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+use hyperring_core::{
+    check_consistency, check_reachability, ConsistencyReport, Entry, NeighborTable, NodeState,
+    TableSnapshot, Violation,
+};
+use hyperring_id::{IdSpace, NodeId};
+use hyperring_sim::{Actor, Context, Simulator, Time, UniformDelay};
+
+use crate::workload::JoinWorkload;
+
+/// Messages of the optimistic protocol.
+#[derive(Debug, Clone)]
+enum OptMsg {
+    Start { gateway: NodeId },
+    CpRst { level: u8, from: NodeId },
+    CpRly { level: u8, table: TableSnapshot },
+    /// One-shot announcement of the joiner (with its table).
+    Announce { table: TableSnapshot },
+    /// Single reply to an announcement, carrying the receiver's table.
+    AnnounceRly { table: TableSnapshot },
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum OptStatus {
+    Copying,
+    Done,
+}
+
+/// One optimistic node.
+#[derive(Debug)]
+struct OptNode {
+    space: IdSpace,
+    id: NodeId,
+    table: NeighborTable,
+    status: OptStatus,
+    copy_level: usize,
+    dir: Arc<HashMap<NodeId, usize>>,
+}
+
+impl OptNode {
+    fn fill_if_empty(&mut self, node: NodeId) {
+        if node == self.id {
+            return;
+        }
+        let k = self.id.csuf_len(&node);
+        if self.table.get(k, node.digit(k)).is_none() {
+            self.table.set(
+                k,
+                node.digit(k),
+                Entry {
+                    node,
+                    state: NodeState::S, // the optimistic protocol has no states
+                },
+            );
+        }
+    }
+
+    /// Fills empty entries from a snapshot. Never triggers further
+    /// messages — the optimistic protocol has no transitive repair.
+    fn absorb(&mut self, table: &TableSnapshot) {
+        for row in table.rows().to_vec() {
+            let u = row.entry.node;
+            if u != self.id {
+                self.fill_if_empty(u);
+            }
+        }
+    }
+}
+
+impl Actor for OptNode {
+    type Msg = OptMsg;
+
+    fn on_message(&mut self, ctx: &mut Context<'_, OptMsg>, _from: usize, msg: OptMsg) {
+        let mut out: Vec<(NodeId, OptMsg)> = Vec::new();
+        match msg {
+            OptMsg::Start { gateway } => {
+                out.push((
+                    gateway,
+                    OptMsg::CpRst {
+                        level: 0,
+                        from: self.id,
+                    },
+                ));
+            }
+            OptMsg::CpRst { level, from } => {
+                out.push((
+                    from,
+                    OptMsg::CpRly {
+                        level,
+                        table: self.table.snapshot(),
+                    },
+                ));
+            }
+            OptMsg::CpRly { level, table } => {
+                if self.status != OptStatus::Copying || level as usize != self.copy_level {
+                    return;
+                }
+                let i = self.copy_level;
+                for row in table.rows().iter().filter(|r| r.level as usize == i) {
+                    if self.table.get(i, row.digit).is_none() && row.entry.node != self.id {
+                        self.table.set(i, row.digit, row.entry);
+                    }
+                }
+                let next = table.get(i, self.id.digit(i));
+                self.copy_level += 1;
+                match next {
+                    Some(e) if self.copy_level < self.space.digit_count() => {
+                        out.push((
+                            e.node,
+                            OptMsg::CpRst {
+                                level: self.copy_level as u8,
+                                from: self.id,
+                            },
+                        ));
+                    }
+                    _ => {
+                        // Copying done: install self entries, announce once
+                        // to every node in the table, declare victory
+                        // immediately (the optimism).
+                        let me = self.id;
+                        for l in 0..self.space.digit_count() {
+                            self.table.set(
+                                l,
+                                me.digit(l),
+                                Entry {
+                                    node: me,
+                                    state: NodeState::S,
+                                },
+                            );
+                        }
+                        self.status = OptStatus::Done;
+                        let snap = self.table.snapshot();
+                        let targets: BTreeSet<NodeId> = snap
+                            .rows()
+                            .iter()
+                            .map(|r| r.entry.node)
+                            .filter(|u| *u != me)
+                            .collect();
+                        for u in targets {
+                            out.push((u, OptMsg::Announce { table: snap.clone() }));
+                        }
+                    }
+                }
+            }
+            OptMsg::Announce { table } => {
+                let from = table.owner();
+                self.fill_if_empty(from);
+                self.absorb(&table);
+                out.push((
+                    from,
+                    OptMsg::AnnounceRly {
+                        table: self.table.snapshot(),
+                    },
+                ));
+            }
+            OptMsg::AnnounceRly { table } => {
+                self.absorb(&table);
+            }
+        }
+        for (to, msg) in out {
+            if let Some(&idx) = self.dir.get(&to) {
+                ctx.send(idx, msg);
+            }
+        }
+    }
+}
+
+/// Outcome metrics of a baseline (or paper-protocol) run.
+#[derive(Debug, Clone)]
+pub struct BaselineResult {
+    /// Number of joiners in the run.
+    pub joiners: usize,
+    /// Full consistency report over the final tables.
+    pub report: ConsistencyReport,
+    /// False-negative violations (the reachability-breaking kind).
+    pub false_negatives: usize,
+    /// `(source, target)` pairs that cannot route to each other.
+    pub unreachable_pairs: usize,
+    /// Total ordered pairs checked.
+    pub total_pairs: usize,
+}
+
+impl BaselineResult {
+    /// Whether the run ended with fully consistent tables.
+    pub fn consistent(&self) -> bool {
+        self.report.is_consistent()
+    }
+}
+
+fn summarize(space: IdSpace, tables: Vec<NeighborTable>, joiners: usize) -> BaselineResult {
+    let report = check_consistency(space, &tables);
+    let false_negatives = report
+        .violations()
+        .iter()
+        .filter(|v| matches!(v, Violation::FalseNegative { .. }))
+        .count();
+    let unreachable = check_reachability(&tables);
+    let n = tables.len();
+    BaselineResult {
+        joiners,
+        report,
+        false_negatives,
+        unreachable_pairs: unreachable.len(),
+        total_pairs: n * (n - 1),
+    }
+}
+
+/// Runs the optimistic baseline: joins start `gap_us` apart (0 = all
+/// concurrent at t = 0; a large gap approximates sequential joins, since
+/// a join completes within a handful of 100 ms round trips).
+pub fn run_optimistic(workload: &JoinWorkload, seed: u64, gap_us: Time) -> BaselineResult {
+    let space = workload.space;
+    let member_tables = hyperring_core::build_consistent_tables(space, &workload.members);
+    let mut ids: Vec<NodeId> = workload.members.clone();
+    ids.extend(workload.joiners.iter().map(|(id, _)| *id));
+    let dir: Arc<HashMap<NodeId, usize>> =
+        Arc::new(ids.iter().enumerate().map(|(i, id)| (*id, i)).collect());
+
+    let mut actors: Vec<OptNode> = member_tables
+        .into_iter()
+        .map(|t| OptNode {
+            space,
+            id: t.owner(),
+            table: t,
+            status: OptStatus::Done,
+            copy_level: 0,
+            dir: Arc::clone(&dir),
+        })
+        .collect();
+    for (id, _) in &workload.joiners {
+        actors.push(OptNode {
+            space,
+            id: *id,
+            table: NeighborTable::new(space, *id),
+            status: OptStatus::Copying,
+            copy_level: 0,
+            dir: Arc::clone(&dir),
+        });
+    }
+    let mut sim = Simulator::new(actors, UniformDelay::new(1_000, 100_000), seed);
+    for (i, (id, gw)) in workload.joiners.iter().enumerate() {
+        let idx = dir[id];
+        sim.inject_at(i as Time * gap_us, idx, idx, OptMsg::Start { gateway: *gw });
+    }
+    let report = sim.run_limited(200_000_000);
+    assert!(!report.truncated, "optimistic run did not quiesce");
+    let tables: Vec<NeighborTable> = sim.actors().map(|a| a.table.clone()).collect();
+    summarize(space, tables, workload.joiners.len())
+}
+
+/// Runs the same workload under the paper's protocol, producing the same
+/// metrics (expected: zero violations, always).
+pub fn run_paper_protocol(workload: &JoinWorkload, seed: u64) -> BaselineResult {
+    let space = workload.space;
+    let mut b = hyperring_core::SimNetworkBuilder::new(space);
+    for id in &workload.members {
+        b.add_member(*id);
+    }
+    for (id, gw) in &workload.joiners {
+        b.add_joiner(*id, *gw, 0);
+    }
+    let mut net = b.build(UniformDelay::new(1_000, 100_000), seed);
+    let report = net.run();
+    assert!(!report.truncated);
+    assert!(net.all_in_system());
+    summarize(space, net.tables(), workload.joiners.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperring_id::IdSpace;
+
+    /// Large-gap starts: joins are effectively sequential (a join finishes
+    /// within ~1 s of simulated time; the gap is 60 s).
+    const SEQ_GAP: Time = 60_000_000;
+
+    #[test]
+    fn paper_protocol_never_breaks() {
+        let space = IdSpace::new(8, 4).unwrap();
+        for seed in 0..5 {
+            let w = JoinWorkload::generate(space, 24, 24, seed);
+            let r = run_paper_protocol(&w, seed);
+            assert!(r.consistent(), "seed {seed}: {}", r.report);
+            assert_eq!(r.unreachable_pairs, 0);
+        }
+    }
+
+    #[test]
+    fn concurrent_optimistic_joins_break() {
+        // Dense dependence: small base, deep ids, many simultaneous joins.
+        let space = IdSpace::new(4, 6).unwrap();
+        let mut broke = 0;
+        let mut total_fns = 0;
+        for seed in 0..10 {
+            let w = JoinWorkload::generate(space, 16, 48, seed);
+            let r = run_optimistic(&w, seed, 0);
+            if !r.consistent() {
+                broke += 1;
+                total_fns += r.false_negatives;
+            }
+        }
+        assert!(
+            broke > 0,
+            "optimistic join survived 10 seeds of heavy concurrency"
+        );
+        assert!(total_fns > 0);
+    }
+
+    #[test]
+    fn concurrency_hurts_more_than_sequential() {
+        // The same workloads run (a) all-concurrent and (b) spaced out;
+        // aggregate violations must be worse (or at least no better) when
+        // concurrent, and the concurrent runs must break somewhere.
+        let space = IdSpace::new(4, 6).unwrap();
+        let mut concurrent = 0usize;
+        let mut sequential = 0usize;
+        for seed in 0..8 {
+            let w = JoinWorkload::generate(space, 16, 32, seed);
+            concurrent += run_optimistic(&w, seed, 0).report.violations().len();
+            sequential += run_optimistic(&w, seed, SEQ_GAP).report.violations().len();
+        }
+        assert!(
+            concurrent >= sequential,
+            "concurrent {concurrent} < sequential {sequential}"
+        );
+        assert!(concurrent > 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! The §1 comparison as an experiment: optimistic (Pastry-style) joins
+//! versus the paper's protocol, measuring table-consistency violations as
+//! concurrency grows.
+//!
+//! Usage: `cargo run --release -p hyperring-harness --bin baseline_consistency [seeds]`
+
+use std::path::Path;
+
+use hyperring_harness::baseline::{run_optimistic, run_paper_protocol};
+use hyperring_harness::workload::JoinWorkload;
+use hyperring_harness::{report, Table};
+use hyperring_id::IdSpace;
+
+fn main() {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("seeds must be an integer"))
+        .unwrap_or(10);
+    let space = IdSpace::new(4, 6).expect("valid space");
+    let n = 16;
+
+    let mut t = Table::new([
+        "m (concurrent joins)",
+        "optimistic: broken runs",
+        "optimistic: violations",
+        "optimistic: unreachable pairs",
+        "paper: broken runs",
+        "paper: violations",
+    ]);
+    for m in [1usize, 4, 16, 48] {
+        eprintln!("m = {m}: {seeds} seeds of each protocol …");
+        let (mut ob, mut ov, mut ou) = (0u64, 0u64, 0u64);
+        let (mut pb, mut pv) = (0u64, 0u64);
+        for seed in 0..seeds {
+            let w = JoinWorkload::generate(space, n, m, seed);
+            let o = run_optimistic(&w, seed, 0);
+            if !o.consistent() {
+                ob += 1;
+            }
+            ov += o.report.violations().len() as u64;
+            ou += o.unreachable_pairs as u64;
+            let p = run_paper_protocol(&w, seed);
+            if !p.consistent() {
+                pb += 1;
+            }
+            pv += p.report.violations().len() as u64;
+        }
+        assert_eq!(pb, 0, "the paper's protocol must never break");
+        t.row([
+            m.to_string(),
+            format!("{ob}/{seeds}"),
+            ov.to_string(),
+            ou.to_string(),
+            format!("{pb}/{seeds}"),
+            pv.to_string(),
+        ]);
+    }
+    println!("\nOptimistic (Pastry-style) join vs the paper's protocol");
+    println!("(b=4, d=6, n={n} members; all joins start at t=0)");
+    println!("{}", t.render());
+    report::write_csv_or_warn(&t, Path::new("results/baseline_consistency.csv"));
+}

@@ -1,0 +1,40 @@
+//! §6.1 network initialization: build an n-node network from a single
+//! node, sequentially, concurrently, and staggered.
+//!
+//! Usage: `cargo run --release -p hyperring-harness --bin bootstrap [n]`
+
+use std::path::Path;
+
+use hyperring_harness::experiments::{run_bootstrap, BootstrapConfig};
+use hyperring_harness::{report, Table};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("n must be an integer"))
+        .unwrap_or(256);
+
+    let mut t = Table::new(["mode", "nodes", "consistent", "messages", "virtual time (s)"]);
+    for (name, mode) in [
+        ("sequential", BootstrapConfig::Sequential),
+        ("concurrent", BootstrapConfig::Concurrent),
+        (
+            "staggered 50ms",
+            BootstrapConfig::Staggered { gap_us: 50_000 },
+        ),
+    ] {
+        eprintln!("bootstrapping {n} nodes ({name}) …");
+        let r = run_bootstrap(16, 8, n, mode, 11);
+        assert!(r.consistent, "{name} bootstrap inconsistent");
+        t.row([
+            name.to_string(),
+            r.nodes.to_string(),
+            r.consistent.to_string(),
+            r.messages.to_string(),
+            format!("{:.3}", r.finished_at as f64 / 1e6),
+        ]);
+    }
+    println!("\n§6.1 network initialization from a single node (b=16, d=8)");
+    println!("{}", t.render());
+    report::write_csv_or_warn(&t, Path::new("results/bootstrap.csv"));
+}

@@ -1,0 +1,39 @@
+//! Churn under the paper's join protocol plus the graceful-leave
+//! extension: alternating join and leave waves with consistency checked
+//! after every wave.
+//!
+//! Usage: `cargo run --release -p hyperring-harness --bin churn [rounds]`
+
+use std::path::Path;
+
+use hyperring_harness::experiments::run_churn;
+use hyperring_harness::{report, Table};
+
+fn main() {
+    let rounds: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("rounds must be an integer"))
+        .unwrap_or(5);
+    eprintln!("running {rounds} rounds of 64-node churn (b=16, d=8, 32 joins / 32 leaves per round) …");
+    let r = run_churn(16, 8, 64, rounds, 32, 32, 2003);
+    assert!(r.always_consistent, "churn broke consistency");
+
+    let mut t = Table::new(["wave", "kind", "population", "consistent", "messages", "mean leave msgs"]);
+    for w in &r.waves {
+        t.row([
+            w.wave.to_string(),
+            if w.leave_cost > 0.0 { "leave" } else { "join" }.to_string(),
+            w.population.to_string(),
+            w.consistent.to_string(),
+            w.messages.to_string(),
+            if w.leave_cost > 0.0 {
+                format!("{:.1}", w.leave_cost)
+            } else {
+                "-".into()
+            },
+        ]);
+    }
+    println!("\nChurn: joins (paper protocol) + graceful leaves (extension)");
+    println!("{}", t.render());
+    report::write_csv_or_warn(&t, Path::new("results/churn.csv"));
+}

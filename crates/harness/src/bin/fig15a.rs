@@ -1,0 +1,40 @@
+//! Regenerates Figure 15(a): the Theorem-5 upper bound of `E(J)` versus
+//! network size `n` for the paper's four parameter combinations.
+//!
+//! Usage: `cargo run --release -p hyperring-harness --bin fig15a [step]`
+
+use std::path::Path;
+
+use hyperring_harness::experiments::fig15a_series;
+use hyperring_harness::Table;
+
+fn main() {
+    let step: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("step must be an integer"))
+        .unwrap_or(5_000);
+    let series = fig15a_series(step);
+
+    let mut t = Table::new([
+        "n",
+        "m=500,b=16,d=40",
+        "m=1000,b=16,d=40",
+        "m=500,b=16,d=8",
+        "m=1000,b=16,d=8",
+    ]);
+    for p in &series {
+        t.row([
+            p.n.to_string(),
+            format!("{:.3}", p.m500_d40),
+            format!("{:.3}", p.m1000_d40),
+            format!("{:.3}", p.m500_d8),
+            format!("{:.3}", p.m1000_d8),
+        ]);
+    }
+    println!("Figure 15(a): upper bound of E(J) vs number of nodes n");
+    println!("{}", t.render());
+    println!("m=1000, b=16, d=40 curve:");
+    let curve: Vec<(f64, f64)> = series.iter().map(|p| (p.n as f64, p.m1000_d40)).collect();
+    println!("{}", hyperring_harness::report::ascii_chart(&curve, 60, 10));
+    hyperring_harness::report::write_csv_or_warn(&t, Path::new("results/fig15a.csv"));
+}

@@ -1,0 +1,29 @@
+//! Table occupancy vs the closed-form expectation (small-message volume).
+//!
+//! Usage: `cargo run --release -p hyperring-harness --bin occupancy`
+
+use std::path::Path;
+
+use hyperring_harness::experiments::run_occupancy;
+use hyperring_harness::{report, Table};
+
+fn main() {
+    let mut t = Table::new(["b", "d", "n", "measured filled", "analytic", "capacity d*b"]);
+    for (b, d) in [(16u16, 8usize), (16, 40), (4, 6)] {
+        for pts in [run_occupancy(b, d, &[64, 256, 1024, 4096], 7)] {
+            for p in pts {
+                t.row([
+                    b.to_string(),
+                    d.to_string(),
+                    p.n.to_string(),
+                    format!("{:.2}", p.measured),
+                    format!("{:.2}", p.analytic),
+                    p.capacity.to_string(),
+                ]);
+            }
+        }
+    }
+    println!("\nNeighbor-table occupancy (drives RvNghNotiMsg volume)");
+    println!("{}", t.render());
+    report::write_csv_or_warn(&t, Path::new("results/occupancy.csv"));
+}

@@ -1,0 +1,46 @@
+//! Routing stretch (the P2 property of §1) before and after
+//! nearest-neighbor table optimization (extension; the paper's problem 3).
+//!
+//! Usage: `cargo run --release -p hyperring-harness --bin stretch [n]`
+
+use std::path::Path;
+
+use hyperring_harness::experiments::run_stretch;
+use hyperring_harness::{report, Table};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("n must be an integer"))
+        .unwrap_or(512);
+    eprintln!("measuring stretch over {n} nodes on a transit-stub topology …");
+    let r = run_stretch(16, 8, n, 2_000, &[1, 2, 4], 2003);
+
+    let mut t = Table::new([
+        "tables",
+        "mean stretch",
+        "median",
+        "p95",
+        "mean hops",
+    ]);
+    t.row([
+        "oracle (unoptimized)".to_string(),
+        format!("{:.3}", r.before.mean),
+        format!("{:.3}", r.before.median),
+        format!("{:.3}", r.before.p95),
+        format!("{:.2}", r.before.mean_hops),
+    ]);
+    for (rounds, s) in &r.after {
+        t.row([
+            format!("optimized, {rounds} round(s)"),
+            format!("{:.3}", s.mean),
+            format!("{:.3}", s.median),
+            format!("{:.3}", s.p95),
+            format!("{:.2}", s.mean_hops),
+        ]);
+    }
+    println!("\nRouting stretch, {n} nodes, 2000 sampled routes (b=16, d=8)");
+    println!("(entry replacements at deepest optimization: {})", r.replacements);
+    println!("{}", t.render());
+    report::write_csv_or_warn(&t, Path::new("results/stretch.csv"));
+}

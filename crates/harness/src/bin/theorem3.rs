@@ -1,0 +1,45 @@
+//! Verifies Theorem 3 empirically: across workloads, no joining node ever
+//! sends more than `d + 1` messages of types `CpRstMsg` + `JoinWaitMsg`.
+//!
+//! Usage: `cargo run --release -p hyperring-harness --bin theorem3`
+
+use std::path::Path;
+
+use hyperring_harness::experiments::{run_fig15b, DelayKind, Fig15bConfig};
+use hyperring_harness::{report, Table};
+
+fn main() {
+    let mut t = Table::new(["b", "d", "n", "m", "max CpRst+JoinWait", "bound d+1", "ok"]);
+    for (b, d, n, m) in [
+        (16u16, 8usize, 256usize, 64usize),
+        (16, 40, 256, 64),
+        (4, 6, 128, 128),
+        (8, 5, 200, 100),
+        (2, 12, 64, 64),
+    ] {
+        let cfg = Fig15bConfig {
+            b,
+            d,
+            n,
+            m,
+            delay: DelayKind::Uniform,
+            seed: 7,
+            payload: hyperring_core::PayloadMode::Full,
+        };
+        let r = run_fig15b(&cfg);
+        let ok = r.max_cprst_joinwait <= r.theorem3;
+        assert!(ok, "Theorem 3 violated for b={b} d={d}");
+        t.row([
+            b.to_string(),
+            d.to_string(),
+            n.to_string(),
+            m.to_string(),
+            r.max_cprst_joinwait.to_string(),
+            r.theorem3.to_string(),
+            ok.to_string(),
+        ]);
+    }
+    println!("Theorem 3: CpRstMsg + JoinWaitMsg per join is at most d + 1");
+    println!("{}", t.render());
+    report::write_csv_or_warn(&t, Path::new("results/theorem3.csv"));
+}

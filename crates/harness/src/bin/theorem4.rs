@@ -1,0 +1,32 @@
+//! Theorem 4: the expected number of `JoinNotiMsg` for a *single* join —
+//! measured single joins against the closed-form expectation.
+//!
+//! Usage: `cargo run --release -p hyperring-harness --bin theorem4 [samples]`
+
+use std::path::Path;
+
+use hyperring_harness::experiments::run_theorem4;
+use hyperring_harness::{report, Table};
+
+fn main() {
+    let samples: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("samples must be an integer"))
+        .unwrap_or(48);
+    let sizes = [64usize, 128, 256, 512, 1024, 2048];
+    eprintln!("sampling {samples} single joins per size …");
+    let pts = run_theorem4(16, 8, &sizes, samples, 2003);
+
+    let mut t = Table::new(["n", "measured E(J)", "analytic E(J) (Thm 4)", "rel err"]);
+    for p in &pts {
+        t.row([
+            p.n.to_string(),
+            format!("{:.3}", p.measured),
+            format!("{:.3}", p.analytic),
+            format!("{:.1}%", 100.0 * (p.measured - p.analytic) / p.analytic),
+        ]);
+    }
+    println!("Theorem 4: expected JoinNotiMsg of a single join (b=16, d=8)");
+    println!("{}", t.render());
+    report::write_csv_or_warn(&t, Path::new("results/theorem4.csv"));
+}

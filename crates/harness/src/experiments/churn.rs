@@ -1,0 +1,158 @@
+//! Churn (extension): alternating waves of concurrent joins and graceful
+//! leaves, with a full consistency check after every wave. The join
+//! protocol is the paper's; the leave protocol is this repository's
+//! extension of it (see `DESIGN.md`).
+
+use hyperring_core::{MessageKind, SimNetworkBuilder, Status};
+use hyperring_id::IdSpace;
+use hyperring_sim::UniformDelay;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::workload::distinct_ids;
+
+/// Per-wave outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaveStats {
+    /// 1-based wave number.
+    pub wave: usize,
+    /// Live population after the wave.
+    pub population: usize,
+    /// Whether the post-wave network passed the consistency checker.
+    pub consistent: bool,
+    /// Messages delivered during the wave.
+    pub messages: u64,
+    /// Mean `LeaveNotiMsg + RvNghForgetMsg` sent per leaver this wave
+    /// (0 for join waves).
+    pub leave_cost: f64,
+}
+
+/// Result of a churn run.
+#[derive(Debug, Clone)]
+pub struct ChurnResult {
+    /// Stats per wave (join waves and leave waves alternate).
+    pub waves: Vec<WaveStats>,
+    /// Whether every wave ended consistent.
+    pub always_consistent: bool,
+}
+
+/// Runs `rounds` rounds of (concurrent-join wave, sequential-leave wave)
+/// against an initial `n0`-node network.
+///
+/// # Panics
+///
+/// Panics if parameters are degenerate (`n0 == 0`, more leaves than
+/// population) or if a wave fails to settle.
+pub fn run_churn(
+    b: u16,
+    d: usize,
+    n0: usize,
+    rounds: usize,
+    joins_per_round: usize,
+    leaves_per_round: usize,
+    seed: u64,
+) -> ChurnResult {
+    assert!(n0 > 0 && leaves_per_round <= n0, "degenerate churn parameters");
+    let space = IdSpace::new(b, d).expect("valid space");
+    let total_ids = n0 + rounds * joins_per_round;
+    let ids = distinct_ids(space, total_ids, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xc4u64);
+
+    let mut tables = hyperring_core::build_consistent_tables(space, &ids[..n0]);
+    let mut next_id = n0;
+    let mut waves = Vec::new();
+    let mut always_consistent = true;
+    let mut wave_no = 0;
+
+    for _ in 0..rounds {
+        // --- join wave -------------------------------------------------
+        wave_no += 1;
+        let members: Vec<_> = tables.iter().map(|t| t.owner()).collect();
+        let mut builder = SimNetworkBuilder::new(space);
+        builder.with_member_tables(tables);
+        for k in 0..joins_per_round {
+            let gw = members[rng.gen_range(0..members.len())];
+            builder.add_joiner(ids[next_id + k], gw, 0);
+        }
+        next_id += joins_per_round;
+        let mut net = builder.build(UniformDelay::new(500, 60_000), seed ^ wave_no as u64);
+        let report = net.run();
+        assert!(net.all_in_system(), "wave {wave_no}: join did not settle");
+        let consistent = net.check_consistency().is_consistent();
+        always_consistent &= consistent;
+        waves.push(WaveStats {
+            wave: wave_no,
+            population: net.tables().len(),
+            consistent,
+            messages: report.delivered,
+            leave_cost: 0.0,
+        });
+
+        // --- leave wave (sequential departures) ------------------------
+        wave_no += 1;
+        let live: Vec<_> = net.ids().to_vec();
+        let mut victims = Vec::new();
+        while victims.len() < leaves_per_round {
+            let v = live[rng.gen_range(0..live.len())];
+            if !victims.contains(&v) {
+                victims.push(v);
+            }
+        }
+        let mut messages = 0;
+        for v in &victims {
+            let r = net.depart(v);
+            messages = r.delivered;
+        }
+        let leave_cost: u64 = victims
+            .iter()
+            .map(|v| {
+                let s = net.engine(v).stats();
+                s.sent(MessageKind::LeaveNoti) + s.sent(MessageKind::RvNghForget)
+            })
+            .sum();
+        let consistent = net.check_consistency().is_consistent();
+        always_consistent &= consistent;
+        debug_assert!(net
+            .engines()
+            .all(|e| matches!(e.status(), Status::InSystem | Status::Departed)));
+        waves.push(WaveStats {
+            wave: wave_no,
+            population: net.tables().len(),
+            consistent,
+            messages,
+            leave_cost: leave_cost as f64 / victims.len() as f64,
+        });
+        tables = net.tables();
+    }
+
+    ChurnResult {
+        waves,
+        always_consistent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn_keeps_consistency_throughout() {
+        let r = run_churn(8, 5, 24, 3, 8, 6, 42);
+        assert!(r.always_consistent);
+        assert_eq!(r.waves.len(), 6);
+        // Population accounting: +8 then −6 per round.
+        assert_eq!(r.waves[0].population, 32);
+        assert_eq!(r.waves[1].population, 26);
+        assert_eq!(r.waves[5].population, 24 + 3 * 2);
+        // Leave waves report a positive mean leave cost.
+        assert!(r.waves[1].leave_cost > 0.0);
+        assert_eq!(r.waves[0].leave_cost, 0.0);
+    }
+
+    #[test]
+    fn heavy_churn_small_space() {
+        let r = run_churn(4, 6, 12, 4, 10, 10, 7);
+        assert!(r.always_consistent);
+        assert_eq!(r.waves.last().unwrap().population, 12);
+    }
+}

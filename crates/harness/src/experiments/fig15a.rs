@@ -1,0 +1,66 @@
+//! Figure 15(a): the theoretical upper bound of `E(J)` (Theorem 5) as a
+//! function of the network size `n`, for the paper's four parameter
+//! combinations (m ∈ {500, 1000} × d ∈ {8, 40}, b = 16).
+
+use hyperring_analysis::upper_bound_join_noti;
+
+/// One x-position of Figure 15(a) with the four curves' values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig15aPoint {
+    /// Network size `n`.
+    pub n: u64,
+    /// m = 500, b = 16, d = 40.
+    pub m500_d40: f64,
+    /// m = 1000, b = 16, d = 40.
+    pub m1000_d40: f64,
+    /// m = 500, b = 16, d = 8.
+    pub m500_d8: f64,
+    /// m = 1000, b = 16, d = 8.
+    pub m1000_d8: f64,
+}
+
+/// Computes the Figure 15(a) series over `n ∈ {10k, 10k+step, …, 100k}`.
+///
+/// # Panics
+///
+/// Panics if `step == 0`.
+pub fn fig15a_series(step: u64) -> Vec<Fig15aPoint> {
+    assert!(step > 0, "step must be positive");
+    let mut out = Vec::new();
+    let mut n = 10_000u64;
+    while n <= 100_000 {
+        out.push(Fig15aPoint {
+            n,
+            m500_d40: upper_bound_join_noti(16, 40, n, 500),
+            m1000_d40: upper_bound_join_noti(16, 40, n, 1000),
+            m500_d8: upper_bound_join_noti(16, 8, n, 500),
+            m1000_d8: upper_bound_join_noti(16, 8, n, 1000),
+        });
+        n += step;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_covers_figure_range() {
+        let s = fig15a_series(10_000);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s[0].n, 10_000);
+        assert_eq!(s[9].n, 100_000);
+        for p in &s {
+            // Figure 15(a)'s y-axis runs from 3 to 9.
+            for v in [p.m500_d40, p.m1000_d40, p.m500_d8, p.m1000_d8] {
+                assert!((3.0..9.0).contains(&v), "n={}: {v}", p.n);
+            }
+            // m=1000 curves dominate m=500 curves.
+            assert!(p.m1000_d40 >= p.m500_d40);
+            assert!(p.m1000_d8 >= p.m500_d8);
+            // d makes almost no difference (curves overlap in the figure).
+            assert!((p.m1000_d40 - p.m1000_d8).abs() < 1e-3);
+        }
+    }
+}

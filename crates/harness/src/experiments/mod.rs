@@ -1,0 +1,21 @@
+//! Experiment drivers, one per table/figure/claim of the paper's
+//! evaluation. Each driver is a pure function from a config to a result
+//! struct; the `bin/` targets print the paper-style rows and write CSVs.
+
+mod bootstrap;
+mod churn;
+mod fig15a;
+mod fig15b;
+mod msgsize;
+mod occupancy;
+mod stretch;
+mod theorem4;
+
+pub use bootstrap::{run_bootstrap, BootstrapConfig, BootstrapResult};
+pub use churn::{run_churn, ChurnResult, WaveStats};
+pub use fig15a::{fig15a_series, Fig15aPoint};
+pub use fig15b::{run_fig15b, DelayKind, Fig15bConfig, Fig15bResult};
+pub use msgsize::{run_msgsize_ablation, MsgSizeResult};
+pub use occupancy::{run_occupancy, OccupancyPoint};
+pub use stretch::{run_stretch, StretchResult, StretchStats};
+pub use theorem4::{run_theorem4, Theorem4Point};

@@ -1,0 +1,107 @@
+//! Table occupancy: measured filled entries per neighbor table against
+//! the closed-form expectation — the quantity that drives the protocol's
+//! *small*-message volume (`RvNghNotiMsg` per copied/installed entry),
+//! complementing the paper's big-message analysis of §5.2.
+//!
+//! Consistency (Definition 3.8) determines *exactly* which entries are
+//! non-empty given the population, so occupancy is identical for oracle
+//! tables and protocol-built tables — asserted by a test below.
+
+use hyperring_analysis::expected_filled_entries;
+use hyperring_core::build_consistent_tables;
+use hyperring_id::IdSpace;
+
+use crate::workload::distinct_ids;
+
+/// One measured-vs-analytic occupancy point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OccupancyPoint {
+    /// Network size.
+    pub n: usize,
+    /// Mean filled entries per table, measured over all `n` tables.
+    pub measured: f64,
+    /// The closed-form expectation.
+    pub analytic: f64,
+    /// Table capacity `d · b`.
+    pub capacity: usize,
+}
+
+/// Measures mean table occupancy for each size in `sizes`.
+///
+/// # Panics
+///
+/// Panics on degenerate parameters.
+pub fn run_occupancy(b: u16, d: usize, sizes: &[usize], seed: u64) -> Vec<OccupancyPoint> {
+    let space = IdSpace::new(b, d).expect("valid space");
+    sizes
+        .iter()
+        .map(|&n| {
+            let ids = distinct_ids(space, n, seed ^ (n as u64) << 3);
+            let tables = build_consistent_tables(space, &ids);
+            let total: usize = tables.iter().map(|t| t.filled()).sum();
+            OccupancyPoint {
+                n,
+                measured: total as f64 / n as f64,
+                analytic: expected_filled_entries(b as u32, d as u32, n as u64),
+                capacity: d * b as usize,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperring_core::SimNetworkBuilder;
+    use hyperring_sim::UniformDelay;
+
+    #[test]
+    fn measured_matches_analytic_within_noise() {
+        let pts = run_occupancy(16, 8, &[64, 256, 1024], 3);
+        for p in &pts {
+            let rel = (p.measured - p.analytic).abs() / p.analytic;
+            assert!(
+                rel < 0.08,
+                "n={}: measured {} vs analytic {}",
+                p.n,
+                p.measured,
+                p.analytic
+            );
+            assert!(p.measured <= p.capacity as f64);
+        }
+        // Occupancy grows with n.
+        assert!(pts[0].measured < pts[2].measured);
+    }
+
+    #[test]
+    fn protocol_tables_have_oracle_occupancy() {
+        // Consistency pins down exactly which entries are filled, so a
+        // protocol-built network has the same per-node occupancy as the
+        // oracle over the same population.
+        let space = IdSpace::new(8, 5).unwrap();
+        let ids = distinct_ids(space, 40, 9);
+        let oracle = build_consistent_tables(space, &ids);
+
+        let mut b = SimNetworkBuilder::new(space);
+        for id in &ids[..25] {
+            b.add_member(*id);
+        }
+        for id in &ids[25..] {
+            b.add_joiner(*id, ids[0], 0);
+        }
+        let mut net = b.build(UniformDelay::new(1_000, 60_000), 4);
+        net.run();
+        assert!(net.all_in_system());
+
+        let by_owner: std::collections::HashMap<_, usize> =
+            oracle.iter().map(|t| (t.owner(), t.filled())).collect();
+        for t in net.tables() {
+            assert_eq!(
+                t.filled(),
+                by_owner[&t.owner()],
+                "occupancy of {} differs from the oracle",
+                t.owner()
+            );
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Experiment harness: workloads, topology-backed delay models, experiment
+//! drivers for every table/figure of the paper's evaluation, the
+//! optimistic-join baseline, and plain-text/CSV reporting.
+//!
+//! Binaries (run with `--release`; each also writes CSV under `results/`):
+//!
+//! * `fig15a` — Theorem-5 bound vs `n` (Figure 15(a));
+//! * `fig15b` — simulated CDF of `JoinNotiMsg` per join plus the §5.2
+//!   averages table (Figure 15(b)); `--small` for a quick run;
+//! * `theorem3` — max `CpRstMsg + JoinWaitMsg` vs the `d + 1` bound;
+//! * `theorem4` — measured single-join cost vs the closed form;
+//! * `ablation_msgsize` — §6.2 payload reductions;
+//! * `bootstrap` — §6.1 network initialization;
+//! * `baseline_consistency` — optimistic joins vs the paper's protocol.
+//!
+//! # Examples
+//!
+//! ```
+//! use hyperring_harness::experiments::{run_fig15b, Fig15bConfig};
+//! let r = run_fig15b(&Fig15bConfig::small(8, 1));
+//! assert!(r.consistent);
+//! assert!(r.max_cprst_joinwait <= r.theorem3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod experiments;
+pub mod report;
+pub mod topo_delay;
+pub mod workload;
+
+pub use report::Table;
+pub use topo_delay::TopologyDelay;
+pub use workload::{distinct_ids, JoinWorkload};

@@ -1,0 +1,89 @@
+//! Adapter: router-topology latencies as a simulator delay model.
+
+use hyperring_sim::{DelayModel, Time};
+use hyperring_topology::{HostMap, TransitStub, TransitStubConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A [`DelayModel`] backed by a transit-stub router topology: actor `i` of
+/// the simulation is host `i` of the [`HostMap`], and each message takes
+/// the exact shortest-path latency between the two hosts.
+///
+/// This reproduces the paper's simulation setup: a GT-ITM topology with
+/// 8320 routers and one end-host per overlay node.
+#[derive(Debug)]
+pub struct TopologyDelay {
+    ts: TransitStub,
+    hosts: HostMap,
+}
+
+impl TopologyDelay {
+    /// Generates a topology from `cfg` and attaches `hosts` end-hosts, all
+    /// derived deterministically from `seed`.
+    pub fn generate(cfg: &TransitStubConfig, hosts: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ts = TransitStub::generate(cfg, &mut rng);
+        let hosts = HostMap::attach(&ts, hosts, &mut rng);
+        TopologyDelay { ts, hosts }
+    }
+
+    /// The paper's full-scale setup: 8320 routers, `hosts` end-hosts.
+    pub fn paper_scale(hosts: usize, seed: u64) -> Self {
+        Self::generate(&TransitStubConfig::paper_8320(), hosts, seed)
+    }
+
+    /// A small topology for tests (72 routers).
+    pub fn test_scale(hosts: usize, seed: u64) -> Self {
+        Self::generate(&TransitStubConfig::small(), hosts, seed)
+    }
+
+    /// Number of attached hosts.
+    pub fn host_count(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &TransitStub {
+        &self.ts
+    }
+
+    /// The host attachment map.
+    pub fn hosts(&self) -> &HostMap {
+        &self.hosts
+    }
+}
+
+impl DelayModel for TopologyDelay {
+    fn delay(&mut self, from: usize, to: usize, _rng: &mut StdRng) -> Time {
+        self.ts.host_latency(&self.hosts, from, to).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_is_symmetric_positive_and_deterministic() {
+        let mut a = TopologyDelay::test_scale(32, 5);
+        let mut b = TopologyDelay::test_scale(32, 5);
+        let mut rng = StdRng::seed_from_u64(0);
+        for i in 0..32 {
+            for j in 0..32 {
+                let d1 = a.delay(i, j, &mut rng);
+                assert_eq!(d1, b.delay(i, j, &mut rng));
+                assert_eq!(d1, a.delay(j, i, &mut rng));
+                assert!(d1 >= 1);
+            }
+        }
+        assert_eq!(a.host_count(), 32);
+    }
+
+    #[test]
+    fn paper_scale_router_count() {
+        // Construct at reduced host count to keep the test fast; the
+        // router graph is the full 8320.
+        let t = TopologyDelay::paper_scale(16, 1);
+        assert_eq!(t.topology().router_count(), 8320);
+    }
+}

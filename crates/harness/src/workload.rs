@@ -1,0 +1,108 @@
+//! Workload construction shared by all experiments.
+
+use hyperring_id::{IdSpace, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws `n` *distinct* uniformly random identifiers, deterministically
+/// from `seed`.
+///
+/// # Panics
+///
+/// Panics if the space cannot hold `n` distinct identifiers.
+pub fn distinct_ids(space: IdSpace, n: usize, seed: u64) -> Vec<NodeId> {
+    if let Some(cap) = space.capacity() {
+        assert!(
+            (n as u128) <= cap,
+            "cannot draw {n} distinct ids from a space of {cap}"
+        );
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::with_capacity(n);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let id = space.random_id(&mut rng);
+        if seen.insert(id) {
+            out.push(id);
+        }
+    }
+    out
+}
+
+/// Splits a drawn identifier population into members `V` and joiners `W`
+/// and assigns every joiner a random member as gateway (assumption (ii) of
+/// §3.1: each joiner knows *some* node in `V`).
+#[derive(Debug, Clone)]
+pub struct JoinWorkload {
+    /// The identifier space.
+    pub space: IdSpace,
+    /// Members of the initial consistent network.
+    pub members: Vec<NodeId>,
+    /// `(joiner, gateway)` pairs; all joins start at t = 0.
+    pub joiners: Vec<(NodeId, NodeId)>,
+}
+
+impl JoinWorkload {
+    /// Builds a workload of `n` members and `m` joiners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or the space is too small for `n + m` ids.
+    pub fn generate(space: IdSpace, n: usize, m: usize, seed: u64) -> Self {
+        assert!(n > 0, "need at least one member");
+        let ids = distinct_ids(space, n + m, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let members = ids[..n].to_vec();
+        let joiners = ids[n..]
+            .iter()
+            .map(|&id| (id, members[rng.gen_range(0..n)]))
+            .collect();
+        JoinWorkload {
+            space,
+            members,
+            joiners,
+        }
+    }
+
+    /// Total number of nodes (`n + m`).
+    pub fn total(&self) -> usize {
+        self.members.len() + self.joiners.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_ids_are_distinct_and_deterministic() {
+        let space = IdSpace::new(16, 8).unwrap();
+        let a = distinct_ids(space, 500, 42);
+        let b = distinct_ids(space, 500, 42);
+        assert_eq!(a, b);
+        let set: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(set.len(), 500);
+        let c = distinct_ids(space, 500, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn workload_gateways_are_members() {
+        let space = IdSpace::new(16, 8).unwrap();
+        let w = JoinWorkload::generate(space, 50, 20, 7);
+        assert_eq!(w.members.len(), 50);
+        assert_eq!(w.joiners.len(), 20);
+        assert_eq!(w.total(), 70);
+        for (j, g) in &w.joiners {
+            assert!(w.members.contains(g));
+            assert!(!w.members.contains(j));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot draw")]
+    fn overfull_space_rejected() {
+        let space = IdSpace::new(2, 2).unwrap();
+        distinct_ids(space, 5, 0);
+    }
+}

@@ -1,0 +1,302 @@
+//! A threaded, in-memory network runtime for the join protocol.
+//!
+//! The deterministic simulator (`hyperring-sim`) is the primary evaluation
+//! substrate, but the protocol engine is sans-io and runs unchanged on real
+//! concurrency. This crate gives every node its own OS thread and delivers
+//! messages over crossbeam channels — true parallelism, real races, no
+//! seeded schedule — which makes it a useful stress test: Theorem 1 promises
+//! consistency under *any* message interleaving, and integration tests
+//! assert exactly that here.
+//!
+//! Quiescence is detected with an in-flight message counter (incremented
+//! before a send, decremented after the receiver finishes processing), the
+//! standard termination-detection trick for diffusing computations.
+//!
+//! # Examples
+//!
+//! ```
+//! use hyperring_core::{build_consistent_tables, check_consistency, ProtocolOptions};
+//! use hyperring_id::IdSpace;
+//! use hyperring_net::ThreadedNetwork;
+//! use rand::SeedableRng;
+//!
+//! let space = IdSpace::new(4, 4)?;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+//! let mut ids = std::collections::BTreeSet::new();
+//! while ids.len() < 12 {
+//!     ids.insert(space.random_id(&mut rng));
+//! }
+//! let ids: Vec<_> = ids.into_iter().collect();
+//! let members = build_consistent_tables(space, &ids[..8]);
+//!
+//! let joiners: Vec<_> = ids[8..].iter().map(|&id| (id, ids[0])).collect();
+//! let net = ThreadedNetwork::new(space, ProtocolOptions::new(), members);
+//! let tables = net.run_joins(&joiners);
+//! assert!(check_consistency(space, &tables).is_consistent());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use hyperring_core::{JoinEngine, Message, NeighborTable, Outbox, ProtocolOptions, Status};
+use hyperring_id::{IdSpace, NodeId};
+
+/// A message envelope on the thread network.
+#[derive(Debug)]
+enum Envelope {
+    Proto { from: NodeId, msg: Message },
+    Start { gateway: NodeId },
+    Shutdown,
+}
+
+/// Shared state for quiescence detection.
+#[derive(Debug, Default)]
+struct Flight {
+    /// Protocol messages sent but not yet fully processed.
+    in_flight: AtomicI64,
+    /// Joins that have not reached `in_system` yet.
+    joining: AtomicI64,
+}
+
+/// A network of per-thread protocol engines connected by channels.
+///
+/// Construct with the initial members' tables, then call
+/// [`run_joins`](Self::run_joins) with the joiners; the call blocks until
+/// the whole network is quiescent and every joiner is an S-node, and
+/// returns all final tables (members first, in construction order, then
+/// joiners in the given order).
+#[derive(Debug)]
+pub struct ThreadedNetwork {
+    space: IdSpace,
+    opts: ProtocolOptions,
+    members: Vec<NeighborTable>,
+}
+
+impl ThreadedNetwork {
+    /// Creates a network over `space` whose initial members own `members`
+    /// (consistent) tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty.
+    pub fn new(space: IdSpace, opts: ProtocolOptions, members: Vec<NeighborTable>) -> Self {
+        assert!(!members.is_empty(), "network needs at least one member");
+        ThreadedNetwork {
+            space,
+            opts,
+            members,
+        }
+    }
+
+    /// Runs all `(joiner, gateway)` joins concurrently on real threads and
+    /// returns every node's final table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a joiner duplicates an existing identifier, a gateway is
+    /// unknown, or the run fails to quiesce within a generous deadline
+    /// (60 s), which Theorem 2 rules out absent bugs.
+    pub fn run_joins(self, joiners: &[(NodeId, NodeId)]) -> Vec<NeighborTable> {
+        let flight = Arc::new(Flight {
+            in_flight: AtomicI64::new(0),
+            joining: AtomicI64::new(joiners.len() as i64),
+        });
+
+        // Channels for every node.
+        let mut senders: HashMap<NodeId, Sender<Envelope>> = HashMap::new();
+        let mut receivers: Vec<Receiver<Envelope>> = Vec::new();
+        let member_ids: Vec<NodeId> = self.members.iter().map(|t| t.owner()).collect();
+        for id in member_ids.iter().chain(joiners.iter().map(|(id, _)| id)) {
+            let (tx, rx) = unbounded();
+            assert!(
+                senders.insert(*id, tx).is_none(),
+                "duplicate node identifier {id}"
+            );
+            receivers.push(rx);
+        }
+        let senders = Arc::new(senders);
+        for (_, gateway) in joiners {
+            assert!(senders.contains_key(gateway), "unknown gateway {gateway}");
+        }
+
+        // Spawn one thread per node.
+        let mut handles = Vec::new();
+        let mut rx_iter = receivers.into_iter();
+        for table in self.members {
+            let rx = rx_iter.next().expect("receiver per node");
+            let engine = JoinEngine::new_member(self.space, self.opts, table);
+            handles.push(spawn_node(
+                engine,
+                rx,
+                Arc::clone(&senders),
+                Arc::clone(&flight),
+            ));
+        }
+        for (id, _) in joiners {
+            let rx = rx_iter.next().expect("receiver per node");
+            let engine = JoinEngine::new_joiner(self.space, self.opts, *id);
+            handles.push(spawn_node(
+                engine,
+                rx,
+                Arc::clone(&senders),
+                Arc::clone(&flight),
+            ));
+        }
+
+        // Fire all starts "at the same time" (the paper starts all joins at
+        // t = 0).
+        for (id, gateway) in joiners {
+            flight.in_flight.fetch_add(1, Ordering::SeqCst);
+            senders[id]
+                .send(Envelope::Start { gateway: *gateway })
+                .expect("node thread alive");
+        }
+
+        // Wait for quiescence: no in-flight messages and no joining nodes.
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        loop {
+            let inflight = flight.in_flight.load(Ordering::SeqCst);
+            let joining = flight.joining.load(Ordering::SeqCst);
+            if inflight == 0 && joining == 0 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "network failed to quiesce: {inflight} in flight, {joining} joining"
+            );
+            thread::sleep(Duration::from_micros(200));
+        }
+        for s in senders.values() {
+            let _ = s.send(Envelope::Shutdown);
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("node thread panicked"))
+            .map(|e| e.table().clone())
+            .collect()
+    }
+}
+
+fn spawn_node(
+    mut engine: JoinEngine,
+    rx: Receiver<Envelope>,
+    senders: Arc<HashMap<NodeId, Sender<Envelope>>>,
+    flight: Arc<Flight>,
+) -> thread::JoinHandle<JoinEngine> {
+    thread::spawn(move || {
+        let mut outbox = Outbox::new();
+        let mut still_joining = !engine.is_in_system();
+        while let Ok(env) = rx.recv() {
+            match env {
+                Envelope::Shutdown => break,
+                Envelope::Start { gateway } => engine.start_join(gateway, &mut outbox),
+                Envelope::Proto { from, msg } => engine.handle(from, msg, &mut outbox),
+            }
+            let me = engine.id();
+            for (to, msg) in outbox.drain() {
+                flight.in_flight.fetch_add(1, Ordering::SeqCst);
+                senders[&to]
+                    .send(Envelope::Proto { from: me, msg })
+                    .expect("peer thread alive");
+            }
+            if still_joining && engine.status() == Status::InSystem {
+                still_joining = false;
+                flight.joining.fetch_sub(1, Ordering::SeqCst);
+            }
+            // Decrement only now: new sends were counted before our own
+            // decrement, so in_flight == 0 really means quiescent.
+            flight.in_flight.fetch_sub(1, Ordering::SeqCst);
+        }
+        engine
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperring_core::{build_consistent_tables, check_consistency};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn distinct_ids(space: IdSpace, n: usize, seed: u64) -> Vec<NodeId> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut set = std::collections::BTreeSet::new();
+        while set.len() < n {
+            set.insert(space.random_id(&mut rng));
+        }
+        let mut v: Vec<NodeId> = set.into_iter().collect();
+        for i in (1..v.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            v.swap(i, j);
+        }
+        v
+    }
+
+    #[test]
+    fn threaded_concurrent_joins_are_consistent() {
+        let space = IdSpace::new(4, 5).unwrap();
+        let ids = distinct_ids(space, 30, 11);
+        let members = build_consistent_tables(space, &ids[..20]);
+        let gateway = ids[0];
+        let joiners: Vec<(NodeId, NodeId)> = ids[20..].iter().map(|&id| (id, gateway)).collect();
+        let tables =
+            ThreadedNetwork::new(space, ProtocolOptions::new(), members).run_joins(&joiners);
+        assert_eq!(tables.len(), 30);
+        let report = check_consistency(space, &tables);
+        assert!(report.is_consistent(), "{report}");
+    }
+
+    #[test]
+    fn threaded_repeated_runs_always_consistent() {
+        // Real thread scheduling differs run to run; Theorem 1 must hold
+        // every time.
+        let space = IdSpace::new(8, 4).unwrap();
+        for round in 0..5 {
+            let ids = distinct_ids(space, 24, 100 + round);
+            let members = build_consistent_tables(space, &ids[..16]);
+            let joiners: Vec<(NodeId, NodeId)> = ids[16..]
+                .iter()
+                .enumerate()
+                .map(|(i, &id)| (id, ids[i % 16]))
+                .collect();
+            let tables =
+                ThreadedNetwork::new(space, ProtocolOptions::new(), members).run_joins(&joiners);
+            let report = check_consistency(space, &tables);
+            assert!(report.is_consistent(), "round {round}: {report}");
+        }
+    }
+
+    #[test]
+    fn no_joiners_is_a_noop() {
+        let space = IdSpace::new(4, 3).unwrap();
+        let ids = distinct_ids(space, 5, 7);
+        let members = build_consistent_tables(space, &ids);
+        let tables =
+            ThreadedNetwork::new(space, ProtocolOptions::new(), members.clone()).run_joins(&[]);
+        assert_eq!(tables.len(), members.len());
+        assert!(check_consistency(space, &tables).is_consistent());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown gateway")]
+    fn unknown_gateway_panics() {
+        let space = IdSpace::new(4, 3).unwrap();
+        let ids = distinct_ids(space, 4, 9);
+        let members = build_consistent_tables(space, &ids[..3]);
+        // Find an identifier that is neither a member nor the joiner.
+        let ghost = (0..space.capacity().unwrap())
+            .map(|v| space.id_from_value(v).unwrap())
+            .find(|id| !ids.contains(id))
+            .expect("space has spare ids");
+        ThreadedNetwork::new(space, ProtocolOptions::new(), members)
+            .run_joins(&[(ids[3], ghost)]);
+    }
+}

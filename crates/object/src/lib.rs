@@ -1,0 +1,384 @@
+//! Object location over hypercube routing — the application layer the
+//! paper's introduction motivates (PRR's "accessing nearby copies of
+//! replicated objects", Napster/Gnutella-style file sharing).
+//!
+//! The paper itself builds only the routing substrate and notes that the
+//! schemes it generalizes (PRR, Tapestry, Pastry) differ in "the technique
+//! each uses to resolve the final routing hop". This crate implements the
+//! standard resolution: **surrogate routing**. An object's identifier is
+//! hashed into the node ID space; the query walks the suffix levels and,
+//! where the desired digit's entry is empty, deterministically falls over
+//! to the next cyclically-populated digit. With *consistent* tables
+//! (Definition 3.8), entry occupancy at a given level/digit is a global
+//! property of the network — false-positive and false-negative freedom —
+//! so every source resolves the **same root node** for an object; that
+//! uniqueness is exactly why the paper's consistency guarantee matters to
+//! applications, and the property tests here verify it on live tables
+//! produced by join-protocol runs.
+//!
+//! # Examples
+//!
+//! ```
+//! use hyperring_object::ObjectStore;
+//! use hyperring_core::build_consistent_tables;
+//! use hyperring_id::IdSpace;
+//! use rand::SeedableRng;
+//!
+//! let space = IdSpace::new(16, 8)?;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+//! let mut ids = std::collections::BTreeSet::new();
+//! while ids.len() < 24 { ids.insert(space.random_id(&mut rng)); }
+//! let ids: Vec<_> = ids.into_iter().collect();
+//!
+//! let mut store = ObjectStore::new(space, build_consistent_tables(space, &ids));
+//! let receipt = store.publish(ids[0], "skylark.mp3");
+//! let hit = store.lookup(ids[5], "skylark.mp3").expect("object published");
+//! assert_eq!(hit.root, receipt.root);
+//! assert_eq!(hit.homes, vec![ids[0]]);
+//! assert!(store.lookup(ids[5], "missing.mp3").is_none());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use hyperring_core::NeighborTable;
+use hyperring_id::{IdSpace, NodeId};
+
+/// Resolves the surrogate root of `object_id` starting from `start`.
+///
+/// Walks levels `0..d`; at each level the desired digit is the object's,
+/// falling over cyclically (`j, j+1, …, mod b`) to the first populated
+/// entry. Given consistent tables every start resolves the same node.
+///
+/// Returns the root and the overlay path taken (deduplicated self-hops).
+///
+/// # Panics
+///
+/// Panics if `lookup` cannot resolve a visited node's table, or if a level
+/// has no populated entry at all (impossible: self entries are always
+/// present).
+pub fn surrogate_route<'a, F>(
+    space: IdSpace,
+    start: NodeId,
+    object_id: &NodeId,
+    mut lookup: F,
+) -> (NodeId, Vec<NodeId>)
+where
+    F: FnMut(&NodeId) -> Option<&'a NeighborTable>,
+{
+    let b = space.base() as u8;
+    let mut at = start;
+    let mut path = vec![start];
+    for level in 0..space.digit_count() {
+        let table = lookup(&at).unwrap_or_else(|| panic!("no table for {at}"));
+        let want = object_id.digit(level);
+        let next = (0..b)
+            .map(|delta| (want + delta) % b)
+            .find_map(|j| table.get(level, j))
+            .unwrap_or_else(|| panic!("level {level} of {at} has no populated entry"))
+            .node;
+        if next != at {
+            path.push(next);
+            at = next;
+        }
+    }
+    (at, path)
+}
+
+/// Proof of publication: where an object landed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PublishReceipt {
+    /// The object's hashed identifier.
+    pub object_id: NodeId,
+    /// The root (directory) node for the object.
+    pub root: NodeId,
+    /// Overlay hops taken from the publishing home to the root.
+    pub hops: usize,
+}
+
+/// A successful lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LookupHit {
+    /// The object's hashed identifier.
+    pub object_id: NodeId,
+    /// The root node that answered.
+    pub root: NodeId,
+    /// Nodes holding a copy of the object, in publication order.
+    pub homes: Vec<NodeId>,
+    /// Overlay hops taken from the querier to the root.
+    pub hops: usize,
+}
+
+/// A directory service over a set of (consistent) neighbor tables:
+/// per-root object directories plus publish/lookup via surrogate routing.
+///
+/// The store holds tables by value; refresh them with
+/// [`ObjectStore::update_tables`] after membership changes and republished
+/// objects move to their new roots (PRR's dynamic root-maintenance
+/// machinery is out of the paper's — and this crate's — scope).
+#[derive(Debug)]
+pub struct ObjectStore {
+    space: IdSpace,
+    tables: HashMap<NodeId, NeighborTable>,
+    /// Directory rows: root -> object id -> homes.
+    directories: HashMap<NodeId, BTreeMap<NodeId, Vec<NodeId>>>,
+}
+
+impl ObjectStore {
+    /// Creates a store over the given tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tables` is empty.
+    pub fn new(space: IdSpace, tables: Vec<NeighborTable>) -> Self {
+        assert!(!tables.is_empty(), "store needs at least one node");
+        ObjectStore {
+            space,
+            tables: tables.into_iter().map(|t| (t.owner(), t)).collect(),
+            directories: HashMap::new(),
+        }
+    }
+
+    /// The identifier space.
+    pub fn space(&self) -> IdSpace {
+        self.space
+    }
+
+    /// Live nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = &NodeId> {
+        self.tables.keys()
+    }
+
+    /// Hashes an object name into the node ID space (SHA-1, as the paper
+    /// suggests for IDs).
+    pub fn object_id(&self, name: &str) -> NodeId {
+        self.space.id_from_hash(name.as_bytes())
+    }
+
+    /// The surrogate root for an object id, resolved from `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is not a live node.
+    pub fn root_from(&self, start: NodeId, object_id: &NodeId) -> (NodeId, usize) {
+        assert!(self.tables.contains_key(&start), "unknown start {start}");
+        let (root, path) = surrogate_route(self.space, start, object_id, |id| {
+            self.tables.get(id)
+        });
+        (root, path.len() - 1)
+    }
+
+    /// Publishes `name` from `home`: the object pointer is stored in the
+    /// root's directory (the object's bytes stay at `home`, as in PRR).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `home` is not a live node.
+    pub fn publish(&mut self, home: NodeId, name: &str) -> PublishReceipt {
+        let object_id = self.object_id(name);
+        let (root, hops) = self.root_from(home, &object_id);
+        let homes = self
+            .directories
+            .entry(root)
+            .or_default()
+            .entry(object_id)
+            .or_default();
+        if !homes.contains(&home) {
+            homes.push(home);
+        }
+        PublishReceipt {
+            object_id,
+            root,
+            hops,
+        }
+    }
+
+    /// Looks `name` up from `from`; `None` if nobody published it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not a live node.
+    pub fn lookup(&self, from: NodeId, name: &str) -> Option<LookupHit> {
+        let object_id = self.object_id(name);
+        let (root, hops) = self.root_from(from, &object_id);
+        let homes = self.directories.get(&root)?.get(&object_id)?;
+        Some(LookupHit {
+            object_id,
+            root,
+            homes: homes.clone(),
+            hops,
+        })
+    }
+
+    /// Replaces the tables (after joins/leaves) and republishes every
+    /// directory row from its homes, so objects move to their new roots.
+    /// Returns the number of objects whose root changed.
+    pub fn update_tables(&mut self, tables: Vec<NeighborTable>) -> usize {
+        let old: Vec<(NodeId, NodeId, Vec<NodeId>)> = self
+            .directories
+            .iter()
+            .flat_map(|(root, dir)| {
+                dir.iter()
+                    .map(move |(oid, homes)| (*root, *oid, homes.clone()))
+            })
+            .collect();
+        self.tables = tables.into_iter().map(|t| (t.owner(), t)).collect();
+        self.directories.clear();
+        let mut moved = 0;
+        for (old_root, oid, homes) in old {
+            // Homes that left the network drop their copies.
+            let live_homes: Vec<NodeId> = homes
+                .into_iter()
+                .filter(|h| self.tables.contains_key(h))
+                .collect();
+            if live_homes.is_empty() {
+                continue;
+            }
+            let (root, _) = self.root_from(live_homes[0], &oid);
+            if root != old_root {
+                moved += 1;
+            }
+            self.directories.entry(root).or_default().insert(oid, live_homes);
+        }
+        moved
+    }
+
+    /// Total directory rows currently stored, per node — the paper's P3
+    /// (load balance) measured directly.
+    pub fn directory_load(&self) -> BTreeMap<NodeId, usize> {
+        self.directories
+            .iter()
+            .map(|(root, dir)| (*root, dir.len()))
+            .collect()
+    }
+}
+
+/// Returns the set of distinct roots observed when resolving `object_id`
+/// from every node — a diagnostic for the uniqueness property (singleton
+/// iff resolution is consistent).
+pub fn roots_from_everywhere(store: &ObjectStore, object_id: &NodeId) -> BTreeSet<NodeId> {
+    store
+        .nodes()
+        .map(|n| store.root_from(*n, object_id).0)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperring_core::build_consistent_tables;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn make_store(b: u16, d: usize, n: usize, seed: u64) -> (IdSpace, Vec<NodeId>, ObjectStore) {
+        let space = IdSpace::new(b, d).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ids = std::collections::BTreeSet::new();
+        while ids.len() < n {
+            ids.insert(space.random_id(&mut rng));
+        }
+        let ids: Vec<NodeId> = ids.into_iter().collect();
+        let store = ObjectStore::new(space, build_consistent_tables(space, &ids));
+        (space, ids, store)
+    }
+
+    #[test]
+    fn every_source_resolves_the_same_root() {
+        let (space, _ids, store) = make_store(8, 5, 40, 3);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let oid = space.random_id(&mut rng);
+            let roots = roots_from_everywhere(&store, &oid);
+            assert_eq!(roots.len(), 1, "object {oid} resolved {roots:?}");
+        }
+    }
+
+    #[test]
+    fn exact_owner_is_its_own_root() {
+        // An object id equal to a node id must resolve to that node.
+        let (_space, ids, store) = make_store(4, 4, 30, 5);
+        for id in &ids {
+            let (root, hops) = store.root_from(ids[0], id);
+            assert_eq!(root, *id);
+            assert!(hops <= 4);
+        }
+    }
+
+    #[test]
+    fn publish_then_lookup_roundtrip_from_everywhere() {
+        let (_space, ids, mut store) = make_store(16, 6, 32, 7);
+        let names = ["alpha.txt", "beta.bin", "gamma.iso", "delta.tar"];
+        for (i, name) in names.iter().enumerate() {
+            store.publish(ids[i], name);
+        }
+        for name in names {
+            for from in &ids {
+                let hit = store.lookup(*from, name).expect("published object found");
+                assert_eq!(hit.homes.len(), 1);
+            }
+        }
+        assert!(store.lookup(ids[0], "nope").is_none());
+    }
+
+    #[test]
+    fn replicas_accumulate_homes() {
+        let (_space, ids, mut store) = make_store(16, 6, 32, 8);
+        store.publish(ids[1], "popular.mp3");
+        store.publish(ids[2], "popular.mp3");
+        store.publish(ids[1], "popular.mp3"); // duplicate publish is idempotent
+        let hit = store.lookup(ids[3], "popular.mp3").unwrap();
+        assert_eq!(hit.homes, vec![ids[1], ids[2]]);
+    }
+
+    #[test]
+    fn update_tables_moves_roots_and_preserves_lookups() {
+        let (space, ids, mut store) = make_store(16, 6, 24, 11);
+        for (i, name) in ["a", "b", "c", "d", "e", "f", "g", "h"].iter().enumerate() {
+            store.publish(ids[i % ids.len()], name);
+        }
+        // Grow the network: fresh oracle tables over a superset.
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut all: std::collections::BTreeSet<NodeId> = ids.iter().copied().collect();
+        while all.len() < 48 {
+            all.insert(space.random_id(&mut rng));
+        }
+        let all: Vec<NodeId> = all.into_iter().collect();
+        store.update_tables(build_consistent_tables(space, &all));
+        for name in ["a", "b", "c", "d", "e", "f", "g", "h"] {
+            let hit = store.lookup(all[0], name).expect("survives membership change");
+            assert!(!hit.homes.is_empty());
+        }
+    }
+
+    #[test]
+    fn directory_load_is_spread() {
+        // P3 sanity: with many objects, no single node hoards the
+        // directory (load is hash-spread).
+        let (_space, ids, mut store) = make_store(16, 6, 64, 13);
+        for i in 0..256 {
+            store.publish(ids[i % ids.len()], &format!("file-{i}"));
+        }
+        let load = store.directory_load();
+        let max = load.values().max().copied().unwrap_or(0);
+        let total: usize = load.values().sum();
+        assert_eq!(total, 256);
+        assert!(
+            max <= 32,
+            "one node holds {max} of 256 directory rows — not balanced"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown start")]
+    fn lookup_from_stranger_panics() {
+        let (space, ids, store) = make_store(4, 4, 10, 2);
+        let stranger = (0..space.capacity().unwrap())
+            .map(|v| space.id_from_value(v).unwrap())
+            .find(|x| !ids.contains(x))
+            .unwrap();
+        let _ = store.root_from(stranger, &ids[0]);
+    }
+}

@@ -1,0 +1,115 @@
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::Time;
+
+/// Source of per-message delivery latency.
+///
+/// Implementations must be deterministic given the `rng` (which the
+/// simulator seeds from its run seed), so simulations are reproducible.
+pub trait DelayModel {
+    /// Latency in microseconds for a message from actor `from` to actor
+    /// `to`.
+    fn delay(&mut self, from: usize, to: usize, rng: &mut StdRng) -> Time;
+}
+
+/// Fixed latency for every message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConstantDelay(
+    /// The latency in microseconds.
+    pub Time,
+);
+
+impl DelayModel for ConstantDelay {
+    fn delay(&mut self, _from: usize, _to: usize, _rng: &mut StdRng) -> Time {
+        self.0
+    }
+}
+
+/// Latency drawn uniformly from `lo..=hi` per message.
+///
+/// With a wide range this doubles as a message-reordering adversary: replies
+/// can overtake requests between the same pair of nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniformDelay {
+    /// Minimum latency (µs).
+    pub lo: Time,
+    /// Maximum latency (µs), inclusive.
+    pub hi: Time,
+}
+
+impl UniformDelay {
+    /// Creates a model over `lo..=hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new(lo: Time, hi: Time) -> Self {
+        assert!(lo <= hi, "empty latency range {lo}..={hi}");
+        UniformDelay { lo, hi }
+    }
+}
+
+impl DelayModel for UniformDelay {
+    fn delay(&mut self, _from: usize, _to: usize, rng: &mut StdRng) -> Time {
+        rng.gen_range(self.lo..=self.hi)
+    }
+}
+
+/// Adapter turning any closure `(from, to) -> Time` into a [`DelayModel`],
+/// e.g. a lookup into a router topology.
+pub struct FnDelay<F>(
+    /// The latency function.
+    pub F,
+);
+
+impl<F: FnMut(usize, usize) -> Time> DelayModel for FnDelay<F> {
+    fn delay(&mut self, from: usize, to: usize, _rng: &mut StdRng) -> Time {
+        (self.0)(from, to)
+    }
+}
+
+impl<F> std::fmt::Debug for FnDelay<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FnDelay(..)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_delay_ignores_endpoints() {
+        let mut m = ConstantDelay(7);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(m.delay(0, 1, &mut rng), 7);
+        assert_eq!(m.delay(9, 3, &mut rng), 7);
+    }
+
+    #[test]
+    fn uniform_delay_stays_in_range_and_is_seed_deterministic() {
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        let mut m = UniformDelay::new(10, 20);
+        for _ in 0..100 {
+            let da = m.delay(0, 1, &mut a);
+            assert_eq!(da, m.delay(0, 1, &mut b));
+            assert!((10..=20).contains(&da));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty latency range")]
+    fn uniform_delay_rejects_inverted_range() {
+        UniformDelay::new(5, 4);
+    }
+
+    #[test]
+    fn fn_delay_uses_closure() {
+        let mut m = FnDelay(|from: usize, to: usize| (from * 10 + to) as Time);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(m.delay(2, 3, &mut rng), 23);
+    }
+}

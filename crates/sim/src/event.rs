@@ -1,0 +1,62 @@
+/// Virtual time in microseconds since the start of the run.
+pub type Time = u64;
+
+/// A scheduled delivery. Ordering (and equality) consider only the
+/// `(at, seq)` key, never the payload, so message types need no `Ord`.
+#[derive(Debug, Clone)]
+pub(crate) struct Event<M> {
+    pub at: Time,
+    /// Tie-breaker: events scheduled earlier are delivered first at equal
+    /// times, which keeps runs deterministic.
+    pub seq: u64,
+    pub from: usize,
+    pub to: usize,
+    pub msg: M,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for Event<M> {}
+
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse order: BinaryHeap is a max-heap, we need earliest first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn heap_pops_earliest_first_with_seq_tiebreak() {
+        let mut heap = BinaryHeap::new();
+        for (at, seq) in [(5u64, 0u64), (3, 1), (5, 2), (1, 3), (3, 4)] {
+            heap.push(Event {
+                at,
+                seq,
+                from: 0,
+                to: 0,
+                msg: (),
+            });
+        }
+        let order: Vec<(Time, u64)> = std::iter::from_fn(|| heap.pop().map(|e| (e.at, e.seq)))
+            .collect();
+        assert_eq!(order, vec![(1, 3), (3, 1), (3, 4), (5, 0), (5, 2)]);
+    }
+}

@@ -1,0 +1,344 @@
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::delay::DelayModel;
+use crate::event::{Event, Time};
+
+/// A simulated protocol participant.
+///
+/// Actors are addressed by dense indices `0..n`. They react to message
+/// deliveries by mutating their state and sending further messages through
+/// the [`Context`]. Actors never block: the paper's protocol is a pure
+/// message-driven state machine, and so is this trait.
+pub trait Actor {
+    /// Message type exchanged between actors.
+    type Msg;
+
+    /// Handles a delivered message.
+    fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, from: usize, msg: Self::Msg);
+}
+
+/// Handle an actor uses to interact with the simulation during a delivery.
+#[derive(Debug)]
+pub struct Context<'a, M> {
+    now: Time,
+    me: usize,
+    out: &'a mut Vec<(usize, M)>,
+}
+
+impl<'a, M> Context<'a, M> {
+    /// Current virtual time in microseconds.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Index of the actor handling the message.
+    #[inline]
+    pub fn me(&self) -> usize {
+        self.me
+    }
+
+    /// Sends `msg` to actor `to`; it will be delivered after the delay
+    /// model's latency.
+    #[inline]
+    pub fn send(&mut self, to: usize, msg: M) {
+        self.out.push((to, msg));
+    }
+}
+
+/// Summary of a completed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunReport {
+    /// Number of messages delivered.
+    pub delivered: u64,
+    /// Virtual time of the last delivery.
+    pub finished_at: Time,
+    /// Whether the run stopped because it hit the delivery limit rather
+    /// than draining the event queue.
+    pub truncated: bool,
+}
+
+/// Deterministic discrete-event simulator over a set of actors.
+///
+/// See the [crate docs](crate) for an example.
+#[derive(Debug)]
+pub struct Simulator<A: Actor, D> {
+    actors: Vec<A>,
+    delay: D,
+    rng: StdRng,
+    queue: BinaryHeap<Event<A::Msg>>,
+    now: Time,
+    seq: u64,
+    delivered: u64,
+    outbox: Vec<(usize, A::Msg)>,
+}
+
+impl<A: Actor, D: DelayModel> Simulator<A, D> {
+    /// Creates a simulator over `actors` with the given delay model and RNG
+    /// seed.
+    pub fn new(actors: Vec<A>, delay: D, seed: u64) -> Self {
+        Simulator {
+            actors,
+            delay,
+            rng: StdRng::seed_from_u64(seed),
+            queue: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+            delivered: 0,
+            outbox: Vec::new(),
+        }
+    }
+
+    /// Current virtual time (µs).
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of actors.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Whether the simulator has no actors.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.actors.is_empty()
+    }
+
+    /// Shared access to an actor's state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn actor(&self, i: usize) -> &A {
+        &self.actors[i]
+    }
+
+    /// Exclusive access to an actor's state (for test instrumentation; the
+    /// protocol itself only runs through deliveries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn actor_mut(&mut self, i: usize) -> &mut A {
+        &mut self.actors[i]
+    }
+
+    /// Iterates over all actors.
+    pub fn actors(&self) -> impl Iterator<Item = &A> {
+        self.actors.iter()
+    }
+
+    /// Appends a fresh actor and returns its index.
+    pub fn add_actor(&mut self, actor: A) -> usize {
+        self.actors.push(actor);
+        self.actors.len() - 1
+    }
+
+    /// Schedules delivery of `msg` to `to` at the current time plus the
+    /// model latency, as if sent by `from`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` or `from` is out of range.
+    pub fn inject(&mut self, from: usize, to: usize, msg: A::Msg) {
+        assert!(from < self.actors.len() && to < self.actors.len());
+        let d = self.delay.delay(from, to, &mut self.rng);
+        self.push_event(self.now + d, from, to, msg);
+    }
+
+    /// Schedules delivery of `msg` at absolute virtual time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at < self.now()` or an index is out of range.
+    pub fn inject_at(&mut self, at: Time, from: usize, to: usize, msg: A::Msg) {
+        assert!(from < self.actors.len() && to < self.actors.len());
+        assert!(at >= self.now, "cannot schedule in the past");
+        self.push_event(at, from, to, msg);
+    }
+
+    fn push_event(&mut self, at: Time, from: usize, to: usize, msg: A::Msg) {
+        self.queue.push(Event {
+            at,
+            seq: self.seq,
+            from,
+            to,
+            msg,
+        });
+        self.seq += 1;
+    }
+
+    /// Delivers a single event; returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.now, "time went backwards");
+        self.now = ev.at;
+        self.delivered += 1;
+        let me = ev.to;
+        debug_assert!(self.outbox.is_empty());
+        let mut ctx = Context {
+            now: self.now,
+            me,
+            out: &mut self.outbox,
+        };
+        self.actors[me].on_message(&mut ctx, ev.from, ev.msg);
+        // Drain the outbox into the queue with sampled latencies.
+        let mut outbox = std::mem::take(&mut self.outbox);
+        for (to, msg) in outbox.drain(..) {
+            assert!(to < self.actors.len(), "send to unknown actor {to}");
+            let d = self.delay.delay(me, to, &mut self.rng);
+            self.push_event(self.now + d, me, to, msg);
+        }
+        self.outbox = outbox;
+        true
+    }
+
+    /// Runs until the event queue drains. Equivalent to
+    /// [`run_limited`](Self::run_limited) with `u64::MAX`.
+    pub fn run(&mut self) -> RunReport {
+        self.run_limited(u64::MAX)
+    }
+
+    /// Runs until the queue drains or `max_deliveries` further messages have
+    /// been delivered, whichever comes first.
+    ///
+    /// The limit is a safety net for liveness tests: the join protocol is
+    /// proven to terminate, so hitting the limit indicates a bug.
+    pub fn run_limited(&mut self, max_deliveries: u64) -> RunReport {
+        let mut n = 0u64;
+        while n < max_deliveries {
+            if !self.step() {
+                return RunReport {
+                    delivered: self.delivered,
+                    finished_at: self.now,
+                    truncated: false,
+                };
+            }
+            n += 1;
+        }
+        RunReport {
+            delivered: self.delivered,
+            finished_at: self.now,
+            truncated: !self.queue.is_empty(),
+        }
+    }
+
+    /// Total messages delivered so far.
+    #[inline]
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Number of undelivered events still queued.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ConstantDelay, UniformDelay};
+
+    /// Counts deliveries and forwards `hops` times around a ring.
+    struct Ring {
+        n: usize,
+        received: u32,
+    }
+
+    impl Actor for Ring {
+        type Msg = u32;
+        fn on_message(&mut self, ctx: &mut Context<'_, u32>, _from: usize, hops: u32) {
+            self.received += 1;
+            if hops > 0 {
+                let next = (ctx.me() + 1) % self.n;
+                ctx.send(next, hops - 1);
+            }
+        }
+    }
+
+    fn ring(n: usize) -> Vec<Ring> {
+        (0..n).map(|_| Ring { n, received: 0 }).collect()
+    }
+
+    #[test]
+    fn ring_traversal_delivers_every_hop() {
+        let mut sim = Simulator::new(ring(5), ConstantDelay(100), 1);
+        sim.inject(0, 0, 10); // 10 forwards + initial delivery
+        let r = sim.run();
+        assert_eq!(r.delivered, 11);
+        assert!(!r.truncated);
+        assert_eq!(sim.now(), 1100);
+        let total: u32 = sim.actors().map(|a| a.received).sum();
+        assert_eq!(total, 11);
+    }
+
+    #[test]
+    fn run_limited_truncates() {
+        let mut sim = Simulator::new(ring(3), ConstantDelay(1), 1);
+        sim.inject(0, 0, 1000);
+        let r = sim.run_limited(10);
+        assert!(r.truncated);
+        assert_eq!(r.delivered, 10);
+        assert_eq!(sim.pending(), 1);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_runs() {
+        let run = |seed: u64| {
+            let mut sim = Simulator::new(ring(7), UniformDelay::new(1, 1000), seed);
+            sim.inject(0, 3, 50);
+            sim.inject(0, 5, 50);
+            let r = sim.run();
+            (r.delivered, r.finished_at, sim.now())
+        };
+        assert_eq!(run(99), run(99));
+        // Different seed ⇒ (almost surely) different finish time.
+        assert_ne!(run(99).1, run(100).1);
+    }
+
+    #[test]
+    fn inject_at_orders_by_time_then_seq() {
+        struct Recorder {
+            log: Vec<(Time, u32)>,
+        }
+        impl Actor for Recorder {
+            type Msg = u32;
+            fn on_message(&mut self, ctx: &mut Context<'_, u32>, _f: usize, m: u32) {
+                self.log.push((ctx.now(), m));
+            }
+        }
+        let mut sim = Simulator::new(vec![Recorder { log: vec![] }], ConstantDelay(0), 0);
+        sim.inject_at(50, 0, 0, 1);
+        sim.inject_at(10, 0, 0, 2);
+        sim.inject_at(50, 0, 0, 3);
+        sim.run();
+        assert_eq!(sim.actor(0).log, vec![(10, 2), (50, 1), (50, 3)]);
+    }
+
+    #[test]
+    fn empty_queue_run_is_noop() {
+        let mut sim = Simulator::new(ring(2), ConstantDelay(1), 0);
+        let r = sim.run();
+        assert_eq!(r.delivered, 0);
+        assert_eq!(r.finished_at, 0);
+        assert!(!sim.step());
+    }
+
+    #[test]
+    fn add_actor_grows_population() {
+        let mut sim = Simulator::new(ring(2), ConstantDelay(1), 0);
+        let i = sim.add_actor(Ring { n: 3, received: 0 });
+        assert_eq!(i, 2);
+        assert_eq!(sim.len(), 3);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests of the discrete-event simulator: causality,
+//! conservation of messages, and seed determinism.
+
+use hyperring_sim::{Actor, ConstantDelay, Context, Simulator, Time, UniformDelay};
+use proptest::prelude::*;
+
+/// Actor that records delivery times and forwards a decrementing counter
+/// to a fixed next hop.
+struct Recorder {
+    next: usize,
+    log: Vec<(Time, u32)>,
+}
+
+impl Actor for Recorder {
+    type Msg = u32;
+    fn on_message(&mut self, ctx: &mut Context<'_, u32>, _from: usize, m: u32) {
+        self.log.push((ctx.now(), m));
+        if m > 0 {
+            ctx.send(self.next, m - 1);
+        }
+    }
+}
+
+fn ring(n: usize) -> Vec<Recorder> {
+    (0..n)
+        .map(|i| Recorder {
+            next: (i + 1) % n,
+            log: Vec::new(),
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn message_conservation(
+        n in 1usize..8,
+        injections in proptest::collection::vec((0u64..1_000, 0u32..30), 1..12),
+        seed in 0u64..10_000,
+    ) {
+        // Every injected chain of length m produces exactly m + 1
+        // deliveries; nothing is lost or duplicated.
+        let mut sim = Simulator::new(ring(n), UniformDelay::new(1, 500), seed);
+        let mut expected = 0u64;
+        for (at, m) in &injections {
+            sim.inject_at(*at, 0, (*m as usize) % n, *m);
+            expected += *m as u64 + 1;
+        }
+        let report = sim.run();
+        prop_assert_eq!(report.delivered, expected);
+        prop_assert!(!report.truncated);
+        let logged: usize = sim.actors().map(|a| a.log.len()).sum();
+        prop_assert_eq!(logged as u64, expected);
+    }
+
+    #[test]
+    fn delivery_times_never_decrease(
+        n in 2usize..6,
+        chain in 1u32..40,
+        seed in 0u64..10_000,
+    ) {
+        let mut sim = Simulator::new(ring(n), UniformDelay::new(1, 1_000), seed);
+        sim.inject(0, 0, chain);
+        sim.run();
+        // Concatenate all logs in global delivery order by re-running and
+        // checking per-actor monotonicity (each actor's log is ordered by
+        // its own delivery times).
+        for a in sim.actors() {
+            for w in a.log.windows(2) {
+                prop_assert!(w[0].0 <= w[1].0, "time went backwards");
+            }
+        }
+        // The chain's hops happen in causal order: the delivery carrying
+        // payload p (a later hop) is never earlier than the one carrying
+        // p + 1. (Times may tie when sampled latencies collide, so compare
+        // per payload, not by sorting.)
+        let mut time_of = std::collections::HashMap::new();
+        for (t, m) in sim.actors().flat_map(|a| a.log.iter().copied()) {
+            prop_assert!(time_of.insert(m, t).is_none(), "payload delivered twice");
+        }
+        for m in 0..chain {
+            prop_assert!(time_of[&m] >= time_of[&(m + 1)], "hop {m} before its cause");
+        }
+    }
+
+    #[test]
+    fn constant_delay_chain_timing_is_exact(
+        n in 2usize..6,
+        chain in 0u32..50,
+        delay in 1u64..1_000,
+    ) {
+        let mut sim = Simulator::new(ring(n), ConstantDelay(delay), 0);
+        sim.inject(0, 0, chain);
+        let report = sim.run();
+        prop_assert_eq!(report.finished_at, delay * (chain as u64 + 1));
+    }
+
+    #[test]
+    fn identical_seeds_identical_runs(
+        n in 2usize..6,
+        chain in 1u32..30,
+        seed in 0u64..10_000,
+    ) {
+        let run = |s: u64| {
+            let mut sim = Simulator::new(ring(n), UniformDelay::new(1, 2_000), s);
+            sim.inject(0, 1 % n, chain);
+            let r = sim.run();
+            let log: Vec<Vec<(Time, u32)>> = sim.actors().map(|a| a.log.clone()).collect();
+            (r.delivered, r.finished_at, log)
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}

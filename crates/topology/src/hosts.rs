@@ -1,0 +1,133 @@
+use rand::Rng;
+
+use crate::TransitStub;
+
+/// Attachment of end-hosts (overlay nodes) to routers.
+///
+/// The paper attaches 4096 or 8192 end-hosts to the routers of its GT-ITM
+/// topology at random. Following GT-ITM practice, hosts attach to *stub*
+/// routers, each through an access link with a small random latency.
+///
+/// # Examples
+///
+/// ```
+/// use hyperring_topology::{HostMap, TransitStub, TransitStubConfig};
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let ts = TransitStub::generate(&TransitStubConfig::small(), &mut rng);
+/// let hosts = HostMap::attach(&ts, 128, &mut rng);
+/// assert_eq!(hosts.len(), 128);
+/// assert!(ts.is_stub(hosts.router_of(0)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HostMap {
+    router: Vec<u32>,
+    access: Vec<u32>,
+}
+
+/// Access-link latency range in microseconds (0.1–1 ms).
+const ACCESS_RANGE: (u32, u32) = (100, 1000);
+
+impl HostMap {
+    /// Attaches `n` hosts to random stub routers of `ts`.
+    ///
+    /// Multiple hosts may share a router (the paper attaches 8192 hosts to
+    /// 8320 routers, so collisions are expected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology has no stub routers.
+    pub fn attach<R: Rng + ?Sized>(ts: &TransitStub, n: usize, rng: &mut R) -> Self {
+        let stubs: Vec<u32> = ts.stub_routers().collect();
+        assert!(!stubs.is_empty(), "topology has no stub routers");
+        let mut router = Vec::with_capacity(n);
+        let mut access = Vec::with_capacity(n);
+        for _ in 0..n {
+            router.push(stubs[rng.gen_range(0..stubs.len())]);
+            access.push(rng.gen_range(ACCESS_RANGE.0..=ACCESS_RANGE.1));
+        }
+        HostMap { router, access }
+    }
+
+    /// Number of hosts.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.router.len()
+    }
+
+    /// Whether the map has no hosts.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.router.is_empty()
+    }
+
+    /// Router the host is attached to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host` is out of range.
+    #[inline]
+    pub fn router_of(&self, host: usize) -> u32 {
+        self.router[host]
+    }
+
+    /// Access-link latency of the host in microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host` is out of range.
+    #[inline]
+    pub fn access_latency(&self, host: usize) -> u32 {
+        self.access[host]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TransitStubConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hosts_attach_to_stub_routers_only() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let ts = TransitStub::generate(&TransitStubConfig::small(), &mut rng);
+        let hosts = HostMap::attach(&ts, 500, &mut rng);
+        for h in 0..hosts.len() {
+            assert!(ts.is_stub(hosts.router_of(h)));
+            let a = hosts.access_latency(h);
+            assert!((ACCESS_RANGE.0..=ACCESS_RANGE.1).contains(&a));
+        }
+    }
+
+    #[test]
+    fn host_latency_composition() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let ts = TransitStub::generate(&TransitStubConfig::small(), &mut rng);
+        let hosts = HostMap::attach(&ts, 16, &mut rng);
+        for h1 in 0..16 {
+            for h2 in 0..16 {
+                let l = ts.host_latency(&hosts, h1, h2);
+                assert_eq!(l, ts.host_latency(&hosts, h2, h1));
+                if h1 == h2 {
+                    assert_eq!(l, 0);
+                } else {
+                    let expected = hosts.access_latency(h1) as u64
+                        + ts.router_latency(hosts.router_of(h1), hosts.router_of(h2))
+                        + hosts.access_latency(h2) as u64;
+                    assert_eq!(l, expected);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_host_map() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let ts = TransitStub::generate(&TransitStubConfig::small(), &mut rng);
+        let hosts = HostMap::attach(&ts, 0, &mut rng);
+        assert!(hosts.is_empty());
+        assert_eq!(hosts.len(), 0);
+    }
+}

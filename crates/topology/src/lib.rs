@@ -1,0 +1,47 @@
+//! Internet-like router topologies and latency models.
+//!
+//! The paper's simulations run on transit-stub topologies produced by the
+//! GT-ITM package (Calvert, Doar & Zegura) with 8320 routers, to which
+//! end-hosts are attached at random. GT-ITM itself is a C program; this crate
+//! re-implements the same *model* from scratch:
+//!
+//! * [`Graph`] — weighted undirected router graphs with shortest-path
+//!   queries ([`dijkstra`], [`floyd_warshall`]);
+//! * [`waxman`] — the Waxman random-graph model GT-ITM uses inside each
+//!   domain;
+//! * [`TransitStub`] — the hierarchical transit/stub generator, with exact
+//!   hierarchical shortest-path evaluation so host-to-host latencies over an
+//!   8320-router graph can be queried in O(1) after a cheap precomputation;
+//! * [`HostMap`] — attachment of end-hosts (overlay nodes) to routers and a
+//!   host-to-host [`host_latency`](TransitStub::host_latency) query.
+//!
+//! Latencies are abstract microseconds (`u32` per edge, `u64` per path).
+//!
+//! # Examples
+//!
+//! ```
+//! use hyperring_topology::{TransitStub, TransitStubConfig, HostMap};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+//! let ts = TransitStub::generate(&TransitStubConfig::small(), &mut rng);
+//! let hosts = HostMap::attach(&ts, 64, &mut rng);
+//! let l = ts.host_latency(&hosts, 0, 1);
+//! assert!(l > 0);
+//! assert_eq!(l, ts.host_latency(&hosts, 1, 0)); // symmetric
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod graph;
+mod hosts;
+mod shortest_path;
+mod transit_stub;
+mod waxman;
+
+pub use graph::Graph;
+pub use hosts::HostMap;
+pub use shortest_path::{dijkstra, floyd_warshall};
+pub use transit_stub::{TransitStub, TransitStubConfig};
+pub use waxman::{waxman, WaxmanConfig};

@@ -1,0 +1,162 @@
+use rand::Rng;
+
+use crate::Graph;
+
+/// Parameters of the Waxman random-graph model.
+///
+/// Vertices are placed uniformly at random on a `scale × scale` grid and an
+/// edge `(u, v)` is created with probability
+/// `alpha * exp(-dist(u, v) / (beta * L))`, where `L` is the grid diagonal —
+/// the model GT-ITM uses inside transit and stub domains. Edge weight is the
+/// Euclidean distance scaled by `weight_per_unit`, with a floor of 1 µs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaxmanConfig {
+    /// Edge-density parameter `alpha` in `(0, 1]`.
+    pub alpha: f64,
+    /// Distance-decay parameter `beta` in `(0, 1]`.
+    pub beta: f64,
+    /// Side of the placement grid.
+    pub scale: f64,
+    /// Microseconds of latency per grid distance unit.
+    pub weight_per_unit: f64,
+}
+
+impl Default for WaxmanConfig {
+    fn default() -> Self {
+        WaxmanConfig {
+            alpha: 0.25,
+            beta: 0.2,
+            scale: 100.0,
+            weight_per_unit: 10.0,
+        }
+    }
+}
+
+/// Generates a *connected* Waxman graph with `n` vertices.
+///
+/// Connectivity is ensured the way GT-ITM does in practice: after the random
+/// edge pass, components are stitched together with an edge between their
+/// closest vertex pair.
+///
+/// # Panics
+///
+/// Panics if `alpha` or `beta` are outside `(0, 1]`.
+pub fn waxman<R: Rng + ?Sized>(n: usize, cfg: &WaxmanConfig, rng: &mut R) -> Graph {
+    assert!(
+        cfg.alpha > 0.0 && cfg.alpha <= 1.0,
+        "alpha {} not in (0, 1]",
+        cfg.alpha
+    );
+    assert!(
+        cfg.beta > 0.0 && cfg.beta <= 1.0,
+        "beta {} not in (0, 1]",
+        cfg.beta
+    );
+    let mut g = Graph::new(n);
+    if n <= 1 {
+        return g;
+    }
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>() * cfg.scale, rng.gen::<f64>() * cfg.scale))
+        .collect();
+    let l = (2.0f64).sqrt() * cfg.scale;
+    let dist = |a: usize, b: usize| -> f64 {
+        let dx = pts[a].0 - pts[b].0;
+        let dy = pts[a].1 - pts[b].1;
+        (dx * dx + dy * dy).sqrt()
+    };
+    let weight = |d: f64| -> u32 { (d * cfg.weight_per_unit).max(1.0) as u32 };
+
+    for a in 0..n {
+        for b in a + 1..n {
+            let d = dist(a, b);
+            let p = cfg.alpha * (-d / (cfg.beta * l)).exp();
+            if rng.gen::<f64>() < p {
+                g.add_edge(a as u32, b as u32, weight(d));
+            }
+        }
+    }
+
+    // Stitch components: connect each non-root component to the root
+    // component through the closest cross pair.
+    loop {
+        let comps = g.components();
+        if comps.len() == 1 {
+            break;
+        }
+        let root = &comps[0];
+        let other = &comps[1];
+        let mut best: Option<(u32, u32, f64)> = None;
+        for &a in root {
+            for &b in other {
+                let d = dist(a as usize, b as usize);
+                if best.is_none_or(|(_, _, bd)| d < bd) {
+                    best = Some((a, b, d));
+                }
+            }
+        }
+        let (a, b, d) = best.expect("two non-empty components");
+        g.add_edge(a, b, weight(d));
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_graphs_are_connected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for n in [1usize, 2, 3, 10, 50, 200] {
+            let g = waxman(n, &WaxmanConfig::default(), &mut rng);
+            assert_eq!(g.vertex_count(), n);
+            assert!(g.is_connected(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g1 = waxman(
+            40,
+            &WaxmanConfig::default(),
+            &mut StdRng::seed_from_u64(77),
+        );
+        let g2 = waxman(
+            40,
+            &WaxmanConfig::default(),
+            &mut StdRng::seed_from_u64(77),
+        );
+        assert_eq!(g1.edge_count(), g2.edge_count());
+        for v in 0..40u32 {
+            assert_eq!(g1.neighbors(v), g2.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn higher_alpha_gives_denser_graphs() {
+        let sparse_cfg = WaxmanConfig {
+            alpha: 0.05,
+            ..WaxmanConfig::default()
+        };
+        let dense_cfg = WaxmanConfig {
+            alpha: 0.9,
+            ..WaxmanConfig::default()
+        };
+        let sparse = waxman(100, &sparse_cfg, &mut StdRng::seed_from_u64(3));
+        let dense = waxman(100, &dense_cfg, &mut StdRng::seed_from_u64(3));
+        assert!(dense.edge_count() > sparse.edge_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_bad_alpha() {
+        let cfg = WaxmanConfig {
+            alpha: 0.0,
+            ..WaxmanConfig::default()
+        };
+        waxman(5, &cfg, &mut StdRng::seed_from_u64(0));
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests of the transit-stub generator and its O(1)
+//! hierarchical shortest-path evaluation.
+
+use hyperring_topology::{dijkstra, HostMap, TransitStub, TransitStubConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_config() -> impl Strategy<Value = TransitStubConfig> {
+    (1usize..=3, 2usize..=5, 1usize..=3, 2usize..=6).prop_map(|(t, nt, s, ns)| {
+        TransitStubConfig {
+            transit_domains: t,
+            transit_nodes: nt,
+            stubs_per_transit_node: s,
+            stub_nodes: ns,
+            ..TransitStubConfig::small()
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn generated_topology_is_well_formed(cfg in arb_config(), seed in 0u64..1_000) {
+        let ts = TransitStub::generate(&cfg, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(ts.router_count(), cfg.router_count());
+        prop_assert!(ts.graph().is_connected());
+        prop_assert_eq!(
+            ts.transit_count() as usize,
+            cfg.transit_domains * cfg.transit_nodes
+        );
+        let stubs = ts.stub_routers().count();
+        prop_assert_eq!(
+            stubs,
+            cfg.router_count() - cfg.transit_domains * cfg.transit_nodes
+        );
+    }
+
+    #[test]
+    fn hierarchical_latency_is_exact(cfg in arb_config(), seed in 0u64..1_000) {
+        let ts = TransitStub::generate(&cfg, &mut StdRng::seed_from_u64(seed));
+        let n = ts.router_count() as u32;
+        // Exactness against full-graph Dijkstra from a few sources.
+        for src in [0u32, n / 3, n - 1] {
+            let d = dijkstra(ts.graph(), src);
+            for dst in (0..n).step_by(1 + n as usize / 17) {
+                prop_assert_eq!(ts.router_latency(src, dst), d[dst as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn latency_is_a_metric(cfg in arb_config(), seed in 0u64..1_000) {
+        let ts = TransitStub::generate(&cfg, &mut StdRng::seed_from_u64(seed));
+        let n = ts.router_count() as u32;
+        let probe: Vec<u32> = (0..n).step_by(1 + n as usize / 7).collect();
+        for &a in &probe {
+            prop_assert_eq!(ts.router_latency(a, a), 0);
+            for &b in &probe {
+                prop_assert_eq!(ts.router_latency(a, b), ts.router_latency(b, a));
+                for &c in &probe {
+                    prop_assert!(
+                        ts.router_latency(a, c)
+                            <= ts.router_latency(a, b) + ts.router_latency(b, c),
+                        "triangle inequality violated at ({a}, {b}, {c})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn host_latency_composes_access_links(
+        cfg in arb_config(),
+        seed in 0u64..1_000,
+        hosts in 1usize..40,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ts = TransitStub::generate(&cfg, &mut rng);
+        let map = HostMap::attach(&ts, hosts, &mut rng);
+        for h1 in 0..hosts {
+            prop_assert_eq!(ts.host_latency(&map, h1, h1), 0);
+            for h2 in 0..hosts {
+                let l = ts.host_latency(&map, h1, h2);
+                prop_assert_eq!(l, ts.host_latency(&map, h2, h1));
+                if h1 != h2 {
+                    prop_assert!(l >= (map.access_latency(h1) + map.access_latency(h2)) as u64);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Large concurrent-join scenario on a transit-stub topology: 512 members,
+//! 256 simultaneous joiners, full consistency verification, per-message
+//! statistics — a miniature of the paper's Figure 15(b) setup.
+//!
+//! Run with: `cargo run --release --example concurrent_joins`
+
+use hyperring::analysis::{theorem3_bound, upper_bound_join_noti};
+use hyperring::core::{MessageKind, SimNetworkBuilder};
+use hyperring::harness::{distinct_ids, TopologyDelay};
+use hyperring::id::IdSpace;
+use hyperring::sim::stats::Distribution;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let space = IdSpace::new(16, 8)?;
+    let (n, m) = (512usize, 256usize);
+    let ids = distinct_ids(space, n + m, 99);
+
+    let mut builder = SimNetworkBuilder::new(space);
+    for id in &ids[..n] {
+        builder.add_member(*id);
+    }
+    for (i, id) in ids[n..].iter().enumerate() {
+        builder.add_joiner(*id, ids[i % n], 0);
+    }
+
+    // 72-router transit-stub topology, one host per overlay node.
+    let delay = TopologyDelay::test_scale(n + m, 5);
+    println!(
+        "topology: {} routers, {} hosts",
+        delay.topology().router_count(),
+        delay.host_count()
+    );
+
+    let mut net = builder.build(delay, 1);
+    let report = net.run();
+    println!(
+        "delivered {} messages; quiescent at t = {:.3} s (virtual)",
+        report.delivered,
+        report.finished_at as f64 / 1e6
+    );
+
+    assert!(net.all_in_system());
+    let consistency = net.check_consistency();
+    assert!(consistency.is_consistent());
+    println!("{consistency}");
+
+    // Message-count distribution across joiners, paper-style.
+    let dist = Distribution::from_samples(net.joiners().map(|e| e.stats().join_noti()));
+    println!(
+        "JoinNotiMsg per joiner: mean {:.2}, p50 {}, p95 {}, max {}",
+        dist.mean(),
+        dist.quantile(0.5),
+        dist.quantile(0.95),
+        dist.max()
+    );
+    let bound = upper_bound_join_noti(16, 8, n as u64, m as u64);
+    println!("Theorem 5 upper bound on the mean: {bound:.2}");
+
+    let worst = net
+        .joiners()
+        .map(|e| e.stats().cprst_plus_joinwait())
+        .max()
+        .unwrap();
+    println!(
+        "max CpRstMsg+JoinWaitMsg per joiner: {worst} (Theorem 3 bound: {})",
+        theorem3_bound(8)
+    );
+
+    // Full per-kind traffic breakdown.
+    let mut totals = hyperring::core::MessageStats::new();
+    for e in net.engines() {
+        totals.merge(e.stats());
+    }
+    println!("\ntraffic by message type (all nodes):");
+    print!("{totals}");
+    let spe = totals.sent(MessageKind::SpeNoti);
+    println!("\nSpeNotiMsg sent: {spe} (footnote 8: rarely sent)");
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Reproduces the paper's Figure 2: the C-set tree template for
+//! W = {10261, 47051, 00261} joining V = {72430, 10353, 62332, 13141,
+//! 31701} (b = 8, d = 5), and one realization produced by actually running
+//! the join protocol.
+//!
+//! Run with: `cargo run --example cset_tree`
+
+use hyperring::core::{NeighborTable, SimNetworkBuilder};
+use hyperring::cset::{check_conditions, notify_set, CsetTemplate, RealizedCset};
+use hyperring::id::{IdSpace, NodeId};
+use hyperring::sim::UniformDelay;
+use std::collections::HashMap;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let space = IdSpace::new(8, 5)?;
+    let v: Vec<NodeId> = ["72430", "10353", "62332", "13141", "31701"]
+        .iter()
+        .map(|s| space.parse_id(s))
+        .collect::<Result<_, _>>()?;
+    let w: Vec<NodeId> = ["10261", "47051", "00261"]
+        .iter()
+        .map(|s| space.parse_id(s))
+        .collect::<Result<_, _>>()?;
+
+    // Notification sets (Definition 3.4): all three joiners notify V_1.
+    for x in &w {
+        let (suffix, set) = notify_set(&v, x);
+        let names: Vec<String> = set.iter().map(|n| n.to_string()).collect();
+        println!("V^Notify_{x} = V_{suffix} = {{{}}}", names.join(", "));
+    }
+
+    // The tree template C(V, W) — Figure 2(b).
+    let root = space.parse_suffix("1")?;
+    let template = CsetTemplate::build(space, root, &w);
+    println!("\nC-set tree template C(V, W)  [Figure 2(b)]:");
+    println!("{}", template.render());
+
+    // Run the joins and read off a realization — Figure 2(c).
+    let mut b = SimNetworkBuilder::new(space);
+    for id in &v {
+        b.add_member(*id);
+    }
+    for id in &w {
+        b.add_joiner(*id, v[0], 0);
+    }
+    let mut net = b.build(UniformDelay::new(1_000, 60_000), 2003);
+    net.run();
+    assert!(net.all_in_system());
+    assert!(net.check_consistency().is_consistent());
+
+    let tables: HashMap<NodeId, NeighborTable> =
+        net.tables().into_iter().map(|t| (t.owner(), t)).collect();
+    let realized = RealizedCset::compute(&template, &v, &w, |id| tables.get(id));
+    println!("realized C-set tree cset(V, W)  [one possible Figure 2(c)]:");
+    println!(
+        "  root V_1 = {{{}}}",
+        realized
+            .root_members()
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    for (suffix, members) in realized.iter() {
+        let names: Vec<String> = members.iter().map(|n| n.to_string()).collect();
+        println!("  C_{suffix} = {{{}}}", names.join(", "));
+    }
+
+    // The §3.3 conditions (1)–(3) hold at the end of the joins.
+    let violations = check_conditions(&template, &realized, &w, |id| tables.get(id));
+    assert!(violations.is_empty(), "{violations:?}");
+    println!("\nconditions (1)-(3) of §3.3: satisfied");
+    Ok(())
+}

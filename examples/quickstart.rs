@@ -1,0 +1,65 @@
+//! Quickstart: build a consistent network, let nodes join concurrently,
+//! check the two theorems, and route some messages.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use hyperring::core::{route, NeighborTable, SimNetworkBuilder};
+use hyperring::id::{IdSpace, NodeId};
+use hyperring::sim::UniformDelay;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // 32-bit identifiers: 8 hex digits, as in the paper's evaluation.
+    let space = IdSpace::new(16, 8)?;
+
+    // Draw 96 distinct identifiers: 64 initial members + 32 joiners.
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut ids = std::collections::BTreeSet::new();
+    while ids.len() < 96 {
+        ids.insert(space.random_id(&mut rng));
+    }
+    let ids: Vec<NodeId> = ids.into_iter().collect();
+    let (members, joiners) = ids.split_at(64);
+
+    // Build the network: members get consistent tables, joiners all start
+    // at t = 0 (maximally concurrent), each through some member.
+    let mut builder = SimNetworkBuilder::new(space);
+    for id in members {
+        builder.add_member(*id);
+    }
+    for (i, id) in joiners.iter().enumerate() {
+        builder.add_joiner(*id, members[i % members.len()], 0);
+    }
+    let mut net = builder.build(UniformDelay::new(1_000, 80_000), 7);
+    let report = net.run();
+
+    println!("simulated {} message deliveries in {:.3} s of virtual time", report.delivered, report.finished_at as f64 / 1e6);
+
+    // Theorem 2: every joiner became an S-node.
+    assert!(net.all_in_system());
+    println!("all {} joiners reached status in_system (Theorem 2)", joiners.len());
+
+    // Theorem 1: the network is consistent.
+    let consistency = net.check_consistency();
+    assert!(consistency.is_consistent());
+    println!("consistency check: {consistency}");
+
+    // Per-joiner cost (the paper's §5.2 metric).
+    let total_noti: u64 = net.joiners().map(|e| e.stats().join_noti()).sum();
+    println!(
+        "JoinNotiMsg per joiner: {:.2} on average",
+        total_noti as f64 / joiners.len() as f64
+    );
+
+    // Route between arbitrary nodes over the final tables.
+    let tables: HashMap<NodeId, NeighborTable> =
+        net.tables().into_iter().map(|t| (t.owner(), t)).collect();
+    let (src, dst) = (members[0], joiners[joiners.len() - 1]);
+    let outcome = route(src, dst, |id| tables.get(id));
+    println!("route {src} -> {dst}: {} hops (d = 8 max)", outcome.hops());
+    assert!(outcome.is_delivered());
+    Ok(())
+}

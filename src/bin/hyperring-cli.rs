@@ -1,0 +1,217 @@
+//! `hyperring-cli` — run the paper's machinery from the command line.
+//!
+//! ```console
+//! $ hyperring-cli analyze  --b 16 --d 8 --n 3096 --m 1000
+//! $ hyperring-cli simulate --b 16 --d 8 --n 512 --m 128 --seed 7
+//! $ hyperring-cli bootstrap --n 128
+//! $ hyperring-cli route    --n 256 --pairs 5 --seed 3
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use hyperring::analysis::{
+    expected_filled_entries, expected_join_noti, expected_noti_level, theorem3_bound,
+    upper_bound_join_noti,
+};
+use hyperring::core::{route, NeighborTable, RouteOutcome, SimNetworkBuilder};
+use hyperring::harness::distinct_ids;
+use hyperring::id::{IdSpace, NodeId};
+use hyperring::sim::UniformDelay;
+
+/// Minimal `--key value` flag parser with typed lookups and defaults.
+struct Flags(HashMap<String, String>);
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut map = HashMap::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let key = a
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got {a:?}"))?;
+            let val = it
+                .next()
+                .ok_or_else(|| format!("--{key} needs a value"))?;
+            map.insert(key.to_string(), val.clone());
+        }
+        Ok(Flags(map))
+    }
+
+    fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.0.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse {v:?}")),
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "hyperring-cli — hypercube routing with consistency-preserving joins\n\
+     \n\
+     USAGE:\n\
+       hyperring-cli <command> [--flag value]...\n\
+     \n\
+     COMMANDS:\n\
+       analyze    closed-form cost model (Theorems 3-5, occupancy)\n\
+                  flags: --b 16 --d 8 --n 3096 --m 1000\n\
+       simulate   run n members + m concurrent joins, report stats\n\
+                  flags: --b 16 --d 8 --n 512 --m 128 --seed 7\n\
+       bootstrap  initialize a network from one node (§6.1)\n\
+                  flags: --b 16 --d 8 --n 128 --seed 7\n\
+       route      sample routes over a consistent network\n\
+                  flags: --b 16 --d 8 --n 256 --pairs 5 --seed 7\n\
+       help       print this text\n"
+}
+
+fn cmd_analyze(f: &Flags) -> Result<(), String> {
+    let b: u32 = f.get("b", 16)?;
+    let d: u32 = f.get("d", 8)?;
+    let n: u64 = f.get("n", 3096)?;
+    let m: u64 = f.get("m", 1000)?;
+    println!("identifier space: base {b}, {d} digits ({} ids)", (b as f64).powi(d as i32));
+    println!("network size n = {n}, concurrent joiners m = {m}");
+    println!();
+    println!("Theorem 3:  CpRstMsg + JoinWaitMsg per join <= {}", theorem3_bound(d as usize));
+    println!("Theorem 4:  E[JoinNotiMsg], single join  = {:.3}", expected_join_noti(b, d, n));
+    println!("Theorem 5:  E[JoinNotiMsg] upper bound   = {:.3}", upper_bound_join_noti(b, d, n, m));
+    println!("expected notification level              = {:.3}", expected_noti_level(b, d, n));
+    println!("expected filled table entries            = {:.1} of {}", expected_filled_entries(b, d, n), b * d);
+    Ok(())
+}
+
+fn build_network(
+    space: IdSpace,
+    n: usize,
+    m: usize,
+    seed: u64,
+) -> (Vec<NodeId>, hyperring::core::SimNetwork<UniformDelay>) {
+    let ids = distinct_ids(space, n + m, seed);
+    let mut builder = SimNetworkBuilder::new(space);
+    for id in &ids[..n] {
+        builder.add_member(*id);
+    }
+    for (i, id) in ids[n..].iter().enumerate() {
+        builder.add_joiner(*id, ids[i % n], 0);
+    }
+    let net = builder.build(UniformDelay::new(1_000, 80_000), seed);
+    (ids, net)
+}
+
+fn cmd_simulate(f: &Flags) -> Result<(), String> {
+    let b: u16 = f.get("b", 16)?;
+    let d: usize = f.get("d", 8)?;
+    let n: usize = f.get("n", 512)?;
+    let m: usize = f.get("m", 128)?;
+    let seed: u64 = f.get("seed", 7)?;
+    let space = IdSpace::new(b, d).map_err(|e| e.to_string())?;
+    eprintln!("simulating {n} members + {m} concurrent joins (b={b}, d={d}, seed={seed}) …");
+    let (_, mut net) = build_network(space, n, m, seed);
+    let report = net.run();
+    println!("messages delivered : {}", report.delivered);
+    println!("virtual time       : {:.3} s", report.finished_at as f64 / 1e6);
+    println!("all in system      : {}", net.all_in_system());
+    let c = net.check_consistency();
+    println!("consistency        : {c}");
+    let total_noti: u64 = net.joiners().map(|e| e.stats().join_noti()).sum();
+    println!(
+        "JoinNotiMsg / join : {:.3} (Theorem 5 bound {:.3})",
+        total_noti as f64 / m as f64,
+        upper_bound_join_noti(b as u32, d as u32, n as u64, m as u64)
+    );
+    let worst = net
+        .joiners()
+        .map(|e| e.stats().cprst_plus_joinwait())
+        .max()
+        .unwrap_or(0);
+    println!("max CpRst+JoinWait : {worst} (bound {})", d + 1);
+    if !c.is_consistent() || !net.all_in_system() {
+        return Err("run violated the paper's theorems — this is a bug".into());
+    }
+    Ok(())
+}
+
+fn cmd_bootstrap(f: &Flags) -> Result<(), String> {
+    let b: u16 = f.get("b", 16)?;
+    let d: usize = f.get("d", 8)?;
+    let n: usize = f.get("n", 128)?;
+    let seed: u64 = f.get("seed", 7)?;
+    let space = IdSpace::new(b, d).map_err(|e| e.to_string())?;
+    let ids = distinct_ids(space, n, seed);
+    eprintln!("bootstrapping {n} nodes from a single seed node (concurrently) …");
+    let mut builder = SimNetworkBuilder::new(space);
+    builder.add_member(ids[0]);
+    for id in &ids[1..] {
+        builder.add_joiner(*id, ids[0], 0);
+    }
+    let mut net = builder.build(UniformDelay::new(500, 50_000), seed);
+    let report = net.run();
+    let c = net.check_consistency();
+    println!("nodes        : {n}");
+    println!("messages     : {}", report.delivered);
+    println!("virtual time : {:.3} s", report.finished_at as f64 / 1e6);
+    println!("consistency  : {c}");
+    Ok(())
+}
+
+fn cmd_route(f: &Flags) -> Result<(), String> {
+    let b: u16 = f.get("b", 16)?;
+    let d: usize = f.get("d", 8)?;
+    let n: usize = f.get("n", 256)?;
+    let pairs: usize = f.get("pairs", 5)?;
+    let seed: u64 = f.get("seed", 7)?;
+    let space = IdSpace::new(b, d).map_err(|e| e.to_string())?;
+    let ids = distinct_ids(space, n, seed);
+    let tables: HashMap<NodeId, NeighborTable> =
+        hyperring::core::build_consistent_tables(space, &ids)
+            .into_iter()
+            .map(|t| (t.owner(), t))
+            .collect();
+    for k in 0..pairs {
+        let s = ids[(k * 17) % n];
+        let t = ids[(k * 101 + 31) % n];
+        match route(s, t, |id| tables.get(id)) {
+            RouteOutcome::Delivered { path } => {
+                let pretty: Vec<String> = path.iter().map(|p| p.to_string()).collect();
+                println!("{}", pretty.join(" -> "));
+            }
+            dropped => return Err(format!("route failed: {dropped:?}")),
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let flags = match Flags::parse(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "analyze" => cmd_analyze(&flags),
+        "simulate" => cmd_simulate(&flags),
+        "bootstrap" => cmd_bootstrap(&flags),
+        "route" => cmd_route(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Failure-injection-style tests: the proof assumes only reliable delivery,
+//! so the protocol must survive hostile *schedules* — extreme latency
+//! spreads (replies overtaking requests), every joiner hammering the same
+//! gateway, staggered starts that interleave join phases, and pathological
+//! identifier structure (all joiners in one C-set branch).
+
+use hyperring::core::{Entry, NodeState, SimNetworkBuilder, Status};
+use hyperring::harness::distinct_ids;
+use hyperring::id::IdSpace;
+use hyperring::sim::UniformDelay;
+
+#[test]
+fn extreme_latency_spread() {
+    // Latencies spanning five orders of magnitude: massive reordering.
+    let space = IdSpace::new(8, 5).unwrap();
+    for seed in 0..8 {
+        let ids = distinct_ids(space, 40, seed);
+        let mut b = SimNetworkBuilder::new(space);
+        for id in &ids[..20] {
+            b.add_member(*id);
+        }
+        for id in &ids[20..] {
+            b.add_joiner(*id, ids[0], 0);
+        }
+        let mut net = b.build(UniformDelay::new(1, 10_000_000), seed);
+        net.run();
+        assert!(net.all_in_system(), "seed {seed}");
+        let c = net.check_consistency();
+        assert!(c.is_consistent(), "seed {seed}: {c}");
+    }
+}
+
+#[test]
+fn single_gateway_pileup() {
+    // All joiners know exactly one member (assumption (ii) minimal form).
+    let space = IdSpace::new(16, 6).unwrap();
+    let ids = distinct_ids(space, 64, 3);
+    let mut b = SimNetworkBuilder::new(space);
+    for id in &ids[..2] {
+        b.add_member(*id);
+    }
+    for id in &ids[2..] {
+        b.add_joiner(*id, ids[0], 0);
+    }
+    let mut net = b.build(UniformDelay::new(500, 80_000), 9);
+    net.run();
+    assert!(net.all_in_system());
+    assert!(net.check_consistency().is_consistent());
+}
+
+#[test]
+fn staggered_starts_interleave_phases() {
+    // Joins start 1 ms apart with 100 ms latencies: every phase of one
+    // join overlaps every phase of many others.
+    let space = IdSpace::new(4, 6).unwrap();
+    let ids = distinct_ids(space, 48, 8);
+    let mut b = SimNetworkBuilder::new(space);
+    for id in &ids[..16] {
+        b.add_member(*id);
+    }
+    for (i, id) in ids[16..].iter().enumerate() {
+        b.add_joiner(*id, ids[i % 16], i as u64 * 1_000);
+    }
+    let mut net = b.build(UniformDelay::new(50_000, 150_000), 4);
+    net.run();
+    assert!(net.all_in_system());
+    assert!(net.check_consistency().is_consistent());
+}
+
+#[test]
+fn all_joiners_share_a_deep_suffix() {
+    // Hand-built identifiers: every joiner ends in "11", so all of them
+    // fight over the same C-set subtree (the paper's worst case).
+    let space = IdSpace::new(4, 6).unwrap();
+    let mut b = SimNetworkBuilder::new(space);
+    let members = ["000000", "123123", "231032", "302211", "013311"];
+    for s in members {
+        b.add_member(space.parse_id(s).unwrap());
+    }
+    let joiners = [
+        "111111", "222211", "333311", "001111", "330011", "101011", "210111", "032011",
+    ];
+    let g = space.parse_id(members[0]).unwrap();
+    for s in joiners {
+        b.add_joiner(space.parse_id(s).unwrap(), g, 0);
+    }
+    for seed in 0..10 {
+        let mut net = b.build(UniformDelay::new(1, 300_000), seed);
+        net.run();
+        assert!(net.all_in_system(), "seed {seed}");
+        let c = net.check_consistency();
+        assert!(c.is_consistent(), "seed {seed}: {c}");
+        // Every joiner ends up knowing a path toward every other joiner.
+        for s in joiners {
+            let x = space.parse_id(s).unwrap();
+            for t in joiners {
+                let y = space.parse_id(t).unwrap();
+                if x == y {
+                    continue;
+                }
+                let k = x.csuf_len(&y);
+                assert!(
+                    net.engine(&x).table().get(k, y.digit(k)).is_some(),
+                    "seed {seed}: {x} has no hop toward {y}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn members_see_joiners_with_s_state_eventually() {
+    // After quiescence, no member may still record a joiner as T
+    // (InSysNotiMsg / RvNghNotiRlyMsg must have propagated).
+    let space = IdSpace::new(8, 4).unwrap();
+    let ids = distinct_ids(space, 30, 21);
+    let mut b = SimNetworkBuilder::new(space);
+    for id in &ids[..15] {
+        b.add_member(*id);
+    }
+    for id in &ids[15..] {
+        b.add_joiner(*id, ids[1], 0);
+    }
+    let mut net = b.build(UniformDelay::new(10, 400_000), 2);
+    net.run();
+    for e in net.engines() {
+        assert_eq!(e.status(), Status::InSystem);
+        for (l, dg, entry) in e.table().iter() {
+            assert_eq!(entry.state, NodeState::S, "{} ({l},{dg})", e.id());
+            // And the entry is structurally valid.
+            assert!(e.table().fits(l, dg, &entry.node));
+            let _ = Entry {
+                node: entry.node,
+                state: entry.state,
+            };
+        }
+    }
+}

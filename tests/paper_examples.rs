@@ -1,0 +1,127 @@
+//! The paper's worked examples, as integration tests: Figure 1's neighbor
+//! table, the §2.2 routing walk-through, and Figure 2's C-set tree.
+
+use hyperring::core::{build_consistent_tables, check_consistency, route, NeighborTable};
+use hyperring::cset::{notify_suffix, tree_groups, CsetTemplate};
+use hyperring::id::{IdSpace, NodeId};
+use std::collections::HashMap;
+
+fn parse_all(space: IdSpace, ss: &[&str]) -> Vec<NodeId> {
+    ss.iter().map(|s| space.parse_id(s).unwrap()).collect()
+}
+
+#[test]
+fn figure_1_neighbor_table_of_21233() {
+    let space = IdSpace::new(4, 5).unwrap();
+    let ids = parse_all(
+        space,
+        &[
+            "21233", "01100", "33121", "12232", "22303", "13113", "00123", "31033", "03133",
+            "10233", "03233", "01233", "11233", "31233",
+        ],
+    );
+    let tables = build_consistent_tables(space, &ids);
+    assert!(check_consistency(space, &tables).is_consistent());
+    let t = tables.iter().find(|t| t.owner() == ids[0]).unwrap();
+
+    // Every filled cell of Figure 1.
+    let expect = [
+        (0usize, 0u8, "01100"),
+        (0, 1, "33121"),
+        (0, 2, "12232"),
+        (0, 3, "21233"),
+        (1, 0, "22303"),
+        (1, 1, "13113"),
+        (1, 2, "00123"),
+        (1, 3, "21233"),
+        (2, 0, "31033"),
+        (2, 1, "03133"),
+        (2, 2, "21233"),
+        (3, 0, "10233"),
+        (3, 1, "21233"),
+        (3, 3, "03233"),
+        (4, 0, "01233"),
+        (4, 1, "11233"),
+        (4, 2, "21233"),
+        (4, 3, "31233"),
+    ];
+    for (l, d, id) in expect {
+        assert_eq!(
+            t.get(l, d).expect("filled").node.to_string(),
+            id,
+            "entry ({l},{d})"
+        );
+    }
+    // Figure 1's empty entries at levels 2 and 3.
+    assert!(t.get(2, 3).is_none(), "no node has suffix 333");
+    assert!(t.get(3, 2).is_none(), "no node has suffix 2233");
+    // 18 filled cells in total.
+    assert_eq!(t.filled(), 18);
+}
+
+#[test]
+fn section_2_2_routing_walk() {
+    // 21233 -> 03231 reaches the target with the suffix match growing
+    // every hop, within d hops.
+    let space = IdSpace::new(4, 5).unwrap();
+    let mut ids = parse_all(
+        space,
+        &[
+            "21233", "01100", "33121", "12232", "22303", "13113", "00123", "31033", "03133",
+            "10233", "03233", "01233", "11233", "31233",
+        ],
+    );
+    ids.push(space.parse_id("03231").unwrap());
+    ids.push(space.parse_id("13331").unwrap());
+    let tables: HashMap<NodeId, NeighborTable> = build_consistent_tables(space, &ids)
+        .into_iter()
+        .map(|t| (t.owner(), t))
+        .collect();
+    let src = space.parse_id("21233").unwrap();
+    let dst = space.parse_id("03231").unwrap();
+    let out = route(src, dst, |id| tables.get(id));
+    assert!(out.is_delivered());
+    assert!(out.hops() <= 5);
+}
+
+#[test]
+fn figure_2_cset_tree() {
+    let space = IdSpace::new(8, 5).unwrap();
+    let v = parse_all(space, &["72430", "10353", "62332", "13141", "31701"]);
+    let w = parse_all(space, &["10261", "47051", "00261"]);
+
+    // All three joiners share the notification suffix "1" — one tree.
+    let groups = tree_groups(&v, &w);
+    assert_eq!(groups.len(), 1);
+    assert_eq!(groups[0].0.to_string(), "1");
+    assert_eq!(groups[0].1.len(), 3);
+
+    // The template has exactly Figure 2(b)'s nine C-sets.
+    let template = CsetTemplate::build(space, groups[0].0, &w);
+    assert_eq!(template.len(), 9);
+    let names: Vec<String> = template.csets().map(|s| s.to_string()).collect();
+    for cs in ["61", "51", "261", "051", "0261", "7051", "00261", "10261", "47051"] {
+        assert!(names.contains(&cs.to_string()), "missing C_{cs}");
+    }
+}
+
+#[test]
+fn section_3_3_mixed_notify_sets() {
+    // W = {10261, 00261, 67320, 11445}: 10261 and 00261 share the tree
+    // rooted at V_1, 67320 gets V_0, 11445 gets all of V.
+    let space = IdSpace::new(8, 5).unwrap();
+    let v = parse_all(space, &["72430", "10353", "62332", "13141", "31701"]);
+    assert_eq!(
+        notify_suffix(&v, &space.parse_id("10261").unwrap()).to_string(),
+        "1"
+    );
+    assert_eq!(
+        notify_suffix(&v, &space.parse_id("00261").unwrap()).to_string(),
+        "1"
+    );
+    assert_eq!(
+        notify_suffix(&v, &space.parse_id("67320").unwrap()).to_string(),
+        "0"
+    );
+    assert!(notify_suffix(&v, &space.parse_id("11445").unwrap()).is_empty());
+}

@@ -1,0 +1,88 @@
+//! Property-based end-to-end tests: for *any* identifier space, member
+//! set, joiner set, gateway assignment, latency range, and seed, the join
+//! protocol terminates with consistent tables (Theorems 1 and 2) and obeys
+//! the Theorem-3 message bound.
+
+use hyperring::core::{SimNetworkBuilder, Status};
+use hyperring::cset::{check_conditions, tree_groups, CsetTemplate, RealizedCset};
+use hyperring::harness::distinct_ids;
+use hyperring::id::IdSpace;
+use hyperring::sim::UniformDelay;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, // each case is a full multi-node simulation
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn arbitrary_concurrent_joins_stay_consistent(
+        b in 2u16..=16,
+        d in 3usize..=10,
+        n in 1usize..=24,
+        m in 1usize..=24,
+        lat_hi in 1_000u64..500_000,
+        seed in 0u64..10_000,
+    ) {
+        let space = IdSpace::new(b, d).unwrap();
+        // Skip degenerate spaces that cannot hold the population.
+        let cap = space.capacity().unwrap_or(u128::MAX);
+        prop_assume!(cap >= (n + m) as u128 * 4);
+
+        let ids = distinct_ids(space, n + m, seed);
+        let mut builder = SimNetworkBuilder::new(space);
+        for id in &ids[..n] {
+            builder.add_member(*id);
+        }
+        for (i, id) in ids[n..].iter().enumerate() {
+            builder.add_joiner(*id, ids[i % n], 0);
+        }
+        let mut net = builder.build(UniformDelay::new(1, lat_hi), seed);
+        let report = net.run_limited(20_000_000);
+        prop_assert!(!report.truncated, "no quiescence");
+        prop_assert!(net.engines().all(|e| e.status() == Status::InSystem));
+        let c = net.check_consistency();
+        prop_assert!(c.is_consistent(), "{}", c);
+        for e in net.joiners() {
+            prop_assert!(e.stats().cprst_plus_joinwait() <= (d + 1) as u64);
+        }
+    }
+
+    #[test]
+    fn cset_conditions_hold_for_every_tree(
+        b in 2u16..=8,
+        d in 4usize..=8,
+        n in 2usize..=16,
+        m in 2usize..=16,
+        seed in 0u64..10_000,
+    ) {
+        let space = IdSpace::new(b, d).unwrap();
+        let cap = space.capacity().unwrap_or(u128::MAX);
+        prop_assume!(cap >= (n + m) as u128 * 4);
+
+        let ids = distinct_ids(space, n + m, seed);
+        let (v, w) = ids.split_at(n);
+        let mut builder = SimNetworkBuilder::new(space);
+        for id in v {
+            builder.add_member(*id);
+        }
+        for (i, id) in w.iter().enumerate() {
+            builder.add_joiner(*id, v[i % n], 0);
+        }
+        let mut net = builder.build(UniformDelay::new(100, 200_000), seed);
+        net.run_limited(20_000_000);
+        prop_assert!(net.all_in_system());
+
+        let tables: std::collections::HashMap<_, _> =
+            net.tables().into_iter().map(|t| (t.owner(), t)).collect();
+        // Verify the §3.3 conditions tree by tree (Propositions 5.1–5.3).
+        for (root, group) in tree_groups(v, w) {
+            let template = CsetTemplate::build(space, root, &group);
+            let realized = RealizedCset::compute(&template, v, &group, |id| tables.get(id));
+            let violations =
+                check_conditions(&template, &realized, &group, |id| tables.get(id));
+            prop_assert!(violations.is_empty(), "tree V_{}: {:?}", root, violations);
+        }
+    }
+}
