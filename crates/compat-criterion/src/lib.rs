@@ -1,0 +1,356 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the slice of criterion's API its benches use: [`Criterion`],
+//! benchmark groups with `sample_size` / `throughput` / `bench_function` /
+//! `bench_with_input`, [`BenchmarkId`], [`Throughput`], [`black_box`] and
+//! the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: each benchmark is warmed up, then
+//! timed for `sample_size` samples (bounded by a wall-clock budget), and
+//! the mean/min/max nanoseconds per iteration are printed. Results are
+//! also collected on the [`Criterion`] value so a bench target with a
+//! custom `main` can export them as JSON (see
+//! [`Criterion::results`] / [`BenchResult::to_json`]), which this
+//! workspace uses to track performance trajectories across PRs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion's optimization
+/// barrier.
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group (reported, not measured).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier (`function/parameter`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// One measured benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/function/parameter`).
+    pub id: String,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest sample, ns per iteration.
+    pub min_ns: f64,
+    /// Slowest sample, ns per iteration.
+    pub max_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+    /// Declared throughput, if any.
+    pub throughput: Option<Throughput>,
+}
+
+impl BenchResult {
+    /// Serializes the result as a JSON object (no external deps, so this
+    /// is hand-rolled; ids contain no characters needing escapes).
+    pub fn to_json(&self) -> String {
+        let throughput = match self.throughput {
+            Some(Throughput::Elements(n)) => format!(r#", "throughput_elements": {n}"#),
+            Some(Throughput::Bytes(n)) => format!(r#", "throughput_bytes": {n}"#),
+            None => String::new(),
+        };
+        format!(
+            r#"{{"id": "{}", "mean_ns": {:.1}, "min_ns": {:.1}, "max_ns": {:.1}, "samples": {}, "iters_per_sample": {}{}}}"#,
+            self.id.replace('"', "'"),
+            self.mean_ns,
+            self.min_ns,
+            self.max_ns,
+            self.samples,
+            self.iters_per_sample,
+            throughput
+        )
+    }
+}
+
+/// Benchmark driver. Collects every measurement it runs.
+#[derive(Debug)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+    default_sample_size: usize,
+    sample_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            results: Vec::new(),
+            default_sample_size: 20,
+            sample_budget: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.default_sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().to_string();
+        let sample_size = self.default_sample_size;
+        let budget = self.sample_budget;
+        self.record(id, None, sample_size, budget, f);
+        self
+    }
+
+    /// All measurements taken so far, in execution order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Serializes all measurements as a JSON array.
+    pub fn results_json(&self) -> String {
+        let rows: Vec<String> = self.results.iter().map(|r| format!("  {}", r.to_json())).collect();
+        format!("[\n{}\n]\n", rows.join(",\n"))
+    }
+
+    fn record<F>(
+        &mut self,
+        id: String,
+        throughput: Option<Throughput>,
+        sample_size: usize,
+        budget: Duration,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher),
+    {
+        // Warm-up & calibration: run once to size the per-sample iteration
+        // count so one sample lasts roughly 10 ms (or a single iteration,
+        // whichever is longer).
+        let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut bencher);
+        let once = bencher.elapsed.max(Duration::from_nanos(1));
+        let iters_per_sample = (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let start = Instant::now();
+        let mut per_iter_ns = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size {
+            let mut bencher = Bencher { iters: iters_per_sample, elapsed: Duration::ZERO };
+            f(&mut bencher);
+            per_iter_ns.push(bencher.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+            if start.elapsed() > budget {
+                break;
+            }
+        }
+        let samples = per_iter_ns.len();
+        let mean_ns = per_iter_ns.iter().sum::<f64>() / samples as f64;
+        let min_ns = per_iter_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max_ns = per_iter_ns.iter().cloned().fold(0.0, f64::max);
+        println!(
+            "bench {id:<60} mean {:>12} min {:>12} ({samples} samples x {iters_per_sample} iters)",
+            fmt_ns(mean_ns),
+            fmt_ns(min_ns),
+        );
+        self.results.push(BenchResult {
+            id,
+            mean_ns,
+            min_ns,
+            max_ns,
+            samples,
+            iters_per_sample,
+            throughput,
+        });
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// A named benchmark group; configuration set here applies to the
+/// benchmarks registered through it.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Declares the per-iteration throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let sample_size = self.sample_size.unwrap_or(self.criterion.default_sample_size);
+        let budget = self.criterion.sample_budget;
+        self.criterion.record(full, self.throughput, sample_size, budget, f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (a no-op; provided for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to benchmark closures; [`iter`](Self::iter) times the payload.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a function running a list of benchmark functions, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares a `main` running benchmark groups, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_collects_results() {
+        let mut c = Criterion::default().sample_size(3);
+        {
+            let mut g = c.benchmark_group("demo");
+            g.sample_size(3);
+            g.throughput(Throughput::Elements(64));
+            g.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+            g.bench_function("noop", |b| b.iter(|| 1u64 + 1));
+            g.finish();
+        }
+        c.bench_function("top_level", |b| b.iter(|| black_box(2u64) * 3));
+        assert_eq!(c.results().len(), 3);
+        assert_eq!(c.results()[0].id, "demo/sum/64");
+        assert_eq!(c.results()[0].throughput, Some(Throughput::Elements(64)));
+        assert!(c.results().iter().all(|r| r.mean_ns > 0.0 && r.samples > 0));
+        let json = c.results_json();
+        assert!(json.starts_with("[\n"));
+        assert!(json.contains("\"id\": \"demo/noop\""));
+        assert!(json.trim_end().ends_with(']'));
+    }
+}
