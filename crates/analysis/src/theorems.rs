@@ -154,8 +154,7 @@ pub fn expected_filled_entries(b: u32, d: u32, n: u64) -> f64 {
     let mut filled = d as f64; // self entries
     for i in 0..d {
         let s = (b as f64).powi(d as i32 - i as i32 - 1);
-        let ln_empty =
-            ln_choose_big(bd - 1.0 - s, others) - ln_choose_big(bd - 1.0, others);
+        let ln_empty = ln_choose_big(bd - 1.0 - s, others) - ln_choose_big(bd - 1.0, others);
         let p_filled = 1.0 - ln_empty.exp();
         filled += (b as f64 - 1.0) * p_filled;
     }
@@ -270,15 +269,9 @@ mod tests {
         // (n=7192, d=40), all with b=16, m=1000.
         for d in [8u32, 40] {
             let b3096 = upper_bound_join_noti(16, d, 3096, 1000);
-            assert!(
-                (b3096 - 8.001).abs() < 0.01,
-                "d={d}: bound(3096) = {b3096}"
-            );
+            assert!((b3096 - 8.001).abs() < 0.01, "d={d}: bound(3096) = {b3096}");
             let b7192 = upper_bound_join_noti(16, d, 7192, 1000);
-            assert!(
-                (b7192 - 6.986).abs() < 0.01,
-                "d={d}: bound(7192) = {b7192}"
-            );
+            assert!((b7192 - 6.986).abs() < 0.01, "d={d}: bound(7192) = {b7192}");
         }
     }
 
@@ -379,9 +372,8 @@ mod tests {
                         total_filled += 1; // self entry
                         continue;
                     }
-                    let fits = |x: u64| {
-                        (0..i).all(|t| digit(x, t) == digit(me, t)) && digit(x, i) == j
-                    };
+                    let fits =
+                        |x: u64| (0..i).all(|t| digit(x, t) == digit(me, t)) && digit(x, i) == j;
                     if ids[1..].iter().any(|&x| fits(x)) {
                         total_filled += 1;
                     }

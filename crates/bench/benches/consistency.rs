@@ -1,17 +1,25 @@
-//! Cost of the Definition-3.8 consistency checker and the quadratic
-//! reachability verifier.
+//! Cost of the Definition-3.8 consistency checker — suffix-indexed versus
+//! the naive O(n²·d·b) scan — plus the quadratic reachability verifier.
+//!
+//! Runs with a hand-rolled `main` (instead of `criterion_main!`) so the
+//! measurements and the indexed-vs-naive speedups can be exported to
+//! `BENCH_consistency.json` at the workspace root.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use hyperring_core::{build_consistent_tables, check_consistency, check_reachability};
+use criterion::{BenchmarkId, Criterion, Throughput};
+use hyperring_core::{
+    build_consistent_tables, check_consistency, check_consistency_naive, check_reachability,
+};
 use hyperring_harness::distinct_ids;
 use hyperring_id::IdSpace;
 use std::hint::black_box;
+
+const SIZES: [usize; 3] = [256, 1024, 4096];
 
 fn bench_consistency(c: &mut Criterion) {
     let space = IdSpace::new(16, 8).unwrap();
     let mut g = c.benchmark_group("consistency");
     g.sample_size(10);
-    for n in [256usize, 1024] {
+    for n in SIZES {
         let ids = distinct_ids(space, n, 13);
         let tables = build_consistent_tables(space, &ids);
         g.throughput(Throughput::Elements(n as u64));
@@ -22,10 +30,18 @@ fn bench_consistency(c: &mut Criterion) {
                 black_box(r.entries_checked())
             })
         });
+        g.bench_with_input(BenchmarkId::new("naive_scan", n), &n, |b, _| {
+            b.iter(|| {
+                let r = check_consistency_naive(space, black_box(&tables));
+                assert!(r.is_consistent());
+                black_box(r.entries_checked())
+            })
+        });
     }
     // Reachability is O(n² d): bench at a smaller size.
     let ids = distinct_ids(space, 128, 13);
     let tables = build_consistent_tables(space, &ids);
+    g.throughput(Throughput::Elements(128));
     g.bench_function("check_reachability_n128", |b| {
         b.iter(|| {
             let fails = check_reachability(black_box(&tables));
@@ -36,5 +52,35 @@ fn bench_consistency(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_consistency);
-criterion_main!(benches);
+fn mean_ns(c: &Criterion, id: &str) -> f64 {
+    c.results()
+        .iter()
+        .find(|r| r.id == id)
+        .unwrap_or_else(|| panic!("no result named {id}"))
+        .mean_ns
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_consistency(&mut c);
+
+    let speedups: Vec<String> = SIZES
+        .iter()
+        .map(|n| {
+            let naive = mean_ns(&c, &format!("consistency/naive_scan/{n}"));
+            let indexed = mean_ns(&c, &format!("consistency/check_definition_3_8/{n}"));
+            let s = naive / indexed;
+            println!("speedup indexed vs naive, n={n}: {s:.1}x");
+            format!("  {{\"n\": {n}, \"speedup\": {s:.3}}}")
+        })
+        .collect();
+
+    let json = format!(
+        "{{\n\"benches\": {},\n\"indexed_vs_naive_speedup\": [\n{}\n]\n}}\n",
+        c.results_json().trim_end(),
+        speedups.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_consistency.json");
+    std::fs::write(path, json).expect("write BENCH_consistency.json");
+    println!("wrote {path}");
+}

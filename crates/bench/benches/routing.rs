@@ -1,10 +1,14 @@
 //! Hypercube routing: next-hop lookups and full route resolution over a
-//! consistent network (§2.2).
+//! consistent network (§2.2), plus host-to-host delay lookups on the
+//! transit-stub topology — recomputed, row-cached, and full-matrix.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hyperring_core::{build_consistent_tables, next_hop, route, NeighborTable};
-use hyperring_harness::distinct_ids;
+use hyperring_harness::{distinct_ids, SharedTopology, TopologyDelay};
 use hyperring_id::{IdSpace, NodeId};
+use hyperring_sim::DelayModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::collections::HashMap;
 use std::hint::black_box;
 
@@ -40,5 +44,47 @@ fn bench_routing(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_routing);
+fn bench_delay_lookup(c: &mut Criterion) {
+    let hosts = 512usize;
+    let shared = SharedTopology::test_scale(hosts, 77);
+    let mut uncached = TopologyDelay::test_scale(hosts, 77);
+    let mut g = c.benchmark_group("delay_lookup");
+    g.throughput(Throughput::Elements(1));
+
+    // Same pseudo-random (from, to) stream for all three variants.
+    let pair = |i: usize| ((i * 31) % hosts, (i * 7 + 13) % hosts);
+
+    g.bench_function("uncached_host_latency", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut i = 0usize;
+        b.iter(|| {
+            let (f, t) = pair(i);
+            i += 1;
+            black_box(uncached.delay(f, t, &mut rng))
+        });
+    });
+    g.bench_function("cached_rows", |b| {
+        let mut model = shared.delay_model();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut i = 0usize;
+        b.iter(|| {
+            let (f, t) = pair(i);
+            i += 1;
+            black_box(model.delay(f, t, &mut rng))
+        });
+    });
+    g.bench_function("full_matrix", |b| {
+        let mut model = shared.full_matrix();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut i = 0usize;
+        b.iter(|| {
+            let (f, t) = pair(i);
+            i += 1;
+            black_box(model.delay(f, t, &mut rng))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_routing, bench_delay_lookup);
 criterion_main!(benches);

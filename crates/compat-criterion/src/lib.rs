@@ -168,7 +168,11 @@ impl Criterion {
 
     /// Serializes all measurements as a JSON array.
     pub fn results_json(&self) -> String {
-        let rows: Vec<String> = self.results.iter().map(|r| format!("  {}", r.to_json())).collect();
+        let rows: Vec<String> = self
+            .results
+            .iter()
+            .map(|r| format!("  {}", r.to_json()))
+            .collect();
         format!("[\n{}\n]\n", rows.join(",\n"))
     }
 
@@ -185,15 +189,22 @@ impl Criterion {
         // Warm-up & calibration: run once to size the per-sample iteration
         // count so one sample lasts roughly 10 ms (or a single iteration,
         // whichever is longer).
-        let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
         f(&mut bencher);
         let once = bencher.elapsed.max(Duration::from_nanos(1));
-        let iters_per_sample = (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let iters_per_sample =
+            (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
 
         let start = Instant::now();
         let mut per_iter_ns = Vec::with_capacity(sample_size);
         for _ in 0..sample_size {
-            let mut bencher = Bencher { iters: iters_per_sample, elapsed: Duration::ZERO };
+            let mut bencher = Bencher {
+                iters: iters_per_sample,
+                elapsed: Duration::ZERO,
+            };
             f(&mut bencher);
             per_iter_ns.push(bencher.elapsed.as_nanos() as f64 / iters_per_sample as f64);
             if start.elapsed() > budget {
@@ -262,9 +273,12 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let full = format!("{}/{}", self.name, id.into());
-        let sample_size = self.sample_size.unwrap_or(self.criterion.default_sample_size);
+        let sample_size = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
         let budget = self.criterion.sample_budget;
-        self.criterion.record(full, self.throughput, sample_size, budget, f);
+        self.criterion
+            .record(full, self.throughput, sample_size, budget, f);
         self
     }
 

@@ -10,13 +10,31 @@
 //!
 //! By Lemma 3.1, (a) is equivalent to every node being reachable from every
 //! other node; [`check_reachability`] verifies that equivalence directly.
+//!
+//! Three entry points, one semantics:
+//!
+//! * [`check_consistency`] — builds a [`SuffixIndex`] over the table
+//!   owners and checks every entry against it, fanning the per-node loop
+//!   across cores. `O(n · d · b)` after an `O(n · d)` index build.
+//! * [`check_consistency_with_index`] — same check against a
+//!   caller-maintained index; churn experiments update one incrementally
+//!   instead of re-indexing per wave.
+//! * [`check_consistency_naive`] — the specification transcribed
+//!   literally, scanning all of `V` per entry (`O(n² · d · b)`). Kept as
+//!   the reference implementation the fast paths are tested (and
+//!   benchmarked) against.
+//!
+//! All three report identical [`Violation`] lists: witnesses are always
+//! the *smallest* live node carrying the desired suffix.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::fmt;
 
-use hyperring_id::{IdSpace, NodeId, Suffix};
+use hyperring_id::{IdSpace, NodeId};
+use rayon::prelude::*;
 
 use crate::routing::route;
+use crate::suffix_index::SuffixIndex;
 use crate::table::{NeighborTable, NodeState};
 
 /// One consistency violation found by [`check_consistency`].
@@ -170,9 +188,62 @@ impl fmt::Display for ConsistencyReport {
     }
 }
 
+/// Checks one node's table against the index. Returns the violations in
+/// entry order; the entry count is `d · b`, the same for every node.
+fn check_table(space: IdSpace, t: &NeighborTable, index: &SuffixIndex) -> Vec<Violation> {
+    let x = t.owner();
+    let mut violations = Vec::new();
+    for i in 0..space.digit_count() {
+        for j in 0..space.base() as u8 {
+            let desired = t.desired_suffix(i, j);
+            let witness = index.witness(&desired);
+            match (t.get(i, j), witness) {
+                (None, Some(w)) => violations.push(Violation::FalseNegative {
+                    node: x,
+                    level: i,
+                    digit: j,
+                    witness: w,
+                }),
+                (Some(e), w) => {
+                    if !index.contains(&e.node) {
+                        violations.push(Violation::UnknownNeighbor {
+                            node: x,
+                            level: i,
+                            digit: j,
+                            stored: e.node,
+                        });
+                    } else if w.is_none() || !e.node.has_suffix(&desired) {
+                        violations.push(Violation::FalsePositive {
+                            node: x,
+                            level: i,
+                            digit: j,
+                            stored: e.node,
+                        });
+                    } else if e.state == NodeState::T {
+                        violations.push(Violation::StaleState {
+                            node: x,
+                            level: i,
+                            digit: j,
+                            stored: e.node,
+                        });
+                    }
+                }
+                (None, None) => {}
+            }
+        }
+    }
+    violations
+}
+
 /// Checks Definition 3.8 over a closed set of tables (one per live node),
 /// and additionally flags entries still recorded as `T` — after all joins
 /// have completed, every neighbor must be known to be an S-node.
+///
+/// Builds a [`SuffixIndex`] over the table owners, then checks every
+/// node's table against it in parallel. The result is deterministic:
+/// violations come back in table order regardless of thread count, and
+/// the reported witness for a missing entry is always the smallest
+/// carrier of the desired suffix.
 ///
 /// # Examples
 ///
@@ -197,16 +268,52 @@ impl fmt::Display for ConsistencyReport {
 /// Panics if `tables` is empty or contains duplicate owners.
 pub fn check_consistency(space: IdSpace, tables: &[NeighborTable]) -> ConsistencyReport {
     assert!(!tables.is_empty(), "no tables to check");
-    let members: HashSet<NodeId> = tables.iter().map(|t| t.owner()).collect();
-    assert_eq!(members.len(), tables.len(), "duplicate table owners");
+    let index = SuffixIndex::build(space, tables.iter().map(|t| t.owner()));
+    assert_eq!(index.len(), tables.len(), "duplicate table owners");
+    check_consistency_with_index(space, tables, &index)
+}
 
-    // Representative per suffix for witness lookups.
-    let mut repr: HashMap<Suffix, NodeId> = HashMap::new();
-    for t in tables {
-        let id = t.owner();
-        for k in 1..=space.digit_count() {
-            repr.entry(id.suffix(k)).or_insert(id);
-        }
+/// [`check_consistency`] against a caller-maintained [`SuffixIndex`].
+///
+/// The index defines the live membership: witnesses and the
+/// [`Violation::UnknownNeighbor`] test both come from it, so it must
+/// reflect exactly the owners of `tables`. Churn experiments keep one
+/// index across waves, applying each join/departure incrementally instead
+/// of re-indexing `O(n · d)` state per wave.
+pub fn check_consistency_with_index(
+    space: IdSpace,
+    tables: &[NeighborTable],
+    index: &SuffixIndex,
+) -> ConsistencyReport {
+    let per_node: Vec<Vec<Violation>> = tables
+        .par_iter()
+        .map(|t| check_table(space, t, index))
+        .collect();
+    ConsistencyReport {
+        violations: per_node.into_iter().flatten().collect(),
+        nodes: tables.len(),
+        entries_checked: tables.len() * space.digit_count() * space.base() as usize,
+    }
+}
+
+/// Definition 3.8 transcribed literally: for every entry, scan all of `V`
+/// for carriers of the desired suffix. `O(n² · d · b)` — kept as the
+/// reference implementation that [`check_consistency`] is tested and
+/// benchmarked against, not for production use.
+///
+/// # Panics
+///
+/// Panics if `tables` is empty or contains duplicate owners.
+pub fn check_consistency_naive(space: IdSpace, tables: &[NeighborTable]) -> ConsistencyReport {
+    assert!(!tables.is_empty(), "no tables to check");
+    let members: Vec<NodeId> = tables.iter().map(|t| t.owner()).collect();
+    {
+        let mut sorted = members.clone();
+        sorted.sort();
+        assert!(
+            sorted.windows(2).all(|w| w[0] != w[1]),
+            "duplicate table owners"
+        );
     }
 
     let mut report = ConsistencyReport {
@@ -219,7 +326,12 @@ pub fn check_consistency(space: IdSpace, tables: &[NeighborTable]) -> Consistenc
             for j in 0..space.base() as u8 {
                 report.entries_checked += 1;
                 let desired = t.desired_suffix(i, j);
-                let witness = repr.get(&desired).copied();
+                // The full scan the index replaces: smallest carrier wins.
+                let witness = members
+                    .iter()
+                    .filter(|m| m.has_suffix(&desired))
+                    .min()
+                    .copied();
                 match (t.get(i, j), witness) {
                     (None, Some(w)) => report.violations.push(Violation::FalseNegative {
                         node: x,
@@ -267,8 +379,7 @@ pub fn check_consistency(space: IdSpace, tables: &[NeighborTable]) -> Consistenc
 /// networks; `check_consistency` is the linear-time proxy (the two agree by
 /// Lemma 3.1).
 pub fn check_reachability(tables: &[NeighborTable]) -> Vec<(NodeId, NodeId)> {
-    let by_id: HashMap<NodeId, &NeighborTable> =
-        tables.iter().map(|t| (t.owner(), t)).collect();
+    let by_id: HashMap<NodeId, &NeighborTable> = tables.iter().map(|t| (t.owner(), t)).collect();
     let mut failures = Vec::new();
     for s in tables {
         for t in tables {
@@ -318,7 +429,11 @@ mod tests {
         assert!(!report.is_consistent());
         assert!(matches!(
             report.violations()[0],
-            Violation::FalseNegative { level: 0, digit: 1, .. }
+            Violation::FalseNegative {
+                level: 0,
+                digit: 1,
+                ..
+            }
         ));
         let failures = check_reachability(&tables);
         assert!(failures
@@ -387,5 +502,39 @@ mod tests {
         let bad = check_consistency(space, &broken);
         assert!(bad.to_string().contains("INCONSISTENT"));
         assert!(bad.to_string().contains("false negative"));
+    }
+
+    #[test]
+    fn indexed_checker_matches_naive_on_clean_and_corrupted_tables() {
+        let space = IdSpace::new(4, 4).unwrap();
+        let v = ids(space, &["0123", "3210", "1111", "2222", "0001", "1001"]);
+        let mut tables = build_consistent_tables(space, &v);
+        let clean_fast = check_consistency(space, &tables);
+        let clean_naive = check_consistency_naive(space, &tables);
+        assert_eq!(clean_fast.violations(), clean_naive.violations());
+        assert_eq!(clean_fast.entries_checked(), clean_naive.entries_checked());
+
+        tables[0].clear(0, 1);
+        tables[2].clear(1, 2);
+        let fast = check_consistency(space, &tables);
+        let naive = check_consistency_naive(space, &tables);
+        assert_eq!(fast.violations(), naive.violations());
+        assert!(!fast.is_consistent());
+    }
+
+    #[test]
+    fn incremental_index_matches_fresh_build_after_departure() {
+        let space = IdSpace::new(4, 4).unwrap();
+        let v = ids(space, &["0123", "3210", "1111", "2222", "0001", "1001"]);
+        let mut index = SuffixIndex::build(space, v.iter().copied());
+        // 1001 departs; tables rebuilt over the survivors.
+        let survivors: Vec<NodeId> = v[..5].to_vec();
+        index.remove(&v[5]);
+        let tables = build_consistent_tables(space, &survivors);
+        let report = check_consistency_with_index(space, &tables, &index);
+        assert!(report.is_consistent(), "{report}");
+        // And the incremental index agrees with a from-scratch check.
+        let fresh = check_consistency(space, &tables);
+        assert_eq!(report.violations(), fresh.violations());
     }
 }

@@ -411,14 +411,7 @@ impl JoinEngine {
     /// any node x sets Nx(i,j) = y, y ≠ x, x needs to send a
     /// RvNghNotiMsg"). `notify` is false on the paths where an immediate
     /// protocol reply to the stored node carries the same information.
-    fn install(
-        &mut self,
-        level: usize,
-        digit: u8,
-        entry: Entry,
-        notify: bool,
-        out: &mut Outbox,
-    ) {
+    fn install(&mut self, level: usize, digit: u8, entry: Entry, notify: bool, out: &mut Outbox) {
         debug_assert!(self.table.get(level, digit).is_none());
         self.table.set(level, digit, entry);
         if notify && entry.node != self.id {
@@ -440,14 +433,7 @@ impl JoinEngine {
         // Any node replies to a copy request with no waiting, whatever its
         // status (Theorem 2's proof relies on this).
         let table = self.table.snapshot();
-        self.post(
-            out,
-            from,
-            Message::CpRly {
-                level,
-                table,
-            },
-        );
+        self.post(out, from, Message::CpRly { level, table });
     }
 
     fn on_cprly(&mut self, from: NodeId, level: u8, table: TableSnapshot, out: &mut Outbox) {

@@ -62,9 +62,13 @@ mod oracle;
 mod routing;
 mod simnet;
 mod stats;
+mod suffix_index;
 mod table;
 
-pub use consistency::{check_consistency, check_reachability, ConsistencyReport, Violation};
+pub use consistency::{
+    check_consistency, check_consistency_naive, check_consistency_with_index, check_reachability,
+    ConsistencyReport, Violation,
+};
 pub use engine::{JoinEngine, Outbox, Status};
 pub use messages::{packed_id_bytes, BitVec, Message, MessageKind};
 pub use optimize::{optimize_tables, OptimizeReport};
@@ -73,4 +77,5 @@ pub use oracle::build_consistent_tables;
 pub use routing::{next_hop, route, RouteOutcome};
 pub use simnet::{bootstrap_sequential, SimMsg, SimNetwork, SimNetworkBuilder, SimNode};
 pub use stats::MessageStats;
+pub use suffix_index::SuffixIndex;
 pub use table::{Entry, NeighborTable, NodeState, SnapshotRow, TableSnapshot};

@@ -236,9 +236,7 @@ impl Message {
                 Message::SpeNotiRly { .. } => node_ref,
                 Message::RvNghNoti { .. } => 1,
                 Message::RvNghNotiRly { .. } => 1,
-                Message::LeaveNoti { replacement } => {
-                    1 + replacement.map_or(0, |_| node_ref + 1)
-                }
+                Message::LeaveNoti { replacement } => 1 + replacement.map_or(0, |_| node_ref + 1),
                 Message::LeaveNotiRly => 0,
                 Message::RvNghForget => 0,
             }
@@ -323,7 +321,12 @@ mod tests {
             .collect();
         assert_eq!(
             big,
-            vec!["CpRlyMsg", "JoinWaitRlyMsg", "JoinNotiMsg", "JoinNotiRlyMsg"]
+            vec![
+                "CpRlyMsg",
+                "JoinWaitRlyMsg",
+                "JoinNotiMsg",
+                "JoinNotiRlyMsg"
+            ]
         );
     }
 

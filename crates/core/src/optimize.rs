@@ -55,11 +55,7 @@ pub struct OptimizeReport {
 /// # Panics
 ///
 /// Panics if `tables` contains duplicate owners.
-pub fn optimize_tables<L>(
-    tables: &mut [NeighborTable],
-    latency: L,
-    rounds: usize,
-) -> OptimizeReport
+pub fn optimize_tables<L>(tables: &mut [NeighborTable], latency: L, rounds: usize) -> OptimizeReport
 where
     L: Fn(&NodeId, &NodeId) -> u64,
 {

@@ -166,7 +166,12 @@ mod tests {
         let tables = build_consistent_tables(space, &ids);
         for t in &tables {
             for (i, j, e) in t.iter() {
-                assert!(t.fits(i, j, &e.node), "{}: ({i},{j}) = {}", t.owner(), e.node);
+                assert!(
+                    t.fits(i, j, &e.node),
+                    "{}: ({i},{j}) = {}",
+                    t.owner(),
+                    e.node
+                );
             }
         }
     }

@@ -137,7 +137,10 @@ impl SimNetworkBuilder {
     /// Uses pre-built member tables instead of the oracle (e.g. tables that
     /// came out of a previous run).
     pub fn with_member_tables(&mut self, tables: Vec<NeighborTable>) -> &mut Self {
-        assert!(self.members.is_empty(), "cannot mix preset tables with add_member");
+        assert!(
+            self.members.is_empty(),
+            "cannot mix preset tables with add_member"
+        );
         self.member_tables = Some(tables);
         self
     }
@@ -160,12 +163,14 @@ impl SimNetworkBuilder {
             Some(t) => t,
             None => build_consistent_tables(self.space, &self.members),
         };
-        assert!(!member_tables.is_empty(), "network needs at least one member");
+        assert!(
+            !member_tables.is_empty(),
+            "network needs at least one member"
+        );
 
         let mut ids: Vec<NodeId> = member_tables.iter().map(|t| t.owner()).collect();
         ids.extend(self.joiners.iter().map(|(id, _, _)| *id));
-        let dir: HashMap<NodeId, usize> =
-            ids.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+        let dir: HashMap<NodeId, usize> = ids.iter().enumerate().map(|(i, id)| (*id, i)).collect();
         assert_eq!(dir.len(), ids.len(), "duplicate node identifier");
         let dir = Arc::new(dir);
 

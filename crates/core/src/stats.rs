@@ -76,7 +76,13 @@ impl fmt::Display for MessageStats {
         for kind in MessageKind::ALL {
             let n = self.sent(kind);
             if n > 0 {
-                writeln!(f, "{:<16} {:>8}  {:>10} B", kind.name(), n, self.bytes(kind))?;
+                writeln!(
+                    f,
+                    "{:<16} {:>8}  {:>10} B",
+                    kind.name(),
+                    n,
+                    self.bytes(kind)
+                )?;
             }
         }
         Ok(())

@@ -1,0 +1,211 @@
+//! A reusable index from level-`k` suffixes to the live nodes carrying
+//! them.
+//!
+//! The consistency checker (Definition 3.8) must answer, per table entry,
+//! "does any live node carry suffix `j ∘ x[i-1..0]`, and if so which one?".
+//! Scanning `V` per entry makes the check `O(n² · d · b)`; this index
+//! answers both questions in `O(1)` expected time after an `O(n · d)`
+//! build.
+//!
+//! Unlike the transient witness map the checker used to rebuild on every
+//! call, a [`SuffixIndex`] is a first-class value: churn experiments keep
+//! one alive across waves and apply joins/departures incrementally with
+//! [`insert`](SuffixIndex::insert) / [`remove`](SuffixIndex::remove)
+//! (each `O(d · log n)`), instead of re-indexing the whole membership
+//! after every wave.
+//!
+//! The witness for a suffix is the *smallest* node carrying it — the same
+//! choice [`build_consistent_tables`](crate::build_consistent_tables)
+//! makes — so index-driven checks and oracle-built networks agree exactly.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use hyperring_id::{IdSpace, NodeId, Suffix};
+
+/// Maps every suffix of length `1..=d` to the sorted set of live nodes
+/// carrying it, with incremental membership updates.
+#[derive(Debug, Clone)]
+pub struct SuffixIndex {
+    space: IdSpace,
+    members: HashSet<NodeId>,
+    by_suffix: HashMap<Suffix, BTreeSet<NodeId>>,
+}
+
+impl SuffixIndex {
+    /// Creates an empty index over `space`.
+    pub fn new(space: IdSpace) -> Self {
+        SuffixIndex {
+            space,
+            members: HashSet::new(),
+            by_suffix: HashMap::new(),
+        }
+    }
+
+    /// Builds an index over an initial membership.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hyperring_core::SuffixIndex;
+    /// use hyperring_id::IdSpace;
+    ///
+    /// let space = IdSpace::new(4, 3)?;
+    /// let ids: Vec<_> = ["012", "230", "112"]
+    ///     .iter().map(|s| space.parse_id(s).unwrap()).collect();
+    /// let index = SuffixIndex::build(space, ids.iter().copied());
+    /// // Suffix "2" is carried by 012 and 112; the witness is the smaller.
+    /// let witness = index.witness(&ids[0].suffix(1)).unwrap();
+    /// assert_eq!(witness.to_string(), "012");
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn build(space: IdSpace, ids: impl IntoIterator<Item = NodeId>) -> Self {
+        let mut index = SuffixIndex::new(space);
+        for id in ids {
+            index.insert(id);
+        }
+        index
+    }
+
+    /// The identifier space this index is defined over.
+    pub fn space(&self) -> IdSpace {
+        self.space
+    }
+
+    /// Number of live nodes in the index.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the index holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether `id` is a live member.
+    pub fn contains(&self, id: &NodeId) -> bool {
+        self.members.contains(id)
+    }
+
+    /// Adds a node, registering all `d` of its suffixes. Returns `false`
+    /// (and changes nothing) if the node was already present.
+    pub fn insert(&mut self, id: NodeId) -> bool {
+        debug_assert!(self.space.contains(&id), "id {id} not in space");
+        if !self.members.insert(id) {
+            return false;
+        }
+        for k in 1..=self.space.digit_count() {
+            self.by_suffix.entry(id.suffix(k)).or_default().insert(id);
+        }
+        true
+    }
+
+    /// Removes a node and unregisters its suffixes. Returns `false` (and
+    /// changes nothing) if the node was not present.
+    pub fn remove(&mut self, id: &NodeId) -> bool {
+        if !self.members.remove(id) {
+            return false;
+        }
+        for k in 1..=self.space.digit_count() {
+            let suffix = id.suffix(k);
+            if let Some(set) = self.by_suffix.get_mut(&suffix) {
+                set.remove(id);
+                if set.is_empty() {
+                    self.by_suffix.remove(&suffix);
+                }
+            }
+        }
+        true
+    }
+
+    /// The canonical witness for `suffix`: the smallest live node carrying
+    /// it, or `None` if no live node does.
+    pub fn witness(&self, suffix: &Suffix) -> Option<NodeId> {
+        self.by_suffix
+            .get(suffix)
+            .and_then(|set| set.iter().next().copied())
+    }
+
+    /// All live nodes carrying `suffix`, in ascending order.
+    pub fn carriers(&self, suffix: &Suffix) -> impl Iterator<Item = NodeId> + '_ {
+        self.by_suffix
+            .get(suffix)
+            .into_iter()
+            .flat_map(|set| set.iter().copied())
+    }
+
+    /// Number of live nodes carrying `suffix`.
+    pub fn carrier_count(&self, suffix: &Suffix) -> usize {
+        self.by_suffix.get(suffix).map_or(0, BTreeSet::len)
+    }
+
+    /// Iterates over the live membership (arbitrary order).
+    pub fn members(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.members.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(space: IdSpace, ss: &[&str]) -> Vec<NodeId> {
+        ss.iter().map(|s| space.parse_id(s).unwrap()).collect()
+    }
+
+    #[test]
+    fn build_indexes_every_suffix_level() {
+        let space = IdSpace::new(4, 3).unwrap();
+        let v = ids(space, &["012", "230", "112"]);
+        let index = SuffixIndex::build(space, v.iter().copied());
+        assert_eq!(index.len(), 3);
+        // Level 1: "2" carried by 012 and 112.
+        let s2 = v[0].suffix(1);
+        assert_eq!(index.carrier_count(&s2), 2);
+        assert_eq!(index.witness(&s2), Some(v[0]));
+        // Level 2: "12" carried by 012 and 112.
+        let s12 = v[0].suffix(2);
+        assert_eq!(index.carriers(&s12).collect::<Vec<_>>(), vec![v[0], v[2]]);
+        // Level 3: full ids are unique.
+        assert_eq!(index.carrier_count(&v[1].suffix(3)), 1);
+    }
+
+    #[test]
+    fn insert_and_remove_are_inverses() {
+        let space = IdSpace::new(4, 3).unwrap();
+        let v = ids(space, &["012", "230", "112"]);
+        let reference = SuffixIndex::build(space, v.iter().copied());
+
+        let mut index = SuffixIndex::build(space, v.iter().copied());
+        let extra = space.parse_id("333").unwrap();
+        assert!(index.insert(extra));
+        assert!(!index.insert(extra), "double insert must be a no-op");
+        assert!(index.contains(&extra));
+        assert_eq!(index.witness(&extra.suffix(1)), Some(extra));
+        assert!(index.remove(&extra));
+        assert!(!index.remove(&extra), "double remove must be a no-op");
+
+        assert_eq!(index.len(), reference.len());
+        for id in &v {
+            for k in 1..=space.digit_count() {
+                let s = id.suffix(k);
+                assert_eq!(
+                    index.carriers(&s).collect::<Vec<_>>(),
+                    reference.carriers(&s).collect::<Vec<_>>()
+                );
+            }
+        }
+        // The departed node's unique suffixes are fully gone.
+        assert_eq!(index.witness(&extra.suffix(3)), None);
+    }
+
+    #[test]
+    fn witness_is_minimal_carrier() {
+        let space = IdSpace::new(4, 3).unwrap();
+        let v = ids(space, &["312", "112", "212"]);
+        let mut index = SuffixIndex::build(space, v.iter().copied());
+        let s = v[0].suffix(2); // "12", carried by all three
+        assert_eq!(index.witness(&s).unwrap().to_string(), "112");
+        index.remove(&v[1]);
+        assert_eq!(index.witness(&s).unwrap().to_string(), "212");
+    }
+}

@@ -127,7 +127,13 @@ impl NeighborTable {
 
     /// Updates the recorded state of the `(level, digit)` entry if it
     /// currently stores `node`. Returns whether an update happened.
-    pub fn set_state_if(&mut self, level: usize, digit: u8, node: &NodeId, state: NodeState) -> bool {
+    pub fn set_state_if(
+        &mut self,
+        level: usize,
+        digit: u8,
+        node: &NodeId,
+        state: NodeState,
+    ) -> bool {
         let s = self.slot(level, digit);
         match &mut self.entries[s] {
             Some(e) if e.node == *node => {
@@ -155,14 +161,7 @@ impl NeighborTable {
     pub fn set_self_entries(&mut self, state: NodeState) {
         let owner = self.owner;
         for i in 0..self.space.digit_count() {
-            self.set(
-                i,
-                owner.digit(i),
-                Entry {
-                    node: owner,
-                    state,
-                },
-            );
+            self.set(i, owner.digit(i), Entry { node: owner, state });
         }
     }
 
@@ -303,7 +302,12 @@ impl NeighborTable {
         let b = self.space.base() as usize;
         let width = d + 2;
         let mut out = String::new();
-        out.push_str(&format!("Neighbor table of node {}  (b={}, d={})\n", self.owner, self.space.base(), d));
+        out.push_str(&format!(
+            "Neighbor table of node {}  (b={}, d={})\n",
+            self.owner,
+            self.space.base(),
+            d
+        ));
         for line in [true, false] {
             if line {
                 let mut header = String::new();
@@ -317,7 +321,11 @@ impl NeighborTable {
         for j in 0..b {
             for i in (0..d).rev() {
                 let cell = match self.get(i, j as u8) {
-                    Some(e) => format!("{}{}", e.node, if e.state == NodeState::S { "" } else { "*" }),
+                    Some(e) => format!(
+                        "{}{}",
+                        e.node,
+                        if e.state == NodeState::S { "" } else { "*" }
+                    ),
                     None => String::new(),
                 };
                 out.push_str(&format!("{cell:>width$} ", width = width));
@@ -463,7 +471,10 @@ mod tests {
         t.set_self_entries(NodeState::S);
         let snap = t.snapshot_levels(2, 4);
         assert_eq!(snap.len(), 2);
-        assert!(snap.rows().iter().all(|r| (2..4).contains(&(r.level as usize))));
+        assert!(snap
+            .rows()
+            .iter()
+            .all(|r| (2..4).contains(&(r.level as usize))));
     }
 
     #[test]
@@ -475,7 +486,7 @@ mod tests {
         let all_ones = vec![u64::MAX; 4];
         let snap = t.snapshot_bitvec(3, &all_ones);
         assert_eq!(snap.len(), 2); // levels 3 and 4 self entries
-        // Receiver claims nothing filled: everything included.
+                                   // Receiver claims nothing filled: everything included.
         let zeros = vec![0u64; 4];
         let snap = t.snapshot_bitvec(3, &zeros);
         assert_eq!(snap.len(), 5);

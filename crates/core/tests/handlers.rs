@@ -4,8 +4,8 @@
 //! prescribes.
 
 use hyperring_core::{
-    build_consistent_tables, Entry, JoinEngine, Message, NeighborTable, NodeState,
-    Outbox, ProtocolOptions, Status,
+    build_consistent_tables, Entry, JoinEngine, Message, NeighborTable, NodeState, Outbox,
+    ProtocolOptions, Status,
 };
 use hyperring_id::{IdSpace, NodeId};
 
@@ -179,9 +179,7 @@ fn fig6_s_node_with_empty_entry_replies_positive_and_stores() {
     let msgs = sent(&mut out);
     assert_eq!(msgs.len(), 1);
     match &msgs[0].1 {
-        Message::JoinWaitRly {
-            positive, next, ..
-        } => {
+        Message::JoinWaitRly { positive, next, .. } => {
             assert!(*positive);
             assert_eq!(*next, x);
         }
@@ -197,9 +195,7 @@ fn fig6_s_node_with_occupied_entry_replies_negative_with_occupant() {
     y.handle(id("3213"), Message::JoinWait, &mut out);
     let msgs = sent(&mut out);
     match &msgs[0].1 {
-        Message::JoinWaitRly {
-            positive, next, ..
-        } => {
+        Message::JoinWaitRly { positive, next, .. } => {
             assert!(!*positive);
             assert_eq!(*next, id("1113"));
         }
@@ -502,7 +498,9 @@ fn fig10_flag_triggers_spenoti_toward_the_occupant() {
     let mut out = Outbox::new();
     x.handle(
         id("2113"),
-        Message::SpeNotiRly { subject: id("1113") },
+        Message::SpeNotiRly {
+            subject: id("1113"),
+        },
         &mut out,
     );
     assert_eq!(x.status(), Status::InSystem);
@@ -553,7 +551,9 @@ fn fig11_receiver_stores_subject_or_forwards() {
     );
     let msgs = sent(&mut out);
     assert!(
-        !msgs.iter().any(|(_, m)| matches!(m, Message::SpeNotiRly { .. })),
+        !msgs
+            .iter()
+            .any(|(_, m)| matches!(m, Message::SpeNotiRly { .. })),
         "must not reply while the slot holds another node"
     );
     let fwd = msgs

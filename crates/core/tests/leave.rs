@@ -134,10 +134,10 @@ fn concurrent_nonadjacent_leaves() {
             let (x, y) = (ids[i], ids[j]);
             let tx = net.engine(&x).table();
             let ty = net.engine(&y).table();
-            let x_refs_y = tx.iter().any(|(_, _, e)| e.node == y)
-                || tx.reverse_neighbors().contains(&y);
-            let y_refs_x = ty.iter().any(|(_, _, e)| e.node == x)
-                || ty.reverse_neighbors().contains(&x);
+            let x_refs_y =
+                tx.iter().any(|(_, _, e)| e.node == y) || tx.reverse_neighbors().contains(&y);
+            let y_refs_x =
+                ty.iter().any(|(_, _, e)| e.node == x) || ty.reverse_neighbors().contains(&x);
             if !x_refs_y && !y_refs_x {
                 victims = vec![x, y];
                 break 'outer;

@@ -35,8 +35,7 @@ impl RealizedCset {
         F: FnMut(&NodeId) -> Option<&'a NeighborTable>,
     {
         let root = template.root();
-        let root_members: Vec<NodeId> =
-            v.iter().filter(|y| y.has_suffix(&root)).copied().collect();
+        let root_members: Vec<NodeId> = v.iter().filter(|y| y.has_suffix(&root)).copied().collect();
         let w_set: BTreeSet<NodeId> = w.iter().copied().collect();
         let mut sets: BTreeMap<Suffix, BTreeSet<NodeId>> = BTreeMap::new();
 
@@ -137,7 +136,10 @@ impl fmt::Display for CsetConditionViolation {
                 write!(f, "condition (2): {member} stores no node of C_{cset}")
             }
             CsetConditionViolation::JoinerMissesSibling { joiner, sibling } => {
-                write!(f, "condition (3): {joiner} stores no node of sibling C_{sibling}")
+                write!(
+                    f,
+                    "condition (3): {joiner} stores no node of sibling C_{sibling}"
+                )
             }
         }
     }
@@ -240,11 +242,7 @@ mod tests {
         let mut net = b.build(UniformDelay::new(500, 90_000), seed);
         net.run();
         assert!(net.all_in_system());
-        let tables = net
-            .tables()
-            .into_iter()
-            .map(|t| (t.owner(), t))
-            .collect();
+        let tables = net.tables().into_iter().map(|t| (t.owner(), t)).collect();
         (v, w, tables)
     }
 
@@ -255,8 +253,7 @@ mod tests {
         for seed in 0..10 {
             let (v, w, tables) = run_paper_scenario(seed);
             let template = CsetTemplate::build(space, root, &w);
-            let realized =
-                RealizedCset::compute(&template, &v, &w, |id| tables.get(id));
+            let realized = RealizedCset::compute(&template, &v, &w, |id| tables.get(id));
             let violations = check_conditions(&template, &realized, &w, |id| tables.get(id));
             assert!(violations.is_empty(), "seed {seed}: {violations:?}");
             // The leaves contain exactly the joiners (condition (1)

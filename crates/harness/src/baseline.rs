@@ -39,13 +39,25 @@ use crate::workload::JoinWorkload;
 /// Messages of the optimistic protocol.
 #[derive(Debug, Clone)]
 enum OptMsg {
-    Start { gateway: NodeId },
-    CpRst { level: u8, from: NodeId },
-    CpRly { level: u8, table: TableSnapshot },
+    Start {
+        gateway: NodeId,
+    },
+    CpRst {
+        level: u8,
+        from: NodeId,
+    },
+    CpRly {
+        level: u8,
+        table: TableSnapshot,
+    },
     /// One-shot announcement of the joiner (with its table).
-    Announce { table: TableSnapshot },
+    Announce {
+        table: TableSnapshot,
+    },
     /// Single reply to an announcement, carrying the receiver's table.
-    AnnounceRly { table: TableSnapshot },
+    AnnounceRly {
+        table: TableSnapshot,
+    },
 }
 
 #[derive(Debug, PartialEq, Eq)]
@@ -165,7 +177,12 @@ impl Actor for OptNode {
                             .filter(|u| *u != me)
                             .collect();
                         for u in targets {
-                            out.push((u, OptMsg::Announce { table: snap.clone() }));
+                            out.push((
+                                u,
+                                OptMsg::Announce {
+                                    table: snap.clone(),
+                                },
+                            ));
                         }
                     }
                 }

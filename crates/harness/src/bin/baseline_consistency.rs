@@ -2,20 +2,27 @@
 //! versus the paper's protocol, measuring table-consistency violations as
 //! concurrency grows.
 //!
-//! Usage: `cargo run --release -p hyperring-harness --bin baseline_consistency [seeds]`
+//! Usage: `cargo run --release -p hyperring-harness --bin baseline_consistency [seeds] [--trials N] [--sequential]`
+//!
+//! The per-seed runs (seeds `0..seeds`) are fanned across cores and
+//! aggregated in seed order, so the output never depends on scheduling;
+//! `--sequential` forces one core. `--trials N` is this binary's
+//! repetition knob spelled the uniform way: it overrides `[seeds]`.
 
 use std::path::Path;
 
 use hyperring_harness::baseline::{run_optimistic, run_paper_protocol};
 use hyperring_harness::workload::JoinWorkload;
-use hyperring_harness::{report, Table};
+use hyperring_harness::{report, Table, TrialOpts};
 use hyperring_id::IdSpace;
 
 fn main() {
-    let seeds: u64 = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("seeds must be an integer"))
-        .unwrap_or(10);
+    let opts = TrialOpts::from_env();
+    let seeds: u64 = if opts.trials > 1 {
+        opts.trials as u64
+    } else {
+        opts.positional(0, 10)
+    };
     let space = IdSpace::new(4, 6).expect("valid space");
     let n = 16;
 
@@ -29,21 +36,27 @@ fn main() {
     ]);
     for m in [1usize, 4, 16, 48] {
         eprintln!("m = {m}: {seeds} seeds of each protocol …");
-        let (mut ob, mut ov, mut ou) = (0u64, 0u64, 0u64);
-        let (mut pb, mut pv) = (0u64, 0u64);
-        for seed in 0..seeds {
+        let per_seed = opts.map_indexed(seeds as usize, |s| {
+            let seed = s as u64;
             let w = JoinWorkload::generate(space, n, m, seed);
             let o = run_optimistic(&w, seed, 0);
-            if !o.consistent() {
-                ob += 1;
-            }
-            ov += o.report.violations().len() as u64;
-            ou += o.unreachable_pairs as u64;
             let p = run_paper_protocol(&w, seed);
-            if !p.consistent() {
-                pb += 1;
-            }
-            pv += p.report.violations().len() as u64;
+            (
+                u64::from(!o.consistent()),
+                o.report.violations().len() as u64,
+                o.unreachable_pairs as u64,
+                u64::from(!p.consistent()),
+                p.report.violations().len() as u64,
+            )
+        });
+        let (mut ob, mut ov, mut ou) = (0u64, 0u64, 0u64);
+        let (mut pb, mut pv) = (0u64, 0u64);
+        for (b, v, u, b2, v2) in &per_seed {
+            ob += b;
+            ov += v;
+            ou += u;
+            pb += b2;
+            pv += v2;
         }
         assert_eq!(pb, 0, "the paper's protocol must never break");
         t.row([

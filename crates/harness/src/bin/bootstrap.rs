@@ -1,20 +1,28 @@
 //! §6.1 network initialization: build an n-node network from a single
 //! node, sequentially, concurrently, and staggered.
 //!
-//! Usage: `cargo run --release -p hyperring-harness --bin bootstrap [n]`
+//! Usage: `cargo run --release -p hyperring-harness --bin bootstrap [n] [--trials N] [--sequential]`
+//!
+//! With `--trials N`, each mode is re-run under `N` independent seeds
+//! (fanned across cores), one row per trial; trial 0 keeps the base seed,
+//! so `--trials 1` reproduces the plain run exactly.
 
 use std::path::Path;
 
 use hyperring_harness::experiments::{run_bootstrap, BootstrapConfig};
-use hyperring_harness::{report, Table};
+use hyperring_harness::{report, Table, TrialOpts};
 
 fn main() {
-    let n: usize = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("n must be an integer"))
-        .unwrap_or(256);
+    let opts = TrialOpts::from_env();
+    let n: usize = opts.positional(0, 256);
 
-    let mut t = Table::new(["mode", "nodes", "consistent", "messages", "virtual time (s)"]);
+    let mut t = Table::new([
+        "mode",
+        "nodes",
+        "consistent",
+        "messages",
+        "virtual time (s)",
+    ]);
     for (name, mode) in [
         ("sequential", BootstrapConfig::Sequential),
         ("concurrent", BootstrapConfig::Concurrent),
@@ -24,15 +32,22 @@ fn main() {
         ),
     ] {
         eprintln!("bootstrapping {n} nodes ({name}) …");
-        let r = run_bootstrap(16, 8, n, mode, 11);
-        assert!(r.consistent, "{name} bootstrap inconsistent");
-        t.row([
-            name.to_string(),
-            r.nodes.to_string(),
-            r.consistent.to_string(),
-            r.messages.to_string(),
-            format!("{:.3}", r.finished_at as f64 / 1e6),
-        ]);
+        let runs = opts.run(11, |_k, seed| run_bootstrap(16, 8, n, mode, seed));
+        for (k, r) in runs.iter().enumerate() {
+            assert!(r.consistent, "{name} bootstrap inconsistent");
+            let row_label = if opts.trials > 1 {
+                format!("{name} t={k}")
+            } else {
+                name.to_string()
+            };
+            t.row([
+                row_label,
+                r.nodes.to_string(),
+                r.consistent.to_string(),
+                r.messages.to_string(),
+                format!("{:.3}", r.finished_at as f64 / 1e6),
+            ]);
+        }
     }
     println!("\n§6.1 network initialization from a single node (b=16, d=8)");
     println!("{}", t.render());

@@ -2,23 +2,39 @@
 //! extension: alternating join and leave waves with consistency checked
 //! after every wave.
 //!
-//! Usage: `cargo run --release -p hyperring-harness --bin churn [rounds]`
+//! Usage: `cargo run --release -p hyperring-harness --bin churn [rounds] [--trials N] [--sequential]`
+//!
+//! With `--trials N`, the whole churn run is repeated under `N`
+//! independent seeds (fanned across cores); every trial must stay
+//! consistent, the wave table shown is trial 0's, and a per-trial summary
+//! table is appended. Trial 0 keeps the base seed, so `--trials 1`
+//! reproduces the plain run exactly.
 
 use std::path::Path;
 
 use hyperring_harness::experiments::run_churn;
-use hyperring_harness::{report, Table};
+use hyperring_harness::{report, Table, TrialOpts};
 
 fn main() {
-    let rounds: usize = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("rounds must be an integer"))
-        .unwrap_or(5);
-    eprintln!("running {rounds} rounds of 64-node churn (b=16, d=8, 32 joins / 32 leaves per round) …");
-    let r = run_churn(16, 8, 64, rounds, 32, 32, 2003);
-    assert!(r.always_consistent, "churn broke consistency");
+    let opts = TrialOpts::from_env();
+    let rounds: usize = opts.positional(0, 5);
+    eprintln!(
+        "running {rounds} rounds of 64-node churn (b=16, d=8, 32 joins / 32 leaves per round) …"
+    );
+    let runs = opts.run(2003, |_k, seed| run_churn(16, 8, 64, rounds, 32, 32, seed));
+    for r in &runs {
+        assert!(r.always_consistent, "churn broke consistency");
+    }
+    let r = &runs[0];
 
-    let mut t = Table::new(["wave", "kind", "population", "consistent", "messages", "mean leave msgs"]);
+    let mut t = Table::new([
+        "wave",
+        "kind",
+        "population",
+        "consistent",
+        "messages",
+        "mean leave msgs",
+    ]);
     for w in &r.waves {
         t.row([
             w.wave.to_string(),
@@ -35,5 +51,18 @@ fn main() {
     }
     println!("\nChurn: joins (paper protocol) + graceful leaves (extension)");
     println!("{}", t.render());
+    if opts.trials > 1 {
+        let mut per_trial = Table::new(["trial", "waves", "always consistent", "messages"]);
+        for (k, r) in runs.iter().enumerate() {
+            per_trial.row([
+                k.to_string(),
+                r.waves.len().to_string(),
+                r.always_consistent.to_string(),
+                r.waves.iter().map(|w| w.messages).sum::<u64>().to_string(),
+            ]);
+        }
+        println!("Per-trial summary ({} trials):", runs.len());
+        println!("{}", per_trial.render());
+    }
     report::write_csv_or_warn(&t, Path::new("results/churn.csv"));
 }

@@ -6,13 +6,19 @@
 use std::path::Path;
 
 use hyperring_harness::experiments::fig15a_series;
-use hyperring_harness::Table;
+use hyperring_harness::{Table, TrialOpts};
 
 fn main() {
-    let step: u64 = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("step must be an integer"))
-        .unwrap_or(5_000);
+    let opts = TrialOpts::from_env();
+    let step: u64 = opts.positional(0, 5_000);
+    if opts.trials > 1 {
+        // The figure is a closed-form bound: no randomness, nothing to
+        // average. Accept the flag (every binary does) but run once.
+        eprintln!(
+            "fig15a is analytic; --trials {} has no effect (running once)",
+            opts.trials
+        );
+    }
     let series = fig15a_series(step);
 
     let mut t = Table::new([

@@ -6,14 +6,20 @@
 //! Usage:
 //!   cargo run --release -p hyperring-harness --bin fig15b           # paper scale
 //!   cargo run --release -p hyperring-harness --bin fig15b -- --small # quick run
+//!
+//! `--trials N` runs each configuration `N` times (fanned across cores;
+//! all trials share one cached topology), adds one summary row per trial
+//! plus a mean row, and plots the CDF of trial 0. `--sequential` runs the
+//! trials on one core with identical output.
 
 use std::path::Path;
 
-use hyperring_harness::experiments::{run_fig15b, Fig15bConfig};
-use hyperring_harness::{report, Table};
+use hyperring_harness::experiments::{run_fig15b_trials, Fig15bConfig};
+use hyperring_harness::{report, Table, TrialOpts};
 
 fn main() {
-    let small = std::env::args().any(|a| a == "--small");
+    let opts = TrialOpts::from_env();
+    let small = opts.has_flag("--small");
     let configs: Vec<Fig15bConfig> = if small {
         vec![Fig15bConfig::small(8, 1), Fig15bConfig::small(40, 1)]
     } else {
@@ -41,28 +47,60 @@ fn main() {
     for (i, cfg) in configs.iter().enumerate() {
         let label = format!("n={},m={},b={},d={}", cfg.n, cfg.m, cfg.b, cfg.d);
         eprintln!("running {label} …");
-        let r = run_fig15b(cfg);
-        assert!(r.consistent, "{label}: final network INCONSISTENT");
-        assert!(
-            r.max_cprst_joinwait <= r.theorem3,
-            "{label}: Theorem 3 violated"
-        );
+        let runs = run_fig15b_trials(cfg, opts.trials, opts.sequential);
         let (paper_avg, paper_bound) = if small {
             ("-".to_string(), "-".to_string())
         } else {
-            (format!("{:.3}", paper_avgs[i]), format!("{:.3}", paper_bounds[i]))
+            (
+                format!("{:.3}", paper_avgs[i]),
+                format!("{:.3}", paper_bounds[i]),
+            )
         };
-        summary.row([
-            label.clone(),
-            format!("{:.3}", r.average()),
-            paper_avg,
-            format!("{:.3}", r.bound),
-            paper_bound,
-            r.max_cprst_joinwait.to_string(),
-            r.theorem3.to_string(),
-            r.spe_noti_total.to_string(),
-            r.consistent.to_string(),
-        ]);
+        for (k, r) in runs.iter().enumerate() {
+            assert!(r.consistent, "{label}: final network INCONSISTENT");
+            assert!(
+                r.max_cprst_joinwait <= r.theorem3,
+                "{label}: Theorem 3 violated"
+            );
+            let row_label = if opts.trials > 1 {
+                format!("{label} t={k}")
+            } else {
+                label.clone()
+            };
+            summary.row([
+                row_label,
+                format!("{:.3}", r.average()),
+                paper_avg.clone(),
+                format!("{:.3}", r.bound),
+                paper_bound.clone(),
+                r.max_cprst_joinwait.to_string(),
+                r.theorem3.to_string(),
+                r.spe_noti_total.to_string(),
+                r.consistent.to_string(),
+            ]);
+        }
+        if opts.trials > 1 {
+            let mean = runs.iter().map(|r| r.average()).sum::<f64>() / runs.len() as f64;
+            summary.row([
+                format!("{label} mean/{}", runs.len()),
+                format!("{mean:.3}"),
+                paper_avg.clone(),
+                format!("{:.3}", runs[0].bound),
+                paper_bound.clone(),
+                runs.iter()
+                    .map(|r| r.max_cprst_joinwait)
+                    .max()
+                    .unwrap_or(0)
+                    .to_string(),
+                runs[0].theorem3.to_string(),
+                runs.iter()
+                    .map(|r| r.spe_noti_total)
+                    .sum::<u64>()
+                    .to_string(),
+                "true".to_string(),
+            ]);
+        }
+        let r = &runs[0];
         for (x, f) in r.cdf() {
             cdf_table.row([label.clone(), x.to_string(), format!("{f:.4}")]);
         }

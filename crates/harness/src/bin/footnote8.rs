@@ -2,18 +2,25 @@
 //! paper observed it is "rarely sent"; this sweep measures the rate per
 //! join across identifier densities and concurrency levels.
 //!
-//! Usage: `cargo run --release -p hyperring-harness --bin footnote8 [seeds]`
+//! Usage: `cargo run --release -p hyperring-harness --bin footnote8 [seeds] [--trials N] [--sequential]`
+//!
+//! The per-row runs (seeds `100..100+seeds`) are fanned across cores and
+//! summed in seed order, so the output never depends on scheduling;
+//! `--sequential` forces one core. `--trials N` is this binary's
+//! repetition knob spelled the uniform way: it overrides `[seeds]`.
 
 use std::path::Path;
 
 use hyperring_harness::experiments::{run_fig15b, DelayKind, Fig15bConfig};
-use hyperring_harness::{report, Table};
+use hyperring_harness::{report, Table, TrialOpts};
 
 fn main() {
-    let seeds: u64 = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("seeds must be an integer"))
-        .unwrap_or(5);
+    let opts = TrialOpts::from_env();
+    let seeds: u64 = if opts.trials > 1 {
+        opts.trials as u64
+    } else {
+        opts.positional(0, 5)
+    };
 
     let mut t = Table::new([
         "b",
@@ -30,21 +37,23 @@ fn main() {
         (2, 10, 16, 48),                    // binary ids: maximal dependence
         (2, 8, 4, 32),                      // tiny space, heavy contention
     ] {
-        let mut spe = 0u64;
-        for seed in 0..seeds {
-            let cfg = Fig15bConfig {
-                b,
-                d,
-                n,
-                m,
-                delay: DelayKind::Uniform,
-                seed: 100 + seed,
-                payload: hyperring_core::PayloadMode::Full,
-            };
-            let r = run_fig15b(&cfg);
-            assert!(r.consistent);
-            spe += r.spe_noti_total;
-        }
+        let spe: u64 = opts
+            .map_indexed(seeds as usize, |s| {
+                let cfg = Fig15bConfig {
+                    b,
+                    d,
+                    n,
+                    m,
+                    delay: DelayKind::Uniform,
+                    seed: 100 + s as u64,
+                    payload: hyperring_core::PayloadMode::Full,
+                };
+                let r = run_fig15b(&cfg);
+                assert!(r.consistent);
+                r.spe_noti_total
+            })
+            .iter()
+            .sum();
         let joins = seeds * m as u64;
         t.row([
             b.to_string(),

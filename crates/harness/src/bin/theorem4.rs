@@ -1,29 +1,36 @@
 //! Theorem 4: the expected number of `JoinNotiMsg` for a *single* join —
 //! measured single joins against the closed-form expectation.
 //!
-//! Usage: `cargo run --release -p hyperring-harness --bin theorem4 [samples]`
+//! Usage: `cargo run --release -p hyperring-harness --bin theorem4 [samples] [--trials N] [--sequential]`
+//!
+//! With `--trials N`, the sweep repeats under `N` independent seeds
+//! (fanned across cores) and the measured column becomes the mean over
+//! trials. Trial 0 keeps the base seed, so `--trials 1` reproduces the
+//! plain run exactly, and `--sequential` never changes the numbers.
 
 use std::path::Path;
 
 use hyperring_harness::experiments::run_theorem4;
-use hyperring_harness::{report, Table};
+use hyperring_harness::{report, Table, TrialOpts};
 
 fn main() {
-    let samples: usize = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("samples must be an integer"))
-        .unwrap_or(48);
+    let opts = TrialOpts::from_env();
+    let samples: usize = opts.positional(0, 48);
     let sizes = [64usize, 128, 256, 512, 1024, 2048];
     eprintln!("sampling {samples} single joins per size …");
-    let pts = run_theorem4(16, 8, &sizes, samples, 2003);
+    if opts.trials > 1 {
+        eprintln!("averaging over {} independent trials …", opts.trials);
+    }
+    let runs = opts.run(2003, |_k, seed| run_theorem4(16, 8, &sizes, samples, seed));
 
     let mut t = Table::new(["n", "measured E(J)", "analytic E(J) (Thm 4)", "rel err"]);
-    for p in &pts {
+    for (i, p) in runs[0].iter().enumerate() {
+        let measured = runs.iter().map(|r| r[i].measured).sum::<f64>() / runs.len() as f64;
         t.row([
             p.n.to_string(),
-            format!("{:.3}", p.measured),
+            format!("{measured:.3}"),
             format!("{:.3}", p.analytic),
-            format!("{:.1}%", 100.0 * (p.measured - p.analytic) / p.analytic),
+            format!("{:.1}%", 100.0 * (measured - p.analytic) / p.analytic),
         ]);
     }
     println!("Theorem 4: expected JoinNotiMsg of a single join (b=16, d=8)");

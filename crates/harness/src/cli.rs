@@ -1,0 +1,170 @@
+//! Shared command-line handling for the experiment binaries.
+//!
+//! Every binary accepts, in addition to its own positional arguments:
+//!
+//! * `--trials N` — run `N` independent trials (default 1), fanned across
+//!   cores, with per-trial seeds from
+//!   [`trial_seed`](crate::workload::trial_seed);
+//! * `--sequential` — run those trials on one core instead. The printed
+//!   output is identical either way (the parallel runner is
+//!   order-preserving and trials share no mutable state), so this exists
+//!   for cross-checking and for memory-constrained machines.
+
+use crate::workload::{run_trials, run_trials_sequential};
+use rayon::prelude::*;
+
+/// Trial-related options extracted from the command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialOpts {
+    /// Number of independent trials to run (≥ 1).
+    pub trials: usize,
+    /// Run trials sequentially instead of across cores.
+    pub sequential: bool,
+    /// The arguments left over after removing trial flags, in order
+    /// (excluding the program name).
+    pub rest: Vec<String>,
+}
+
+impl TrialOpts {
+    /// Parses `--trials N` and `--sequential` out of an argument list.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message if `--trials` is missing its value or
+    /// the value is not a positive integer.
+    pub fn parse(args: impl Iterator<Item = String>) -> Self {
+        let mut trials = 1usize;
+        let mut sequential = false;
+        let mut rest = Vec::new();
+        let mut args = args.peekable();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--trials" => {
+                    let v = args.next().expect("--trials requires a value");
+                    trials = v
+                        .parse()
+                        .expect("--trials value must be a positive integer");
+                    assert!(trials >= 1, "--trials value must be a positive integer");
+                }
+                "--sequential" => sequential = true,
+                _ => rest.push(a),
+            }
+        }
+        TrialOpts {
+            trials,
+            sequential,
+            rest,
+        }
+    }
+
+    /// Parses the process's own arguments (skipping the program name).
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// The `i`-th leftover positional argument parsed as `T`, or
+    /// `default` when absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the argument text if parsing fails.
+    pub fn positional<T: std::str::FromStr>(&self, i: usize, default: T) -> T {
+        match self.rest.get(i) {
+            Some(s) if !s.starts_with("--") => s
+                .parse()
+                .unwrap_or_else(|_| panic!("could not parse argument {s:?}")),
+            _ => default,
+        }
+    }
+
+    /// Whether a leftover flag (e.g. `--small`) is present.
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.rest.iter().any(|a| a == flag)
+    }
+
+    /// Runs `self.trials` trials of `f` with per-trial seeds derived from
+    /// `base_seed`, parallel unless `--sequential` was given. Results come
+    /// back in trial order either way.
+    pub fn run<R, F>(&self, base_seed: u64, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, u64) -> R + Sync + Send,
+    {
+        if self.sequential {
+            run_trials_sequential(self.trials, base_seed, f)
+        } else {
+            run_trials(self.trials, base_seed, f)
+        }
+    }
+
+    /// Maps `f` over `0..count` — across cores unless `--sequential` was
+    /// given — returning results in index order either way.
+    ///
+    /// For binaries whose repetition knob predates `--trials` (e.g. a
+    /// `[seeds]` positional) and therefore derive per-run seeds themselves
+    /// rather than through [`trial_seed`](crate::workload::trial_seed).
+    pub fn map_indexed<R, F>(&self, count: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync + Send,
+    {
+        if self.sequential {
+            (0..count).map(f).collect()
+        } else {
+            (0..count).into_par_iter().map(f).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> TrialOpts {
+        TrialOpts::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_and_flag_extraction() {
+        let o = parse(&[]);
+        assert_eq!(o.trials, 1);
+        assert!(!o.sequential);
+        assert!(o.rest.is_empty());
+
+        let o = parse(&["5000", "--trials", "8", "--sequential", "--small"]);
+        assert_eq!(o.trials, 8);
+        assert!(o.sequential);
+        assert_eq!(o.rest, vec!["5000".to_string(), "--small".to_string()]);
+        assert_eq!(o.positional(0, 0u64), 5000);
+        assert!(o.has_flag("--small"));
+    }
+
+    #[test]
+    fn positional_falls_back_to_default() {
+        let o = parse(&["--trials", "2"]);
+        assert_eq!(o.positional::<usize>(0, 48), 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "--trials value must be a positive integer")]
+    fn zero_trials_rejected() {
+        parse(&["--trials", "0"]);
+    }
+
+    #[test]
+    fn run_respects_sequential_flag_and_matches_parallel() {
+        let par = parse(&["--trials", "6"]);
+        let seq = parse(&["--trials", "6", "--sequential"]);
+        let f = |k: usize, seed: u64| (k as u64) ^ seed.rotate_left(7);
+        assert_eq!(par.run(99, f), seq.run(99, f));
+    }
+
+    #[test]
+    fn map_indexed_is_ordered_and_mode_independent() {
+        let par = parse(&[]);
+        let seq = parse(&["--sequential"]);
+        let f = |i: usize| i * i + 1;
+        assert_eq!(par.map_indexed(9, f), seq.map_indexed(9, f));
+        assert_eq!(par.map_indexed(3, f), vec![1, 2, 5]);
+    }
+}

@@ -1,9 +1,7 @@
 //! §6.1 network initialization: start from one node, join everyone else
 //! through it, end with a consistent network.
 
-use hyperring_core::{
-    bootstrap_sequential, check_consistency, ProtocolOptions, SimNetworkBuilder,
-};
+use hyperring_core::{bootstrap_sequential, check_consistency, ProtocolOptions, SimNetworkBuilder};
 use hyperring_id::IdSpace;
 use hyperring_sim::UniformDelay;
 
@@ -44,7 +42,13 @@ pub struct BootstrapResult {
 /// # Panics
 ///
 /// Panics if `n == 0` or the space is too small.
-pub fn run_bootstrap(b: u16, d: usize, n: usize, mode: BootstrapConfig, seed: u64) -> BootstrapResult {
+pub fn run_bootstrap(
+    b: u16,
+    d: usize,
+    n: usize,
+    mode: BootstrapConfig,
+    seed: u64,
+) -> BootstrapResult {
     let space = IdSpace::new(b, d).expect("valid space");
     let ids = distinct_ids(space, n, seed);
     match mode {

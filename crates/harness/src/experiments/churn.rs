@@ -3,7 +3,9 @@
 //! protocol is the paper's; the leave protocol is this repository's
 //! extension of it (see `DESIGN.md`).
 
-use hyperring_core::{MessageKind, SimNetworkBuilder, Status};
+use hyperring_core::{
+    check_consistency_with_index, MessageKind, SimNetworkBuilder, Status, SuffixIndex,
+};
 use hyperring_id::IdSpace;
 use hyperring_sim::UniformDelay;
 use rand::rngs::StdRng;
@@ -52,13 +54,19 @@ pub fn run_churn(
     leaves_per_round: usize,
     seed: u64,
 ) -> ChurnResult {
-    assert!(n0 > 0 && leaves_per_round <= n0, "degenerate churn parameters");
+    assert!(
+        n0 > 0 && leaves_per_round <= n0,
+        "degenerate churn parameters"
+    );
     let space = IdSpace::new(b, d).expect("valid space");
     let total_ids = n0 + rounds * joins_per_round;
     let ids = distinct_ids(space, total_ids, seed);
     let mut rng = StdRng::seed_from_u64(seed ^ 0xc4u64);
 
     let mut tables = hyperring_core::build_consistent_tables(space, &ids[..n0]);
+    // One suffix index lives across the whole run; each wave applies its
+    // joins/departures incrementally instead of re-indexing the population.
+    let mut index = SuffixIndex::build(space, ids[..n0].iter().copied());
     let mut next_id = n0;
     let mut waves = Vec::new();
     let mut always_consistent = true;
@@ -73,12 +81,14 @@ pub fn run_churn(
         for k in 0..joins_per_round {
             let gw = members[rng.gen_range(0..members.len())];
             builder.add_joiner(ids[next_id + k], gw, 0);
+            index.insert(ids[next_id + k]);
         }
         next_id += joins_per_round;
         let mut net = builder.build(UniformDelay::new(500, 60_000), seed ^ wave_no as u64);
         let report = net.run();
         assert!(net.all_in_system(), "wave {wave_no}: join did not settle");
-        let consistent = net.check_consistency().is_consistent();
+        let consistent = check_consistency_with_index(space, &net.tables(), &index).is_consistent();
+        debug_assert_eq!(consistent, net.check_consistency().is_consistent());
         always_consistent &= consistent;
         waves.push(WaveStats {
             wave: wave_no,
@@ -101,6 +111,7 @@ pub fn run_churn(
         let mut messages = 0;
         for v in &victims {
             let r = net.depart(v);
+            index.remove(v);
             messages = r.delivered;
         }
         let leave_cost: u64 = victims
@@ -110,7 +121,8 @@ pub fn run_churn(
                 s.sent(MessageKind::LeaveNoti) + s.sent(MessageKind::RvNghForget)
             })
             .sum();
-        let consistent = net.check_consistency().is_consistent();
+        let consistent = check_consistency_with_index(space, &net.tables(), &index).is_consistent();
+        debug_assert_eq!(consistent, net.check_consistency().is_consistent());
         always_consistent &= consistent;
         debug_assert!(net
             .engines()

@@ -9,8 +9,8 @@ use hyperring_id::IdSpace;
 use hyperring_sim::stats::Distribution;
 use hyperring_sim::UniformDelay;
 
-use crate::topo_delay::TopologyDelay;
-use crate::workload::JoinWorkload;
+use crate::topo_delay::SharedTopology;
+use crate::workload::{run_trials, run_trials_sequential, JoinWorkload};
 
 /// Which latency substrate to run on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,49 +122,76 @@ impl Fig15bResult {
 
 /// Runs one Figure 15(b) experiment.
 ///
+/// Equivalent to `run_fig15b_trials(cfg, 1, true)[0]`.
+///
 /// # Panics
 ///
 /// Panics if the configuration is degenerate (e.g. zero members) or if the
 /// run violates a theorem (Theorem 2 termination is asserted internally).
 pub fn run_fig15b(cfg: &Fig15bConfig) -> Fig15bResult {
+    run_fig15b_trials(cfg, 1, true)
+        .pop()
+        .expect("one trial requested")
+}
+
+/// Runs `trials` independent Figure 15(b) experiments, fanned across
+/// cores (or sequentially when `sequential` is set — the results are
+/// bit-identical either way).
+///
+/// All trials share **one** router topology — generated once from
+/// `cfg.seed`, behind an `Arc`, with its host-to-host delay rows memoized
+/// across trials — matching the paper's setup (a single GT-ITM topology,
+/// repeated runs) and skipping the dominant per-trial cost. Trial `k`
+/// draws its workload and message schedule from
+/// [`trial_seed`](crate::workload::trial_seed)`(cfg.seed, k)`, so trial 0 reproduces the single-run
+/// experiment exactly.
+///
+/// # Panics
+///
+/// As [`run_fig15b`], for any trial.
+pub fn run_fig15b_trials(cfg: &Fig15bConfig, trials: usize, sequential: bool) -> Vec<Fig15bResult> {
     let space = IdSpace::new(cfg.b, cfg.d).expect("valid space");
-    let workload = JoinWorkload::generate(space, cfg.n, cfg.m, cfg.seed);
-
-    let mut b = SimNetworkBuilder::new(space);
-    b.options(ProtocolOptions::with_payload(cfg.payload));
-    for id in &workload.members {
-        b.add_member(*id);
-    }
-    for (id, gw) in &workload.joiners {
-        b.add_joiner(*id, *gw, 0); // all joins start at the same time
-    }
-
-    let total_hosts = workload.total();
-    let (report, c) = match cfg.delay {
-        DelayKind::PaperTopology => run_with(
-            &mut b,
-            TopologyDelay::paper_scale(total_hosts, cfg.seed ^ 0xd1ce),
-            cfg.seed,
-        ),
-        DelayKind::TestTopology => run_with(
-            &mut b,
-            TopologyDelay::test_scale(total_hosts, cfg.seed ^ 0xd1ce),
-            cfg.seed,
-        ),
-        DelayKind::Uniform => run_with(&mut b, UniformDelay::new(1_000, 100_000), cfg.seed),
+    let total_hosts = cfg.n + cfg.m;
+    let topo = match cfg.delay {
+        DelayKind::PaperTopology => {
+            Some(SharedTopology::paper_scale(total_hosts, cfg.seed ^ 0xd1ce))
+        }
+        DelayKind::TestTopology => Some(SharedTopology::test_scale(total_hosts, cfg.seed ^ 0xd1ce)),
+        DelayKind::Uniform => None,
     };
 
-    Fig15bResult {
-        config: *cfg,
-        bound: upper_bound_join_noti(cfg.b as u32, cfg.d as u32, cfg.n as u64, cfg.m as u64),
-        theorem3: theorem3_bound(cfg.d),
-        join_noti: c.join_noti,
-        max_cprst_joinwait: c.max_cprst_joinwait,
-        spe_noti_total: c.spe_noti_total,
-        messages_delivered: report.delivered,
-        joiner_bytes: c.joiner_bytes,
-        consistent: c.consistent,
-        finished_at: report.finished_at,
+    let trial = |_k: usize, seed: u64| -> Fig15bResult {
+        let workload = JoinWorkload::generate(space, cfg.n, cfg.m, seed);
+        let mut b = SimNetworkBuilder::new(space);
+        b.options(ProtocolOptions::with_payload(cfg.payload));
+        for id in &workload.members {
+            b.add_member(*id);
+        }
+        for (id, gw) in &workload.joiners {
+            b.add_joiner(*id, *gw, 0); // all joins start at the same time
+        }
+        let (report, c) = match &topo {
+            Some(t) => run_with(&mut b, t.delay_model(), seed),
+            None => run_with(&mut b, UniformDelay::new(1_000, 100_000), seed),
+        };
+        Fig15bResult {
+            config: Fig15bConfig { seed, ..*cfg },
+            bound: upper_bound_join_noti(cfg.b as u32, cfg.d as u32, cfg.n as u64, cfg.m as u64),
+            theorem3: theorem3_bound(cfg.d),
+            join_noti: c.join_noti,
+            max_cprst_joinwait: c.max_cprst_joinwait,
+            spe_noti_total: c.spe_noti_total,
+            messages_delivered: report.delivered,
+            joiner_bytes: c.joiner_bytes,
+            consistent: c.consistent,
+            finished_at: report.finished_at,
+        }
+    };
+
+    if sequential {
+        run_trials_sequential(trials, cfg.seed, trial)
+    } else {
+        run_trials(trials, cfg.seed, trial)
     }
 }
 
@@ -189,8 +216,7 @@ struct Collected {
 
 fn collect<D: hyperring_sim::DelayModel>(net: hyperring_core::SimNetwork<D>) -> Collected {
     assert!(net.all_in_system(), "Theorem 2 violated: joiner stuck");
-    let join_noti =
-        Distribution::from_samples(net.joiners().map(|e| e.stats().join_noti()));
+    let join_noti = Distribution::from_samples(net.joiners().map(|e| e.stats().join_noti()));
     let max_cprst_joinwait = net
         .joiners()
         .map(|e| e.stats().cprst_plus_joinwait())
@@ -260,5 +286,29 @@ mod tests {
         assert_eq!(a.average(), b.average());
         assert_eq!(a.messages_delivered, b.messages_delivered);
         assert_eq!(a.finished_at, b.finished_at);
+    }
+
+    #[test]
+    fn parallel_trials_match_sequential_and_trial_zero_matches_single_run() {
+        let cfg = Fig15bConfig::small(8, 1234);
+        let par = run_fig15b_trials(&cfg, 3, false);
+        let seq = run_fig15b_trials(&cfg, 3, true);
+        assert_eq!(par.len(), 3);
+        for (p, s) in par.iter().zip(&seq) {
+            assert_eq!(p.config.seed, s.config.seed);
+            assert_eq!(p.average(), s.average());
+            assert_eq!(p.messages_delivered, s.messages_delivered);
+            assert_eq!(p.finished_at, s.finished_at);
+            assert_eq!(p.cdf(), s.cdf());
+            assert!(p.consistent);
+        }
+        // Distinct seeds → the trials really are independent samples.
+        assert_ne!(par[0].config.seed, par[1].config.seed);
+        // Trial 0 keeps the base seed and reproduces the single-run API.
+        let single = run_fig15b(&cfg);
+        assert_eq!(par[0].config.seed, cfg.seed);
+        assert_eq!(par[0].average(), single.average());
+        assert_eq!(par[0].messages_delivered, single.messages_delivered);
+        assert_eq!(par[0].finished_at, single.finished_at);
     }
 }

@@ -14,7 +14,7 @@ mod theorem4;
 pub use bootstrap::{run_bootstrap, BootstrapConfig, BootstrapResult};
 pub use churn::{run_churn, ChurnResult, WaveStats};
 pub use fig15a::{fig15a_series, Fig15aPoint};
-pub use fig15b::{run_fig15b, DelayKind, Fig15bConfig, Fig15bResult};
+pub use fig15b::{run_fig15b, run_fig15b_trials, DelayKind, Fig15bConfig, Fig15bResult};
 pub use msgsize::{run_msgsize_ablation, MsgSizeResult};
 pub use occupancy::{run_occupancy, OccupancyPoint};
 pub use stretch::{run_stretch, StretchResult, StretchStats};

@@ -35,10 +35,7 @@ impl MsgSizeResult {
 /// Runs the same workload under the three §6.2 payload modes.
 pub fn run_msgsize_ablation(base: &Fig15bConfig) -> MsgSizeResult {
     let run = |payload: PayloadMode| {
-        let cfg = Fig15bConfig {
-            payload,
-            ..*base
-        };
+        let cfg = Fig15bConfig { payload, ..*base };
         let r = run_fig15b(&cfg);
         (r.joiner_bytes, r.consistent)
     };

@@ -49,8 +49,7 @@ fn measure<F>(
 where
     F: Fn(&NodeId, &NodeId) -> u64,
 {
-    let by_id: HashMap<NodeId, &NeighborTable> =
-        tables.iter().map(|t| (t.owner(), t)).collect();
+    let by_id: HashMap<NodeId, &NeighborTable> = tables.iter().map(|t| (t.owner(), t)).collect();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut stretches = Vec::new();
     let mut hops_total = 0usize;
@@ -104,8 +103,7 @@ pub fn run_stretch(
     let space = IdSpace::new(b, d).expect("valid space");
     let ids = distinct_ids(space, n, seed);
     let topo = TopologyDelay::test_scale(n, seed ^ 0x50f7);
-    let host_of: HashMap<NodeId, usize> =
-        ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    let host_of: HashMap<NodeId, usize> = ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
     let latency = |a: &NodeId, b_: &NodeId| -> u64 {
         topo.topology()
             .host_latency(topo.hosts(), host_of[a], host_of[b_])

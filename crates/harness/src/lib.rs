@@ -26,11 +26,13 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod cli;
 pub mod experiments;
 pub mod report;
 pub mod topo_delay;
 pub mod workload;
 
+pub use cli::TrialOpts;
 pub use report::Table;
-pub use topo_delay::TopologyDelay;
-pub use workload::{distinct_ids, JoinWorkload};
+pub use topo_delay::{CachedTopologyDelay, SharedTopology, TopologyDelay};
+pub use workload::{distinct_ids, run_trials, run_trials_sequential, trial_seed, JoinWorkload};

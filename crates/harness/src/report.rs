@@ -51,7 +51,15 @@ impl Table {
         };
         out.push_str(&fmt_row(&self.header, &widths));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().map(|w| w + 2).sum::<usize>().saturating_sub(2)));
+        out.push_str(
+            &"-".repeat(
+                widths
+                    .iter()
+                    .map(|w| w + 2)
+                    .sum::<usize>()
+                    .saturating_sub(2),
+            ),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&fmt_row(row, &widths));
@@ -170,7 +178,10 @@ mod tests {
 
     #[test]
     fn csv_escapes_commas_and_quotes() {
-        assert_eq!(csv_line(&["a,b".into(), "c\"d".into()]), "\"a,b\",\"c\"\"d\"");
+        assert_eq!(
+            csv_line(&["a,b".into(), "c\"d".into()]),
+            "\"a,b\",\"c\"\"d\""
+        );
         assert_eq!(csv_line(&["plain".into()]), "plain");
     }
 

@@ -296,7 +296,6 @@ mod tests {
             .map(|v| space.id_from_value(v).unwrap())
             .find(|id| !ids.contains(id))
             .expect("space has spare ids");
-        ThreadedNetwork::new(space, ProtocolOptions::new(), members)
-            .run_joins(&[(ids[3], ghost)]);
+        ThreadedNetwork::new(space, ProtocolOptions::new(), members).run_joins(&[(ids[3], ghost)]);
     }
 }

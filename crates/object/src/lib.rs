@@ -165,9 +165,7 @@ impl ObjectStore {
     /// Panics if `start` is not a live node.
     pub fn root_from(&self, start: NodeId, object_id: &NodeId) -> (NodeId, usize) {
         assert!(self.tables.contains_key(&start), "unknown start {start}");
-        let (root, path) = surrogate_route(self.space, start, object_id, |id| {
-            self.tables.get(id)
-        });
+        let (root, path) = surrogate_route(self.space, start, object_id, |id| self.tables.get(id));
         (root, path.len() - 1)
     }
 
@@ -241,7 +239,10 @@ impl ObjectStore {
             if root != old_root {
                 moved += 1;
             }
-            self.directories.entry(root).or_default().insert(oid, live_homes);
+            self.directories
+                .entry(root)
+                .or_default()
+                .insert(oid, live_homes);
         }
         moved
     }
@@ -348,7 +349,9 @@ mod tests {
         let all: Vec<NodeId> = all.into_iter().collect();
         store.update_tables(build_consistent_tables(space, &all));
         for name in ["a", "b", "c", "d", "e", "f", "g", "h"] {
-            let hit = store.lookup(all[0], name).expect("survives membership change");
+            let hit = store
+                .lookup(all[0], name)
+                .expect("survives membership change");
             assert!(!hit.homes.is_empty());
         }
     }

@@ -55,8 +55,8 @@ mod tests {
                 msg: (),
             });
         }
-        let order: Vec<(Time, u64)> = std::iter::from_fn(|| heap.pop().map(|e| (e.at, e.seq)))
-            .collect();
+        let order: Vec<(Time, u64)> =
+            std::iter::from_fn(|| heap.pop().map(|e| (e.at, e.seq))).collect();
         assert_eq!(order, vec![(1, 3), (3, 1), (3, 4), (5, 0), (5, 2)]);
     }
 }

@@ -42,6 +42,6 @@ mod event;
 mod sim;
 pub mod stats;
 
-pub use delay::{ConstantDelay, DelayModel, FnDelay, UniformDelay};
+pub use delay::{ConstantDelay, DelayModel, FnDelay, MatrixDelay, UniformDelay};
 pub use event::Time;
 pub use sim::{Actor, Context, RunReport, Simulator};

@@ -42,6 +42,6 @@ mod waxman;
 
 pub use graph::Graph;
 pub use hosts::HostMap;
-pub use shortest_path::{dijkstra, floyd_warshall};
+pub use shortest_path::{dijkstra, dijkstra_multi, floyd_warshall};
 pub use transit_stub::{TransitStub, TransitStubConfig};
 pub use waxman::{waxman, WaxmanConfig};

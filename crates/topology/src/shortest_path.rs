@@ -1,6 +1,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use rayon::prelude::*;
+
 use crate::Graph;
 
 /// Single-source shortest path distances (Dijkstra).
@@ -41,6 +43,21 @@ pub fn dijkstra(g: &Graph, src: u32) -> Vec<u64> {
         }
     }
     dist
+}
+
+/// Batch single-source shortest paths: one [`dijkstra`] row per source,
+/// fanned across cores.
+///
+/// The sources are independent, so the rows are computed in parallel;
+/// `rows[k]` is exactly `dijkstra(g, sources[k])` regardless of thread
+/// count. This is the building block the delay-matrix cache uses to fill
+/// many rows at once instead of paying one traversal per lookup miss.
+///
+/// # Panics
+///
+/// Panics if any source is out of range.
+pub fn dijkstra_multi(g: &Graph, sources: &[u32]) -> Vec<Vec<u64>> {
+    sources.par_iter().map(|&s| dijkstra(g, s)).collect()
 }
 
 /// All-pairs shortest paths (Floyd–Warshall), for small graphs.
@@ -120,6 +137,17 @@ mod tests {
         g.add_edge(1, 2, 10);
         g.add_edge(2, 3, 10);
         assert_eq!(dijkstra(&g, 0)[3], 30);
+    }
+
+    #[test]
+    fn dijkstra_multi_matches_single_source_rows() {
+        let g = line_graph(6);
+        let sources = [0u32, 5, 2, 2];
+        let rows = dijkstra_multi(&g, &sources);
+        assert_eq!(rows.len(), 4);
+        for (k, &s) in sources.iter().enumerate() {
+            assert_eq!(rows[k], dijkstra(&g, s), "row for source {s}");
+        }
     }
 
     #[test]

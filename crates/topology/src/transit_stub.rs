@@ -1,6 +1,6 @@
 use rand::Rng;
 
-use crate::{dijkstra, floyd_warshall, waxman, Graph, HostMap, WaxmanConfig};
+use crate::{dijkstra_multi, floyd_warshall, waxman, Graph, HostMap, WaxmanConfig};
 
 /// Parameters of the GT-ITM-style transit-stub generator.
 ///
@@ -217,13 +217,15 @@ impl TransitStub {
         debug_assert_eq!(next as usize, total);
         debug_assert!(graph.is_connected());
 
-        // 4. Transit-core distance matrix via full-graph Dijkstra (cheap:
-        //    one run per transit router).
+        // 4. Transit-core distance matrix: one full-graph Dijkstra per
+        //    transit router, batched so independent sources run on
+        //    separate cores.
+        let sources: Vec<u32> = (0..transit_count).collect();
+        let rows = dijkstra_multi(&graph, &sources);
         let mut transit_dist = vec![0u64; (transit_count * transit_count) as usize];
-        for t in 0..transit_count {
-            let d = dijkstra(&graph, t);
-            for u in 0..transit_count {
-                transit_dist[(t * transit_count + u) as usize] = d[u as usize];
+        for (t, d) in rows.iter().enumerate() {
+            for u in 0..transit_count as usize {
+                transit_dist[t * transit_count as usize + u] = d[u];
             }
         }
 
@@ -320,6 +322,7 @@ impl TransitStub {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dijkstra;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

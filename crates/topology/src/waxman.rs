@@ -119,16 +119,8 @@ mod tests {
 
     #[test]
     fn deterministic_under_seed() {
-        let g1 = waxman(
-            40,
-            &WaxmanConfig::default(),
-            &mut StdRng::seed_from_u64(77),
-        );
-        let g2 = waxman(
-            40,
-            &WaxmanConfig::default(),
-            &mut StdRng::seed_from_u64(77),
-        );
+        let g1 = waxman(40, &WaxmanConfig::default(), &mut StdRng::seed_from_u64(77));
+        let g2 = waxman(40, &WaxmanConfig::default(), &mut StdRng::seed_from_u64(77));
         assert_eq!(g1.edge_count(), g2.edge_count());
         for v in 0..40u32 {
             assert_eq!(g1.neighbors(v), g2.neighbors(v));

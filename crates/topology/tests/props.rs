@@ -7,14 +7,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn arb_config() -> impl Strategy<Value = TransitStubConfig> {
-    (1usize..=3, 2usize..=5, 1usize..=3, 2usize..=6).prop_map(|(t, nt, s, ns)| {
-        TransitStubConfig {
-            transit_domains: t,
-            transit_nodes: nt,
-            stubs_per_transit_node: s,
-            stub_nodes: ns,
-            ..TransitStubConfig::small()
-        }
+    (1usize..=3, 2usize..=5, 1usize..=3, 2usize..=6).prop_map(|(t, nt, s, ns)| TransitStubConfig {
+        transit_domains: t,
+        transit_nodes: nt,
+        stubs_per_transit_node: s,
+        stub_nodes: ns,
+        ..TransitStubConfig::small()
     })
 }
 

@@ -4,7 +4,9 @@
 //!
 //! Run with: `cargo run --release --example bootstrap`
 
-use hyperring::core::{bootstrap_sequential, check_consistency, ProtocolOptions, SimNetworkBuilder};
+use hyperring::core::{
+    bootstrap_sequential, check_consistency, ProtocolOptions, SimNetworkBuilder,
+};
 use hyperring::harness::distinct_ids;
 use hyperring::id::IdSpace;
 use hyperring::sim::UniformDelay;

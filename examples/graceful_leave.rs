@@ -24,7 +24,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mut net = b.build(UniformDelay::new(1_000, 50_000), 9);
     net.run();
     assert!(net.all_in_system());
-    println!("network up: {} nodes, {}", net.tables().len(), net.check_consistency());
+    println!(
+        "network up: {} nodes, {}",
+        net.tables().len(),
+        net.check_consistency()
+    );
 
     // Three members depart gracefully, one after the other.
     for victim in [&ids[3], &ids[17], &ids[42]] {
@@ -33,9 +37,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         assert_eq!(net.engine(victim).status(), Status::Departed);
         let c = net.check_consistency();
         assert!(c.is_consistent());
-        println!(
-            "{victim} left (had {before} reverse neighbors) -> {c}"
-        );
+        println!("{victim} left (had {before} reverse neighbors) -> {c}");
     }
 
     // The shrunken network still accepts concurrent joins.

@@ -72,6 +72,9 @@ fn main() -> Result<(), Box<dyn Error>> {
         let roots = roots_from_everywhere(&store, &oid);
         assert_eq!(roots.len(), 1, "{name} has multiple roots: {roots:?}");
     }
-    println!("\nall {} nodes agree on every object's root node", ids.len());
+    println!(
+        "\nall {} nodes agree on every object's root node",
+        ids.len()
+    );
     Ok(())
 }

@@ -36,11 +36,18 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mut net = builder.build(UniformDelay::new(1_000, 80_000), 7);
     let report = net.run();
 
-    println!("simulated {} message deliveries in {:.3} s of virtual time", report.delivered, report.finished_at as f64 / 1e6);
+    println!(
+        "simulated {} message deliveries in {:.3} s of virtual time",
+        report.delivered,
+        report.finished_at as f64 / 1e6
+    );
 
     // Theorem 2: every joiner became an S-node.
     assert!(net.all_in_system());
-    println!("all {} joiners reached status in_system (Theorem 2)", joiners.len());
+    println!(
+        "all {} joiners reached status in_system (Theorem 2)",
+        joiners.len()
+    );
 
     // Theorem 1: the network is consistent.
     let consistency = net.check_consistency();

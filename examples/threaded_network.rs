@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         .map(|(i, &id)| (id, ids[i % n]))
         .collect();
 
-    println!("spawning {} node threads ({n} members + {m} joiners) …", n + m);
+    println!(
+        "spawning {} node threads ({n} members + {m} joiners) …",
+        n + m
+    );
     let started = std::time::Instant::now();
     let net = ThreadedNetwork::new(space, ProtocolOptions::new(), members);
     let tables = net.run_joins(&joiners);

@@ -30,9 +30,7 @@ impl Flags {
             let key = a
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected --flag, got {a:?}"))?;
-            let val = it
-                .next()
-                .ok_or_else(|| format!("--{key} needs a value"))?;
+            let val = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
             map.insert(key.to_string(), val.clone());
         }
         Ok(Flags(map))
@@ -71,14 +69,33 @@ fn cmd_analyze(f: &Flags) -> Result<(), String> {
     let d: u32 = f.get("d", 8)?;
     let n: u64 = f.get("n", 3096)?;
     let m: u64 = f.get("m", 1000)?;
-    println!("identifier space: base {b}, {d} digits ({} ids)", (b as f64).powi(d as i32));
+    println!(
+        "identifier space: base {b}, {d} digits ({} ids)",
+        (b as f64).powi(d as i32)
+    );
     println!("network size n = {n}, concurrent joiners m = {m}");
     println!();
-    println!("Theorem 3:  CpRstMsg + JoinWaitMsg per join <= {}", theorem3_bound(d as usize));
-    println!("Theorem 4:  E[JoinNotiMsg], single join  = {:.3}", expected_join_noti(b, d, n));
-    println!("Theorem 5:  E[JoinNotiMsg] upper bound   = {:.3}", upper_bound_join_noti(b, d, n, m));
-    println!("expected notification level              = {:.3}", expected_noti_level(b, d, n));
-    println!("expected filled table entries            = {:.1} of {}", expected_filled_entries(b, d, n), b * d);
+    println!(
+        "Theorem 3:  CpRstMsg + JoinWaitMsg per join <= {}",
+        theorem3_bound(d as usize)
+    );
+    println!(
+        "Theorem 4:  E[JoinNotiMsg], single join  = {:.3}",
+        expected_join_noti(b, d, n)
+    );
+    println!(
+        "Theorem 5:  E[JoinNotiMsg] upper bound   = {:.3}",
+        upper_bound_join_noti(b, d, n, m)
+    );
+    println!(
+        "expected notification level              = {:.3}",
+        expected_noti_level(b, d, n)
+    );
+    println!(
+        "expected filled table entries            = {:.1} of {}",
+        expected_filled_entries(b, d, n),
+        b * d
+    );
     Ok(())
 }
 
@@ -111,7 +128,10 @@ fn cmd_simulate(f: &Flags) -> Result<(), String> {
     let (_, mut net) = build_network(space, n, m, seed);
     let report = net.run();
     println!("messages delivered : {}", report.delivered);
-    println!("virtual time       : {:.3} s", report.finished_at as f64 / 1e6);
+    println!(
+        "virtual time       : {:.3} s",
+        report.finished_at as f64 / 1e6
+    );
     println!("all in system      : {}", net.all_in_system());
     let c = net.check_consistency();
     println!("consistency        : {c}");

@@ -20,7 +20,10 @@ fn run_case(b: u16, d: usize, n: usize, m: usize, seed: u64) -> u64 {
     }
     let mut net = builder.build(UniformDelay::new(100, 150_000), seed);
     let report = net.run_limited(50_000_000);
-    assert!(!report.truncated, "b={b} d={d} n={n} m={m} seed={seed}: no quiescence");
+    assert!(
+        !report.truncated,
+        "b={b} d={d} n={n} m={m} seed={seed}: no quiescence"
+    );
     // Theorem 2.
     assert!(
         net.engines().all(|e| e.status() == Status::InSystem),
@@ -28,7 +31,10 @@ fn run_case(b: u16, d: usize, n: usize, m: usize, seed: u64) -> u64 {
     );
     // Theorem 1.
     let c = net.check_consistency();
-    assert!(c.is_consistent(), "b={b} d={d} n={n} m={m} seed={seed}: {c}");
+    assert!(
+        c.is_consistent(),
+        "b={b} d={d} n={n} m={m} seed={seed}: {c}"
+    );
     // Theorem 3.
     for e in net.joiners() {
         assert!(

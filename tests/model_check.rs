@@ -66,12 +66,8 @@ fn digest_message(f: &Flight, h: &mut DefaultHasher) {
             subject.hash(h);
         }
         Message::SpeNotiRly { subject } => subject.hash(h),
-        Message::RvNghNoti { recorded } => {
-            (*recorded == hyperring::core::NodeState::S).hash(h)
-        }
-        Message::RvNghNotiRly { actual } => {
-            (*actual == hyperring::core::NodeState::S).hash(h)
-        }
+        Message::RvNghNoti { recorded } => (*recorded == hyperring::core::NodeState::S).hash(h),
+        Message::RvNghNotiRly { actual } => (*actual == hyperring::core::NodeState::S).hash(h),
         Message::LeaveNoti { replacement } => {
             if let Some(e) = replacement {
                 e.node.hash(h);
@@ -157,10 +153,7 @@ impl Explorer {
             // Quiescent: the theorems must hold *here*, whatever the path.
             self.quiescent += 1;
             assert!(
-                state
-                    .engines
-                    .iter()
-                    .all(|e| e.status() == Status::InSystem),
+                state.engines.iter().all(|e| e.status() == Status::InSystem),
                 "quiescent state with a stuck joiner (Theorem 2 violated)"
             );
             let tables: Vec<NeighborTable> =
@@ -256,8 +249,13 @@ fn exhaustive_two_dependent_joins() {
     // "1" which no member carries — the same C-set tree, racing for the
     // members' (0, 1) entries. Every interleaving must converge
     // consistently.
-    let (q, explored, truncated) =
-        check_scenario(2, 2, &["00", "10"], &[("01", 0), ("11", 1)], scaled(4_000_000));
+    let (q, explored, truncated) = check_scenario(
+        2,
+        2,
+        &["00", "10"],
+        &[("01", 0), ("11", 1)],
+        scaled(4_000_000),
+    );
     assert!(!truncated, "dependent-join scenario exceeded the state cap");
     assert!(q >= 1);
     // Sanity: the race genuinely branches (many distinct states).

@@ -100,7 +100,9 @@ fn figure_2_cset_tree() {
     let template = CsetTemplate::build(space, groups[0].0, &w);
     assert_eq!(template.len(), 9);
     let names: Vec<String> = template.csets().map(|s| s.to_string()).collect();
-    for cs in ["61", "51", "261", "051", "0261", "7051", "00261", "10261", "47051"] {
+    for cs in [
+        "61", "51", "261", "051", "0261", "7051", "00261", "10261", "47051",
+    ] {
         assert!(names.contains(&cs.to_string()), "missing C_{cs}");
     }
 }

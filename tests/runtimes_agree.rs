@@ -16,7 +16,11 @@ fn threaded_and_simulated_runs_both_consistent_and_reachable() {
     let space = IdSpace::new(8, 5).unwrap();
     let ids = distinct_ids(space, 36, 55);
     let (v, w) = ids.split_at(24);
-    let joiners: Vec<_> = w.iter().enumerate().map(|(i, &id)| (id, v[i % v.len()])).collect();
+    let joiners: Vec<_> = w
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| (id, v[i % v.len()]))
+        .collect();
 
     // Simulator run.
     let mut b = SimNetworkBuilder::new(space);
