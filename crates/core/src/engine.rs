@@ -590,7 +590,7 @@ impl JoinEngine {
     // ------------------------------------------------------------------
 
     fn check_ngh_table(&mut self, table: &TableSnapshot, out: &mut Outbox) {
-        for row in table.rows().to_vec() {
+        for &row in table.rows() {
             let u = row.entry.node;
             if u == self.id {
                 continue;

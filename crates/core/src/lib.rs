@@ -75,7 +75,10 @@ pub use optimize::{optimize_tables, OptimizeReport};
 pub use options::{PayloadMode, ProtocolOptions};
 pub use oracle::build_consistent_tables;
 pub use routing::{next_hop, route, RouteOutcome};
-pub use simnet::{bootstrap_sequential, SimMsg, SimNetwork, SimNetworkBuilder, SimNode};
+pub use simnet::{
+    bootstrap_sequential, bootstrap_sequential_rebuild, Directory, SimMsg, SimNetwork,
+    SimNetworkBuilder, SimNode,
+};
 pub use stats::MessageStats;
 pub use suffix_index::SuffixIndex;
 pub use table::{Entry, NeighborTable, NodeState, SnapshotRow, TableSnapshot};

@@ -47,19 +47,25 @@ pub fn build_consistent_tables(space: IdSpace, ids: &[NodeId]) -> Vec<NeighborTa
         assert!(space.contains(id), "id {id} not in space");
     }
 
-    // Bucket nodes by every suffix of length 1..=d. The representative is
-    // the smallest node with that suffix.
-    let mut repr: HashMap<Suffix, NodeId> = HashMap::new();
+    // Bucket representatives by (parent suffix, extending digit): the row
+    // stored under a length-`i` suffix `s` holds, at position `j`, the
+    // smallest node whose suffix is `j ∘ s`. Filling node `x`'s level-`i`
+    // entries then needs ONE hash lookup (of `x.suffix(i)`) for the whole
+    // `b`-wide row, instead of `b` lookups of `b` freshly built length-
+    // `(i+1)` suffix keys — `b×` less hashing over the n·d·b fill loop.
+    let b = space.base() as usize;
+    let mut repr: HashMap<Suffix, Vec<Option<NodeId>>> = HashMap::new();
     for &id in ids {
-        for k in 1..=space.digit_count() {
-            let s = id.suffix(k);
-            repr.entry(s)
-                .and_modify(|cur| {
+        for k in 0..space.digit_count() {
+            let row = repr.entry(id.suffix(k)).or_insert_with(|| vec![None; b]);
+            match &mut row[id.digit(k) as usize] {
+                Some(cur) => {
                     if id < *cur {
                         *cur = id;
                     }
-                })
-                .or_insert(id);
+                }
+                slot => *slot = Some(id),
+            }
         }
     }
     // Duplicate detection: two equal ids collapse in the suffix map, so
@@ -78,12 +84,13 @@ pub fn build_consistent_tables(space: IdSpace, ids: &[NodeId]) -> Vec<NeighborTa
         .map(|&x| {
             let mut t = NeighborTable::new(space, x);
             for i in 0..space.digit_count() {
+                let row = repr.get(&x.suffix(i));
                 for j in 0..space.base() as u8 {
                     let node = if x.digit(i) == j {
                         // The primary (i, x[i])-neighbor of x is x itself.
                         Some(x)
                     } else {
-                        repr.get(&x.suffix(i).extend_left(j)).copied()
+                        row.and_then(|r| r[j as usize])
                     };
                     if let Some(node) = node {
                         t.set(
@@ -105,14 +112,17 @@ pub fn build_consistent_tables(space: IdSpace, ids: &[NodeId]) -> Vec<NeighborTa
     // RvNghNotiMsg bookkeeping would have. `y` records `x` as a reverse
     // neighbor at `(k, y[k])`, `k = |csuf(x, y)|`, whenever `x` stores `y`.
     let index: HashMap<NodeId, usize> = ids.iter().enumerate().map(|(i, &x)| (x, i)).collect();
+    let mut neighbors: Vec<NodeId> = Vec::new();
     for xi in 0..tables.len() {
         let x = tables[xi].owner();
-        let neighbors: Vec<NodeId> = tables[xi]
-            .iter()
-            .map(|(_, _, e)| e.node)
-            .filter(|&y| y != x)
-            .collect();
-        for y in neighbors {
+        neighbors.clear();
+        neighbors.extend(
+            tables[xi]
+                .iter()
+                .map(|(_, _, e)| e.node)
+                .filter(|&y| y != x),
+        );
+        for &y in &neighbors {
             let k = x.csuf_len(&y);
             let yi = index[&y];
             tables[yi].add_reverse(k, y.digit(k), x);
@@ -132,10 +142,13 @@ mod tests {
     fn oracle_tables_pass_the_checker() {
         let space = IdSpace::new(4, 4).unwrap();
         let mut rng = StdRng::seed_from_u64(31);
+        // HashSet-guarded draw (same accepted sequence as the old O(n²)
+        // `Vec::contains` scan, without the quadratic rescans).
+        let mut seen = std::collections::HashSet::new();
         let mut ids: Vec<NodeId> = Vec::new();
         while ids.len() < 60 {
             let id = space.random_id(&mut rng);
-            if !ids.contains(&id) {
+            if seen.insert(id) {
                 ids.push(id);
             }
         }

@@ -28,7 +28,7 @@
 //! ```
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 use hyperring_id::{IdSpace, NodeId};
 use hyperring_sim::{Actor, Context, DelayModel, RunReport, Simulator, Time};
@@ -60,12 +60,108 @@ pub enum SimMsg {
     Leave,
 }
 
+/// Append-only `NodeId → dense index` interner shared by the builder and
+/// every actor of one simulation.
+///
+/// Actors address each other with the dense `usize` indices the simulator
+/// uses, so overlay-level `NodeId` destinations must be resolved once per
+/// send. The directory supports *growth* — a joiner can be injected into a
+/// live network ([`SimNetwork::add_joiner_live`]) without rebuilding every
+/// actor's view — which is what turns §6.1 sequential bootstrap from
+/// O(n²) rebuild work into O(n) incremental work. Indices are stable:
+/// entries are only ever appended, never moved or removed.
+///
+/// The mapping is published as a shared [`Arc<HashMap>`] snapshot
+/// ([`snapshot`](Directory::snapshot)) that actors keep and probe
+/// lock-free on the send hot path; the (private) insert path swaps in a
+/// copy-on-write successor, and an actor re-snapshots only when a lookup
+/// misses (which can only happen after growth). Inserts are rare — once
+/// per [`SimNetwork::add_joiner_live`] — so paying a map clone there keeps
+/// every per-message lookup as cheap as an unsynchronized `HashMap` hit.
+#[derive(Debug, Default)]
+pub struct Directory {
+    map: RwLock<Arc<HashMap<NodeId, usize>>>,
+}
+
+impl Directory {
+    /// Wraps an already-built mapping (the builder's bulk path — no
+    /// per-entry copy-on-write).
+    fn new(map: HashMap<NodeId, usize>) -> Self {
+        Directory {
+            map: RwLock::new(Arc::new(map)),
+        }
+    }
+
+    /// The dense actor index of `id`, if registered.
+    pub fn resolve(&self, id: &NodeId) -> Option<usize> {
+        self.map.read().unwrap().get(id).copied()
+    }
+
+    /// The current mapping as a shared snapshot. Stale snapshots stay
+    /// valid (indices never move); they merely miss nodes added later.
+    pub fn snapshot(&self) -> Arc<HashMap<NodeId, usize>> {
+        Arc::clone(&self.map.read().unwrap())
+    }
+
+    /// Registers `id → idx` via copy-on-write; returns `false` when `id`
+    /// was already present (the mapping is left unchanged in that case).
+    fn insert(&self, id: NodeId, idx: usize) -> bool {
+        let mut guard = self.map.write().unwrap();
+        if guard.contains_key(&id) {
+            return false;
+        }
+        let mut next = HashMap::clone(&guard);
+        next.insert(id, idx);
+        *guard = Arc::new(next);
+        true
+    }
+
+    /// Number of registered nodes.
+    pub fn len(&self) -> usize {
+        self.map.read().unwrap().len()
+    }
+
+    /// Whether no nodes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// One simulated overlay node: an engine plus the shared address directory.
 #[derive(Debug)]
 pub struct SimNode {
     engine: JoinEngine,
-    dir: Arc<HashMap<NodeId, usize>>,
+    dir: Arc<Directory>,
+    /// The directory snapshot this node resolves against, probed
+    /// lock-free on every send and refreshed only when a lookup misses
+    /// (i.e. after the network grew).
+    dir_map: Arc<HashMap<NodeId, usize>>,
     outbox: Outbox,
+}
+
+impl SimNode {
+    fn new(engine: JoinEngine, dir: &Arc<Directory>) -> Self {
+        SimNode {
+            engine,
+            dir: Arc::clone(dir),
+            dir_map: dir.snapshot(),
+            outbox: Outbox::new(),
+        }
+    }
+
+    /// Resolves a destination against the local snapshot, falling back to
+    /// one re-snapshot of the shared directory (the destination may have
+    /// joined after this node's snapshot was taken).
+    fn resolve(&mut self, to: &NodeId) -> usize {
+        if let Some(&i) = self.dir_map.get(to) {
+            return i;
+        }
+        self.dir_map = self.dir.snapshot();
+        self.dir_map
+            .get(to)
+            .copied()
+            .unwrap_or_else(|| panic!("message addressed to unknown node {to}"))
+    }
 }
 
 impl SimNode {
@@ -78,20 +174,30 @@ impl SimNode {
 impl Actor for SimNode {
     type Msg = SimMsg;
 
-    fn on_message(&mut self, ctx: &mut Context<'_, SimMsg>, _from: usize, msg: SimMsg) {
+    fn on_message(&mut self, ctx: &mut Context<'_, SimMsg>, from_idx: usize, msg: SimMsg) {
+        // Dense reply routing: for a protocol message the simulator already
+        // told us the sender's index, so replies (the bulk of join traffic)
+        // skip the directory lookup entirely.
+        let reply_to = match &msg {
+            SimMsg::Proto { from, .. } => Some(*from),
+            _ => None,
+        };
         match msg {
             SimMsg::Start { gateway } => self.engine.start_join(gateway, &mut self.outbox),
             SimMsg::Leave => self.engine.begin_leave(&mut self.outbox),
             SimMsg::Proto { from, msg } => self.engine.handle(from, msg, &mut self.outbox),
         }
         let me = self.engine.id();
-        for (to, msg) in self.outbox.drain() {
-            let idx = *self
-                .dir
-                .get(&to)
-                .unwrap_or_else(|| panic!("message addressed to unknown node {to}"));
+        let mut outbox = std::mem::take(&mut self.outbox);
+        for (to, msg) in outbox.drain() {
+            let idx = if reply_to == Some(to) {
+                from_idx
+            } else {
+                self.resolve(&to)
+            };
             ctx.send(idx, SimMsg::Proto { from: me, msg });
         }
+        self.outbox = outbox;
     }
 }
 
@@ -170,35 +276,33 @@ impl SimNetworkBuilder {
 
         let mut ids: Vec<NodeId> = member_tables.iter().map(|t| t.owner()).collect();
         ids.extend(self.joiners.iter().map(|(id, _, _)| *id));
-        let dir: HashMap<NodeId, usize> = ids.iter().enumerate().map(|(i, id)| (*id, i)).collect();
-        assert_eq!(dir.len(), ids.len(), "duplicate node identifier");
-        let dir = Arc::new(dir);
+        let mut map = HashMap::with_capacity(ids.len());
+        for (i, id) in ids.iter().enumerate() {
+            assert!(map.insert(*id, i).is_none(), "duplicate node identifier");
+        }
+        let dir = Arc::new(Directory::new(map));
 
         let mut actors: Vec<SimNode> = member_tables
             .into_iter()
-            .map(|t| SimNode {
-                engine: JoinEngine::new_member(self.space, self.opts, t),
-                dir: Arc::clone(&dir),
-                outbox: Outbox::new(),
-            })
+            .map(|t| SimNode::new(JoinEngine::new_member(self.space, self.opts, t), &dir))
             .collect();
         for (id, _, _) in &self.joiners {
-            actors.push(SimNode {
-                engine: JoinEngine::new_joiner(self.space, self.opts, *id),
-                dir: Arc::clone(&dir),
-                outbox: Outbox::new(),
-            });
+            actors.push(SimNode::new(
+                JoinEngine::new_joiner(self.space, self.opts, *id),
+                &dir,
+            ));
         }
 
         let mut sim = Simulator::new(actors, delay, seed);
         for (id, gateway, at) in &self.joiners {
-            assert!(dir.contains_key(gateway), "gateway {gateway} unknown");
+            assert!(dir.resolve(gateway).is_some(), "gateway {gateway} unknown");
             assert_ne!(id, gateway, "node cannot join via itself");
-            let idx = dir[id];
+            let idx = dir.resolve(id).expect("joiner registered above");
             sim.inject_at(*at, idx, idx, SimMsg::Start { gateway: *gateway });
         }
         SimNetwork {
             space: self.space,
+            opts: self.opts,
             sim,
             dir,
             ids,
@@ -211,8 +315,9 @@ impl SimNetworkBuilder {
 #[derive(Debug)]
 pub struct SimNetwork<D: DelayModel> {
     space: IdSpace,
+    opts: ProtocolOptions,
     sim: Simulator<SimNode, D>,
-    dir: Arc<HashMap<NodeId, usize>>,
+    dir: Arc<Directory>,
     ids: Vec<NodeId>,
     joiner_count: usize,
 }
@@ -249,7 +354,8 @@ impl<D: DelayModel> SimNetwork<D> {
     ///
     /// Panics if `id` is unknown.
     pub fn engine(&self, id: &NodeId) -> &JoinEngine {
-        self.sim.actor(self.dir[id]).engine()
+        let idx = self.dir.resolve(id).expect("unknown node id");
+        self.sim.actor(idx).engine()
     }
 
     /// Iterates over all engines (members first, then joiners).
@@ -290,7 +396,7 @@ impl<D: DelayModel> SimNetwork<D> {
     ///
     /// Panics if `id` is unknown or the leave fails to complete.
     pub fn depart(&mut self, id: &NodeId) -> RunReport {
-        let idx = self.dir[id];
+        let idx = self.dir.resolve(id).expect("unknown node id");
         let now = self.sim.now();
         self.sim.inject_at(now, idx, idx, SimMsg::Leave);
         let report = self.sim.run();
@@ -312,6 +418,39 @@ impl<D: DelayModel> SimNetwork<D> {
     pub fn now(&self) -> Time {
         self.sim.now()
     }
+
+    /// Injects a fresh joiner into the *live* network: registers it in
+    /// the shared [`Directory`], appends an actor to the running
+    /// simulator, and schedules its `Start` through `gateway` at the
+    /// current virtual time. Returns the new actor's dense index.
+    ///
+    /// Existing actors, queued events, and tables are untouched — this is
+    /// the O(1)-per-join path that [`bootstrap_sequential`] uses instead
+    /// of rebuilding the whole network for every join.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` duplicates an existing node, equals `gateway`, or
+    /// `gateway` is unknown.
+    pub fn add_joiner_live(&mut self, id: NodeId, gateway: NodeId) -> usize {
+        assert!(
+            self.dir.resolve(&gateway).is_some(),
+            "gateway {gateway} unknown"
+        );
+        assert_ne!(id, gateway, "node cannot join via itself");
+        let idx = self.sim.len();
+        assert!(self.dir.insert(id, idx), "duplicate node identifier");
+        self.ids.push(id);
+        self.joiner_count += 1;
+        let added = self.sim.add_actor(SimNode::new(
+            JoinEngine::new_joiner(self.space, self.opts, id),
+            &self.dir,
+        ));
+        debug_assert_eq!(added, idx);
+        let now = self.sim.now();
+        self.sim.inject_at(now, idx, idx, SimMsg::Start { gateway });
+        idx
+    }
 }
 
 /// Initializes a network per §6.1: `ids[0]` becomes the seed node, the rest
@@ -321,10 +460,50 @@ impl<D: DelayModel> SimNetwork<D> {
 /// Sequential joins are timing-insensitive (Lemma 5.2 holds for any
 /// latencies), so a fixed 1 µs delay is used internally.
 ///
+/// The network is grown *incrementally*: one simulator lives for the whole
+/// bootstrap and each joiner is injected into it through
+/// [`SimNetwork::add_joiner_live`], so per join the work is O(one join)
+/// instead of O(rebuild everything). The result is identical to the
+/// original rebuild-per-join path, kept as
+/// [`bootstrap_sequential_rebuild`] and equivalence-tested against this
+/// one: a completed joiner's engine differs from a freshly constructed
+/// member only in history bookkeeping (`Q_n`, `Q_sn`, `noti_level`,
+/// statistics) that no *in_system*-status code path reads, and in a
+/// sequential bootstrap no join traffic crosses a quiescence boundary.
+///
 /// # Panics
 ///
 /// Panics if `ids` is empty or contains duplicates.
 pub fn bootstrap_sequential(
+    space: IdSpace,
+    opts: ProtocolOptions,
+    ids: &[NodeId],
+) -> Vec<NeighborTable> {
+    assert!(!ids.is_empty());
+    let seed_node = ids[0];
+    let mut b = SimNetworkBuilder::new(space);
+    let seed_table = JoinEngine::new_seed(space, opts, seed_node).table().clone();
+    b.options(opts).with_member_tables(vec![seed_table]);
+    let mut net = b.build(hyperring_sim::ConstantDelay(1), 0);
+    for id in &ids[1..] {
+        net.add_joiner_live(*id, seed_node);
+        net.run();
+        assert!(net.all_in_system(), "sequential join failed to terminate");
+    }
+    net.tables()
+}
+
+/// The original rebuild-per-join implementation of
+/// [`bootstrap_sequential`]: after every join the simulator is torn down
+/// and a new network is built from clones of all tables so far — O(n²)
+/// table clones over a full bootstrap. Kept as the behavioral baseline
+/// that the incremental path is equivalence-tested and benchmarked
+/// against; prefer [`bootstrap_sequential`] everywhere else.
+///
+/// # Panics
+///
+/// Panics if `ids` is empty or contains duplicates.
+pub fn bootstrap_sequential_rebuild(
     space: IdSpace,
     opts: ProtocolOptions,
     ids: &[NodeId],
@@ -400,17 +579,26 @@ mod tests {
         }
     }
 
-    #[test]
-    fn random_concurrent_joins_consistent() {
-        let sp = IdSpace::new(4, 6).unwrap();
-        let mut rng = StdRng::seed_from_u64(5);
-        let mut ids = Vec::new();
-        while ids.len() < 40 {
+    /// Draws `n` distinct ids, preserving the draw order (a `HashSet`
+    /// guard instead of the old O(n²) `Vec::contains` scan; the accepted
+    /// sequence — and thus every seeded test — is unchanged).
+    fn distinct_ids(sp: IdSpace, n: usize, seed: u64) -> Vec<NodeId> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut seen = std::collections::HashSet::with_capacity(n);
+        let mut ids = Vec::with_capacity(n);
+        while ids.len() < n {
             let id = sp.random_id(&mut rng);
-            if !ids.contains(&id) {
+            if seen.insert(id) {
                 ids.push(id);
             }
         }
+        ids
+    }
+
+    #[test]
+    fn random_concurrent_joins_consistent() {
+        let sp = IdSpace::new(4, 6).unwrap();
+        let ids = distinct_ids(sp, 40, 5);
         let (v, w) = ids.split_at(25);
         let mut b = SimNetworkBuilder::new(sp);
         for id in v {
@@ -443,18 +631,78 @@ mod tests {
     #[test]
     fn bootstrap_sequential_builds_consistent_network() {
         let sp = IdSpace::new(4, 4).unwrap();
-        let mut rng = StdRng::seed_from_u64(17);
-        let mut ids = Vec::new();
-        while ids.len() < 12 {
-            let id = sp.random_id(&mut rng);
-            if !ids.contains(&id) {
-                ids.push(id);
-            }
-        }
+        let ids = distinct_ids(sp, 12, 17);
         let tables = bootstrap_sequential(sp, ProtocolOptions::new(), &ids);
         assert_eq!(tables.len(), 12);
         let report = check_consistency(sp, &tables);
         assert!(report.is_consistent(), "{report}");
+    }
+
+    #[test]
+    fn incremental_bootstrap_matches_rebuild_baseline() {
+        // The zero-copy core's incremental bootstrap must be
+        // behavior-identical to the original rebuild-per-join path:
+        // same owners in the same order, same entries, same recorded
+        // states, same reverse-neighbor sets.
+        let sp = IdSpace::new(4, 5).unwrap();
+        let ids = distinct_ids(sp, 18, 23);
+        let fast = bootstrap_sequential(sp, ProtocolOptions::new(), &ids);
+        let slow = bootstrap_sequential_rebuild(sp, ProtocolOptions::new(), &ids);
+        assert_eq!(fast.len(), slow.len());
+        for (a, b) in fast.iter().zip(&slow) {
+            assert_eq!(a.owner(), b.owner());
+            assert_eq!(
+                a.iter().collect::<Vec<_>>(),
+                b.iter().collect::<Vec<_>>(),
+                "entries of {} differ",
+                a.owner()
+            );
+            for level in 0..sp.digit_count() {
+                for digit in 0..sp.base() as u8 {
+                    assert_eq!(
+                        a.reverse_of(level, digit),
+                        b.reverse_of(level, digit),
+                        "reverse sets of {} at ({level}, {digit}) differ",
+                        a.owner()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn add_joiner_live_after_deliveries() {
+        // Inject a joiner into a network that has already run to
+        // quiescence (the incremental-bootstrap path), then another.
+        let mut b = SimNetworkBuilder::new(space());
+        let v = paper_members(&mut b);
+        b.add_joiner(space().parse_id("10261").unwrap(), v[0], 0);
+        let mut net = b.build(ConstantDelay(50), 3);
+        let first = net.run();
+        assert!(first.delivered > 0);
+        assert!(net.all_in_system());
+
+        let late = space().parse_id("47051").unwrap();
+        let idx = net.add_joiner_live(late, v[1]);
+        assert_eq!(idx, 6);
+        let second = net.run();
+        assert!(second.delivered > first.delivered);
+        assert!(second.finished_at >= first.finished_at);
+        assert!(net.all_in_system());
+        assert_eq!(net.engine(&late).status(), Status::InSystem);
+        assert_eq!(net.joiner_count(), 2);
+        assert_eq!(net.ids().len(), 7);
+        assert!(net.check_consistency().is_consistent());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node identifier")]
+    fn add_joiner_live_rejects_duplicates() {
+        let mut b = SimNetworkBuilder::new(space());
+        let v = paper_members(&mut b);
+        let mut net = b.build(ConstantDelay(1), 0);
+        net.run();
+        net.add_joiner_live(v[2], v[0]);
     }
 
     #[test]

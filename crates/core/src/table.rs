@@ -1,6 +1,6 @@
 use std::collections::BTreeSet;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use hyperring_id::{IdSpace, NodeId, Suffix};
 
@@ -47,12 +47,28 @@ pub struct Entry {
 /// assert_eq!(t.get(2, 0).unwrap().node, y);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct NeighborTable {
     space: IdSpace,
     owner: NodeId,
     entries: Vec<Option<Entry>>,
     reverse: Vec<BTreeSet<NodeId>>,
+    /// Memoized full-table snapshot; rebuilt lazily after any entry
+    /// mutation so repeated big-message sends between mutations share one
+    /// row allocation instead of re-collecting `d×b` slots each time.
+    snap: Mutex<Option<TableSnapshot>>,
+}
+
+impl Clone for NeighborTable {
+    fn clone(&self) -> Self {
+        NeighborTable {
+            space: self.space,
+            owner: self.owner,
+            entries: self.entries.clone(),
+            reverse: self.reverse.clone(),
+            snap: Mutex::new(self.snap.lock().unwrap().clone()),
+        }
+    }
 }
 
 impl NeighborTable {
@@ -69,7 +85,14 @@ impl NeighborTable {
             owner,
             entries: vec![None; slots],
             reverse: vec![BTreeSet::new(); slots],
+            snap: Mutex::new(None),
         }
+    }
+
+    /// Drops the memoized snapshot after an entry mutation.
+    #[inline]
+    fn invalidate_snapshot(&mut self) {
+        *self.snap.get_mut().unwrap() = None;
     }
 
     /// The identifier space of the table.
@@ -116,6 +139,7 @@ impl NeighborTable {
         );
         let s = self.slot(level, digit);
         self.entries[s] = Some(entry);
+        self.invalidate_snapshot();
     }
 
     /// Clears the `(level, digit)` entry (used only by tests and tooling —
@@ -123,6 +147,7 @@ impl NeighborTable {
     pub fn clear(&mut self, level: usize, digit: u8) {
         let s = self.slot(level, digit);
         self.entries[s] = None;
+        self.invalidate_snapshot();
     }
 
     /// Updates the recorded state of the `(level, digit)` entry if it
@@ -138,6 +163,7 @@ impl NeighborTable {
         match &mut self.entries[s] {
             Some(e) if e.node == *node => {
                 e.state = state;
+                self.invalidate_snapshot();
                 true
             }
             _ => false,
@@ -227,8 +253,18 @@ impl NeighborTable {
 
     /// Takes an immutable snapshot of all non-empty entries, for inclusion
     /// in a protocol message.
+    ///
+    /// The snapshot is memoized: until the next entry mutation, further
+    /// calls return the same shared row allocation (an `Arc` clone), so
+    /// attaching the table to many messages costs O(1) per message.
     pub fn snapshot(&self) -> TableSnapshot {
-        self.snapshot_levels(0, self.space.digit_count())
+        let mut cache = self.snap.lock().unwrap();
+        if let Some(s) = &*cache {
+            return s.clone();
+        }
+        let s = self.snapshot_levels(0, self.space.digit_count());
+        *cache = Some(s.clone());
+        s
     }
 
     /// Snapshot restricted to levels `lo..hi` (the §6.2 "levels only"
@@ -239,15 +275,18 @@ impl NeighborTable {
     /// Panics if `lo > hi` or `hi` exceeds the level count.
     pub fn snapshot_levels(&self, lo: usize, hi: usize) -> TableSnapshot {
         assert!(lo <= hi && hi <= self.space.digit_count());
-        let rows = self
-            .iter()
-            .filter(|&(i, _, _)| i >= lo && i < hi)
-            .map(|(i, j, e)| SnapshotRow {
-                level: i as u8,
-                digit: j,
-                entry: e,
-            })
-            .collect();
+        // `filter` hides the length from `collect`; pre-size to the slot
+        // count so building a snapshot never reallocates.
+        let mut rows: Vec<SnapshotRow> = Vec::with_capacity((hi - lo) * self.space.base() as usize);
+        rows.extend(
+            self.iter()
+                .filter(|&(i, _, _)| i >= lo && i < hi)
+                .map(|(i, j, e)| SnapshotRow {
+                    level: i as u8,
+                    digit: j,
+                    entry: e,
+                }),
+        );
         TableSnapshot {
             owner: self.owner,
             rows: Arc::new(rows),
@@ -259,23 +298,24 @@ impl NeighborTable {
     /// in `filled_bits`; from `noti_level` up, include everything.
     pub fn snapshot_bitvec(&self, noti_level: usize, filled_bits: &[u64]) -> TableSnapshot {
         let b = self.space.base() as usize;
-        let rows = self
-            .iter()
-            .filter(|&(i, j, _)| {
-                if i >= noti_level {
-                    return true;
-                }
-                let slot = i * b + j as usize;
-                filled_bits
-                    .get(slot / 64)
-                    .is_none_or(|w| w & (1u64 << (slot % 64)) == 0)
-            })
-            .map(|(i, j, e)| SnapshotRow {
-                level: i as u8,
-                digit: j,
-                entry: e,
-            })
-            .collect();
+        let mut rows: Vec<SnapshotRow> = Vec::with_capacity(self.entries.len());
+        rows.extend(
+            self.iter()
+                .filter(|&(i, j, _)| {
+                    if i >= noti_level {
+                        return true;
+                    }
+                    let slot = i * b + j as usize;
+                    filled_bits
+                        .get(slot / 64)
+                        .is_none_or(|w| w & (1u64 << (slot % 64)) == 0)
+                })
+                .map(|(i, j, e)| SnapshotRow {
+                    level: i as u8,
+                    digit: j,
+                    entry: e,
+                }),
+        );
         TableSnapshot {
             owner: self.owner,
             rows: Arc::new(rows),
@@ -350,9 +390,13 @@ pub struct SnapshotRow {
 /// An immutable, cheaply clonable copy of (part of) a neighbor table, as
 /// carried inside protocol messages.
 ///
-/// Snapshots are reference-counted: attaching one to several messages does
-/// not copy the rows, mirroring how a real implementation would serialize a
-/// table once.
+/// Snapshots are reference-counted: attaching one to several messages,
+/// cloning a [`Message`](crate::Message), or draining an
+/// [`Outbox`](crate::Outbox) never copies the rows, mirroring how a real
+/// implementation would serialize a table once. (The rows sit behind
+/// `Arc<Vec<_>>` rather than `Arc<[_]>` deliberately: constructing an
+/// `Arc<[T]>` from an unknown-length iterator copies the collected buffer
+/// a second time, which showed up as a measurable per-snapshot cost.)
 #[derive(Debug, Clone)]
 pub struct TableSnapshot {
     owner: NodeId,
@@ -463,6 +507,35 @@ mod tests {
         assert!(snap.get(0, 0).is_none());
         let c = snap.clone();
         assert_eq!(c.rows().as_ptr(), snap.rows().as_ptr());
+    }
+
+    #[test]
+    fn snapshot_is_memoized_until_mutation() {
+        let mut t = NeighborTable::new(space(), id("21233"));
+        t.set_self_entries(NodeState::S);
+        let a = t.snapshot();
+        let b = t.snapshot();
+        // Same shared allocation until the table changes…
+        assert_eq!(a.rows().as_ptr(), b.rows().as_ptr());
+        t.set(
+            0,
+            1,
+            Entry {
+                node: id("33121"),
+                state: NodeState::T,
+            },
+        );
+        // …and a fresh one after any mutation.
+        let c = t.snapshot();
+        assert_ne!(a.rows().as_ptr(), c.rows().as_ptr());
+        assert_eq!(c.len(), 6);
+        assert_eq!(a.len(), 5);
+        // A recorded-state change invalidates too.
+        assert!(t.set_state_if(0, 1, &id("33121"), NodeState::S));
+        assert_eq!(t.snapshot().get(0, 1).unwrap().state, NodeState::S);
+        // Cloned tables keep working (and share the memo at clone time).
+        let u = t.clone();
+        assert_eq!(u.snapshot().rows().as_ptr(), t.snapshot().rows().as_ptr());
     }
 
     #[test]

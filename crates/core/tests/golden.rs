@@ -1,0 +1,154 @@
+//! Golden determinism tests: fixed-seed scenarios must reproduce exactly
+//! the `RunReport` and final tables recorded before the zero-copy
+//! simulation-core refactor (snapshot memoization, directory interner,
+//! incremental bootstrap). Any drift here means the optimization changed
+//! protocol behavior, not just speed.
+//!
+//! Run with `GOLDEN_PRINT=1 cargo test -p hyperring-core --test golden
+//! -- --nocapture` to print the observed values when (deliberately)
+//! re-recording.
+
+use hyperring_core::{
+    bootstrap_sequential, check_consistency, NeighborTable, ProtocolOptions, SimNetworkBuilder,
+};
+use hyperring_id::{IdSpace, NodeId};
+use hyperring_sim::UniformDelay;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// FNV-1a over a canonical rendering of every table: owner, all entries
+/// `(level, digit, node, state)`, and all reverse-neighbor sets. Spelled
+/// out here (instead of `DefaultHasher`) so the digest is stable across
+/// Rust releases.
+fn tables_digest(tables: &[NeighborTable]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |s: &str| {
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for t in tables {
+        eat(&format!("T{}", t.owner()));
+        for (level, digit, e) in t.iter() {
+            eat(&format!(
+                "E{level}.{digit}.{}.{}",
+                e.node,
+                if e.state == hyperring_core::NodeState::S {
+                    'S'
+                } else {
+                    'T'
+                }
+            ));
+        }
+        for level in 0..t.space().digit_count() {
+            for digit in 0..t.space().base() as u8 {
+                for r in t.reverse_of(level, digit) {
+                    eat(&format!("R{level}.{digit}.{r}"));
+                }
+            }
+        }
+    }
+    h
+}
+
+fn distinct(space: IdSpace, n: usize, seed: u64) -> Vec<NodeId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::with_capacity(n);
+    let mut ids = Vec::with_capacity(n);
+    while ids.len() < n {
+        let id = space.random_id(&mut rng);
+        if seen.insert(id) {
+            ids.push(id);
+        }
+    }
+    ids
+}
+
+fn check(name: &str, observed: (u64, u64, bool, u64), golden: (u64, u64, bool, u64)) {
+    if std::env::var("GOLDEN_PRINT").is_ok() {
+        println!(
+            "{name}: ({}, {}, {}, 0x{:016x})",
+            observed.0, observed.1, observed.2, observed.3
+        );
+        return;
+    }
+    assert_eq!(
+        observed, golden,
+        "{name} drifted from the recorded golden run"
+    );
+}
+
+/// The paper's Figure 2 scenario: five members, three concurrent joiners.
+#[test]
+fn golden_figure2_concurrent_join() {
+    let space = IdSpace::new(8, 5).unwrap();
+    let mut b = SimNetworkBuilder::new(space);
+    for s in ["72430", "10353", "62332", "13141", "31701"] {
+        b.add_member(space.parse_id(s).unwrap());
+    }
+    let gateway = space.parse_id("72430").unwrap();
+    for s in ["10261", "47051", "00261"] {
+        b.add_joiner(space.parse_id(s).unwrap(), gateway, 0);
+    }
+    let mut net = b.build(UniformDelay::new(1_000, 80_000), 1234);
+    let report = net.run();
+    let observed = (
+        report.delivered,
+        report.finished_at,
+        net.check_consistency().is_consistent(),
+        tables_digest(&net.tables()),
+    );
+    check(
+        "figure2",
+        observed,
+        (60, 520_793, true, 0xa060_6a01_b74e_1e11),
+    );
+}
+
+/// 40 random nodes (b=4, d=6): 25 members, 15 concurrent joiners.
+#[test]
+fn golden_forty_node_concurrent_join() {
+    let space = IdSpace::new(4, 6).unwrap();
+    let ids = distinct(space, 40, 5);
+    let (v, w) = ids.split_at(25);
+    let mut b = SimNetworkBuilder::new(space);
+    for id in v {
+        b.add_member(*id);
+    }
+    for id in w {
+        b.add_joiner(*id, v[0], 0);
+    }
+    let mut net = b.build(UniformDelay::new(100, 200_000), 99);
+    let report = net.run();
+    let observed = (
+        report.delivered,
+        report.finished_at,
+        net.check_consistency().is_consistent(),
+        tables_digest(&net.tables()),
+    );
+    check(
+        "forty_node",
+        observed,
+        (358, 1_495_051, true, 0x8b04_5360_ccdc_6dc7),
+    );
+}
+
+/// §6.1 sequential bootstrap of 24 nodes (b=8, d=5).
+#[test]
+fn golden_sequential_bootstrap() {
+    let space = IdSpace::new(8, 5).unwrap();
+    let ids = distinct(space, 24, 17);
+    let tables = bootstrap_sequential(space, ProtocolOptions::new(), &ids);
+    let observed = (
+        tables.len() as u64,
+        0,
+        check_consistency(space, &tables).is_consistent(),
+        tables_digest(&tables),
+    );
+    check(
+        "bootstrap24",
+        observed,
+        (24, 0, true, 0x171e_f58e_446d_553c),
+    );
+}

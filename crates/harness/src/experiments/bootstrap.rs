@@ -30,8 +30,10 @@ pub struct BootstrapResult {
     pub nodes: usize,
     /// Whether the final network passed the consistency checker.
     pub consistent: bool,
-    /// Messages delivered (0 for the sequential path, which runs one
-    /// simulator per join).
+    /// Messages delivered (reported as 0 for the sequential path, whose
+    /// per-join counts are not comparable to one concurrent run; kept at
+    /// 0 so experiment CSVs stay byte-stable across the incremental
+    /// bootstrap rewrite).
     pub messages: u64,
     /// Virtual time at quiescence (µs; 0 for sequential).
     pub finished_at: u64,
@@ -53,6 +55,8 @@ pub fn run_bootstrap(
     let ids = distinct_ids(space, n, seed);
     match mode {
         BootstrapConfig::Sequential => {
+            // One live simulator grown join-by-join (O(n) incremental
+            // work); behavior-identical to the old rebuild-per-join path.
             let tables = bootstrap_sequential(space, ProtocolOptions::new(), &ids);
             let consistent = check_consistency(space, &tables).is_consistent();
             BootstrapResult {

@@ -135,6 +135,12 @@ impl<A: Actor, D: DelayModel> Simulator<A, D> {
     }
 
     /// Appends a fresh actor and returns its index.
+    ///
+    /// Safe to call mid-run (between [`step`](Self::step)s or after a
+    /// [`run`](Self::run) drained the queue): existing actors, queued
+    /// events, virtual time, and the RNG stream are untouched, and the
+    /// new actor can immediately receive injections. This is the growth
+    /// path incremental network construction builds on.
     pub fn add_actor(&mut self, actor: A) -> usize {
         self.actors.push(actor);
         self.actors.len() - 1
@@ -339,6 +345,42 @@ mod tests {
         let mut sim = Simulator::new(ring(2), ConstantDelay(1), 0);
         let i = sim.add_actor(Ring { n: 3, received: 0 });
         assert_eq!(i, 2);
+        assert_eq!(sim.len(), 3);
+    }
+
+    #[test]
+    fn add_actor_mid_run_receives_injections() {
+        let mut sim = Simulator::new(ring(3), ConstantDelay(10), 4);
+        sim.inject(0, 0, 5);
+        let first = sim.run();
+        assert_eq!(first.delivered, 6);
+        let t = sim.now();
+        assert!(t > 0);
+
+        // Grow the population after deliveries have occurred, then drive
+        // traffic through the new actor.
+        let i = sim.add_actor(Ring { n: 4, received: 0 });
+        assert_eq!(i, 3);
+        sim.inject(0, i, 2); // i → 0 → 1, three deliveries total
+        let second = sim.run();
+        assert_eq!(second.delivered, 9);
+        assert_eq!(sim.actor(i).received, 1);
+        // Time keeps advancing monotonically across the growth boundary.
+        assert_eq!(sim.now(), t + 30);
+        assert!(!second.truncated);
+    }
+
+    #[test]
+    fn add_actor_between_steps_keeps_queued_events() {
+        let mut sim = Simulator::new(ring(2), ConstantDelay(5), 0);
+        sim.inject(0, 0, 3);
+        assert!(sim.step()); // one delivery; more queued
+        assert_eq!(sim.pending(), 1);
+        let i = sim.add_actor(Ring { n: 2, received: 0 });
+        // Queued pre-growth events still drain, untouched.
+        let r = sim.run();
+        assert_eq!(r.delivered, 4);
+        assert_eq!(sim.actor(i).received, 0);
         assert_eq!(sim.len(), 3);
     }
 }
