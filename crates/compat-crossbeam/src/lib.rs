@@ -58,6 +58,15 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived before the timeout elapsed.
+        Timeout,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
     impl<T> fmt::Display for SendError<T> {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             f.write_str("sending on a disconnected channel")
@@ -126,6 +135,31 @@ pub mod channel {
             }
         }
 
+        /// Blocks until a message arrives, every [`Sender`] is dropped, or
+        /// `timeout` elapses — whichever comes first.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut queue = self.shared.queue.lock().expect("channel lock poisoned");
+            loop {
+                if let Some(msg) = queue.pop_front() {
+                    return Ok(msg);
+                }
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (q, _) = self
+                    .shared
+                    .ready
+                    .wait_timeout(queue, deadline - now)
+                    .expect("channel lock poisoned");
+                queue = q;
+            }
+        }
+
         /// Pops a message if one is immediately available.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut queue = self.shared.queue.lock().expect("channel lock poisoned");
@@ -188,8 +222,9 @@ pub mod channel {
 
 #[cfg(test)]
 mod tests {
-    use super::channel::{unbounded, RecvError, TryRecvError};
+    use super::channel::{unbounded, RecvError, RecvTimeoutError, TryRecvError};
     use std::thread;
+    use std::time::Duration;
 
     #[test]
     fn fifo_within_a_single_producer() {
@@ -218,6 +253,22 @@ mod tests {
         let handle = thread::spawn(move || rx.recv().unwrap());
         tx.send(42u64).unwrap();
         assert_eq!(handle.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = unbounded();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(7u8).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(7));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]

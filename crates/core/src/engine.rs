@@ -1,11 +1,13 @@
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use hyperring_id::{IdSpace, NodeId};
 
+use crate::effect::{Effect, Effects, Event, TimerId};
 use crate::messages::{BitVec, Message};
 use crate::options::{PayloadMode, ProtocolOptions};
 use crate::stats::MessageStats;
 use crate::table::{Entry, NeighborTable, NodeState, TableSnapshot};
+use crate::trace::ProtocolEvent;
 
 /// A node's status during (and after) the join protocol (the paper's §4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -26,38 +28,6 @@ pub enum Status {
     Departed,
 }
 
-/// Buffer of outgoing messages produced while handling one event.
-///
-/// The engine is *sans-io*: it never touches clocks or sockets, it only
-/// pushes `(destination, message)` pairs here. A runtime (the deterministic
-/// simulator, the threaded runtime, tests) drains the outbox and delivers.
-#[derive(Debug, Default)]
-pub struct Outbox {
-    msgs: Vec<(NodeId, Message)>,
-}
-
-impl Outbox {
-    /// Creates an empty outbox.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Drains all queued `(destination, message)` pairs.
-    pub fn drain(&mut self) -> std::vec::Drain<'_, (NodeId, Message)> {
-        self.msgs.drain(..)
-    }
-
-    /// Number of queued messages.
-    pub fn len(&self) -> usize {
-        self.msgs.len()
-    }
-
-    /// Whether no messages are queued.
-    pub fn is_empty(&self) -> bool {
-        self.msgs.is_empty()
-    }
-}
-
 /// The join-protocol state machine of a single node — a faithful
 /// implementation of the paper's Figures 5–14.
 ///
@@ -67,14 +37,17 @@ impl Outbox {
 /// A node is either constructed as a *member* (an S-node of the initial
 /// consistent network `V`) or as a *joiner*, which runs through
 /// `copying → waiting → notifying → in_system`. All interaction is via
-/// [`JoinEngine::handle`] and the [`Outbox`].
+/// [`JoinEngine::handle`] (or the event-level entry point
+/// [`JoinEngine::on_event`]) and the [`Effects`] buffer: the engine is
+/// sans-io and only ever *requests* sends, timer operations, and trace
+/// records.
 ///
 /// # Examples
 ///
 /// A network of one member plus one joiner, pumped synchronously:
 ///
 /// ```
-/// use hyperring_core::{JoinEngine, Message, Outbox, ProtocolOptions, Status};
+/// use hyperring_core::{Effects, JoinEngine, Message, ProtocolOptions, Status};
 /// use hyperring_id::IdSpace;
 ///
 /// let space = IdSpace::new(4, 3)?;
@@ -83,16 +56,16 @@ impl Outbox {
 /// let mut member = JoinEngine::new_seed(space, ProtocolOptions::new(), a);
 /// let mut joiner = JoinEngine::new_joiner(space, ProtocolOptions::new(), b);
 ///
-/// let mut out = Outbox::new();
+/// let mut out = Effects::new();
 /// joiner.start_join(a, &mut out);
 /// // Pump messages to quiescence (two nodes only).
 /// let mut queue: Vec<(hyperring_id::NodeId, hyperring_id::NodeId, Message)> =
-///     out.drain().map(|(to, m)| (b, to, m)).collect();
+///     out.drain_sends().map(|(to, m)| (b, to, m)).collect();
 /// while let Some((from, to, msg)) = queue.pop() {
 ///     let node = if to == a { &mut member } else { &mut joiner };
-///     let mut out = Outbox::new();
+///     let mut out = Effects::new();
 ///     node.handle(from, msg, &mut out);
-///     queue.extend(out.drain().map(|(t, m)| (to, t, m)));
+///     queue.extend(out.drain_sends().map(|(t, m)| (to, t, m)));
 /// }
 /// assert_eq!(joiner.status(), Status::InSystem);
 /// assert_eq!(member.table().get(0, 1).unwrap().node, b);
@@ -125,6 +98,9 @@ pub struct JoinEngine {
     /// Leave extension: reverse neighbors whose `LeaveNotiRlyMsg` is
     /// outstanding.
     ql: BTreeSet<NodeId>,
+    /// Live retry timers → retransmissions already performed. Empty unless
+    /// [`ProtocolOptions::retry`] is set.
+    retries: BTreeMap<TimerId, u32>,
     stats: MessageStats,
 }
 
@@ -153,6 +129,7 @@ impl JoinEngine {
             copy_level: 0,
             copy_target: None,
             ql: BTreeSet::new(),
+            retries: BTreeMap::new(),
             stats: MessageStats::new(),
         }
     }
@@ -187,6 +164,7 @@ impl JoinEngine {
             copy_level: 0,
             copy_target: None,
             ql: BTreeSet::new(),
+            retries: BTreeMap::new(),
             stats: MessageStats::new(),
         }
     }
@@ -229,7 +207,8 @@ impl JoinEngine {
 
     /// Hashes the node's complete *protocol-relevant* state — status,
     /// notification level, table entries and recorded states, reverse
-    /// neighbors, all five queues, and the copy cursor — into `h`.
+    /// neighbors, all five queues, the copy cursor, and the live retry
+    /// timers — into `h`.
     ///
     /// Two engines with equal digests behave identically on any future
     /// message sequence; message statistics are deliberately excluded
@@ -253,6 +232,10 @@ impl JoinEngine {
             q.hash(h);
             0xfeu8.hash(h);
         }
+        for (id, n) in &self.retries {
+            id.hash(h);
+            n.hash(h);
+        }
     }
 
     /// Begins the join, given a node `g0` of the existing network
@@ -261,17 +244,29 @@ impl JoinEngine {
     /// # Panics
     ///
     /// Panics if the node is not a fresh joiner or `g0` is the node itself.
-    pub fn start_join(&mut self, g0: NodeId, out: &mut Outbox) {
+    pub fn start_join(&mut self, g0: NodeId, out: &mut Effects) {
         assert_eq!(self.status, Status::Copying, "join already started");
         assert!(self.copy_target.is_none(), "join already started");
         assert_ne!(g0, self.id, "cannot join via self");
+        self.trace(out, ProtocolEvent::JoinStarted { gateway: g0 });
         self.copy_target = Some(g0);
         self.post(out, g0, Message::CpRst { level: 0 });
+        self.arm(out, TimerId::CpRst { peer: g0 });
+    }
+
+    /// Feeds one [`Event`] — a delivered message or an expired timer — to
+    /// the state machine. This is the entry point runtimes use; it is
+    /// exactly [`handle`](Self::handle) plus timer dispatch.
+    pub fn on_event(&mut self, ev: Event, out: &mut Effects) {
+        match ev {
+            Event::Deliver { from, msg } => self.handle(from, msg, out),
+            Event::TimerFired { id } => self.on_timer_fired(id, out),
+        }
     }
 
     /// Handles a delivered protocol message, queueing any responses into
     /// `out`.
-    pub fn handle(&mut self, from: NodeId, msg: Message, out: &mut Outbox) {
+    pub fn handle(&mut self, from: NodeId, msg: Message, out: &mut Effects) {
         if self.status == Status::Departed {
             return; // gone; late traffic is dropped
         }
@@ -303,13 +298,13 @@ impl JoinEngine {
                 table,
                 flag,
             } => self.on_joinnotirly(from, positive, table, flag, out),
-            Message::InSysNoti => self.on_insysnoti(from),
+            Message::InSysNoti => self.on_insysnoti(from, out),
             Message::SpeNoti { initiator, subject } => self.on_spenoti(initiator, subject, out),
             Message::SpeNotiRly { subject } => self.on_spenotirly(subject, out),
             Message::RvNghNoti { recorded } => self.on_rvnghnoti(from, recorded, out),
-            Message::RvNghNotiRly { actual } => self.on_rvnghnotirly(from, actual),
+            Message::RvNghNotiRly { actual } => self.on_rvnghnotirly(from, actual, out),
             Message::LeaveNoti { replacement } => self.on_leavenoti(from, replacement, out),
-            Message::LeaveNotiRly => self.on_leavenotirly(from),
+            Message::LeaveNotiRly => self.on_leavenotirly(from, out),
             Message::RvNghForget => {
                 self.table.remove_reverse(&from);
             }
@@ -339,13 +334,13 @@ impl JoinEngine {
     /// # Panics
     ///
     /// Panics unless the node's status is *in_system*.
-    pub fn begin_leave(&mut self, out: &mut Outbox) {
+    pub fn begin_leave(&mut self, out: &mut Effects) {
         assert_eq!(
             self.status,
             Status::InSystem,
             "only an S-node can leave gracefully"
         );
-        self.status = Status::Leaving;
+        self.set_status(Status::Leaving, out);
         let me = self.id;
         // Tell stored neighbors to drop us from their reverse sets.
         for (_, _, e) in self.table.iter().collect::<Vec<_>>() {
@@ -365,11 +360,11 @@ impl JoinEngine {
             self.post(out, v, Message::LeaveNoti { replacement });
         }
         if self.ql.is_empty() {
-            self.status = Status::Departed;
+            self.set_status(Status::Departed, out);
         }
     }
 
-    fn on_leavenoti(&mut self, from: NodeId, replacement: Option<Entry>, out: &mut Outbox) {
+    fn on_leavenoti(&mut self, from: NodeId, replacement: Option<Entry>, out: &mut Effects) {
         let k = self.id.csuf_len(&from);
         let slot_digit = from.digit(k);
         if self
@@ -389,21 +384,84 @@ impl JoinEngine {
         self.post(out, from, Message::LeaveNotiRly);
     }
 
-    fn on_leavenotirly(&mut self, from: NodeId) {
+    fn on_leavenotirly(&mut self, from: NodeId, out: &mut Effects) {
         self.ql.remove(&from);
         if self.status == Status::Leaving && self.ql.is_empty() {
-            self.status = Status::Departed;
+            self.set_status(Status::Departed, out);
         }
     }
 
     // ------------------------------------------------------------------
-    // Sending helpers
+    // Effect helpers
     // ------------------------------------------------------------------
 
-    fn post(&mut self, out: &mut Outbox, to: NodeId, msg: Message) {
+    fn post(&mut self, out: &mut Effects, to: NodeId, msg: Message) {
         debug_assert_ne!(to, self.id, "node {} sending {:?} to itself", self.id, msg);
         self.stats.record(msg.kind(), msg.wire_size(&self.space));
-        out.msgs.push((to, msg));
+        out.push(Effect::Send { to, msg });
+    }
+
+    fn trace(&self, out: &mut Effects, ev: ProtocolEvent) {
+        if self.opts.trace {
+            out.push(Effect::Trace(ev));
+        }
+    }
+
+    /// Changes status, emitting a `StatusChanged` trace event.
+    fn set_status(&mut self, to: Status, out: &mut Effects) {
+        let from = self.status;
+        self.status = to;
+        if from != to {
+            self.trace(out, ProtocolEvent::StatusChanged { from, to });
+        }
+    }
+
+    /// Updates the recorded state of `(level, digit)` if it stores `node`,
+    /// emitting a `StateFlipped` trace event on an actual change.
+    fn flip_state(
+        &mut self,
+        level: usize,
+        digit: u8,
+        node: NodeId,
+        to: NodeState,
+        out: &mut Effects,
+    ) {
+        let prior = self
+            .table
+            .get(level, digit)
+            .filter(|e| e.node == node)
+            .map(|e| e.state);
+        self.table.set_state_if(level, digit, &node, to);
+        if prior.is_some() && prior != Some(to) {
+            self.trace(
+                out,
+                ProtocolEvent::StateFlipped {
+                    level,
+                    digit,
+                    node,
+                    to,
+                },
+            );
+        }
+    }
+
+    /// Arms (or re-arms) a retry timer, resetting its attempt counter.
+    /// No-op without a [`RetryPolicy`](crate::RetryPolicy).
+    fn arm(&mut self, out: &mut Effects, id: TimerId) {
+        if let Some(rp) = self.opts.retry {
+            self.retries.insert(id, 0);
+            out.push(Effect::SetTimer {
+                id,
+                delay_hint: rp.timeout_us,
+            });
+        }
+    }
+
+    /// Cancels a retry timer if it is live.
+    fn disarm(&mut self, out: &mut Effects, id: TimerId) {
+        if self.opts.retry.is_some() && self.retries.remove(&id).is_some() {
+            out.push(Effect::CancelTimer { id });
+        }
     }
 
     /// Installs `entry` at `(level, digit)` and notifies the stored node
@@ -411,9 +469,18 @@ impl JoinEngine {
     /// any node x sets Nx(i,j) = y, y ≠ x, x needs to send a
     /// RvNghNotiMsg"). `notify` is false on the paths where an immediate
     /// protocol reply to the stored node carries the same information.
-    fn install(&mut self, level: usize, digit: u8, entry: Entry, notify: bool, out: &mut Outbox) {
+    fn install(&mut self, level: usize, digit: u8, entry: Entry, notify: bool, out: &mut Effects) {
         debug_assert!(self.table.get(level, digit).is_none());
         self.table.set(level, digit, entry);
+        self.trace(
+            out,
+            ProtocolEvent::EntryFilled {
+                level,
+                digit,
+                node: entry.node,
+                state: entry.state,
+            },
+        );
         if notify && entry.node != self.id {
             self.post(
                 out,
@@ -422,29 +489,130 @@ impl JoinEngine {
                     recorded: entry.state,
                 },
             );
+            self.arm(out, TimerId::RvNgh { peer: entry.node });
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Timer expiry: bounded retransmission (lossy-transport extension)
+    // ------------------------------------------------------------------
+
+    /// Handles an expired retry timer: retransmits the guarded request if
+    /// it is still outstanding and the budget allows, otherwise lets the
+    /// timer die. Reachable only via [`Event::TimerFired`]; a no-op when no
+    /// [`RetryPolicy`](crate::RetryPolicy) is installed.
+    fn on_timer_fired(&mut self, id: TimerId, out: &mut Effects) {
+        let Some(rp) = self.opts.retry else {
+            return;
+        };
+        if matches!(self.status, Status::Leaving | Status::Departed) {
+            self.retries.remove(&id);
+            return;
+        }
+        let Some(&attempt) = self.retries.get(&id) else {
+            return; // canceled concurrently; stale fire
+        };
+        let still_wanted = match id {
+            TimerId::CpRst { peer } => {
+                self.status == Status::Copying && self.copy_target == Some(peer)
+            }
+            TimerId::JoinWait { peer } | TimerId::JoinNoti { peer } => self.qr.contains(&peer),
+            TimerId::SpeNoti { subject } => self.qsr.contains(&subject),
+            TimerId::RvNgh { peer } => self.table.iter().any(|(_, _, e)| e.node == peer),
+            TimerId::InSys { .. } => self.status == Status::InSystem,
+        };
+        if !still_wanted {
+            self.retries.remove(&id);
+            return;
+        }
+        let limit = match id {
+            TimerId::RvNgh { .. } | TimerId::InSys { .. } => rp.noti_repeats,
+            _ => rp.max_retries,
+        };
+        if attempt >= limit {
+            self.retries.remove(&id);
+            self.trace(out, ProtocolEvent::RetriesExhausted { timer: id });
+            return;
+        }
+        match id {
+            TimerId::CpRst { peer } => {
+                let level = self.copy_level as u8;
+                self.post(out, peer, Message::CpRst { level });
+            }
+            TimerId::JoinWait { peer } => self.post(out, peer, Message::JoinWait),
+            TimerId::JoinNoti { peer } => self.send_join_noti(peer, out),
+            TimerId::SpeNoti { subject } => {
+                // The chain restarts from whoever currently holds the
+                // subject's slot in our table.
+                let k = self.id.csuf_len(&subject);
+                let holder = self.table.get(k, subject.digit(k)).map(|e| e.node);
+                match holder {
+                    Some(h) if h != subject && h != self.id => {
+                        let initiator = self.id;
+                        self.post(out, h, Message::SpeNoti { initiator, subject });
+                    }
+                    _ => {
+                        // The subject landed in our own table (or the slot
+                        // emptied): nothing remote remains outstanding.
+                        self.qsr.remove(&subject);
+                        self.retries.remove(&id);
+                        if self.qr.is_empty()
+                            && self.qsr.is_empty()
+                            && self.status == Status::Notifying
+                        {
+                            self.switch_to_s_node(out);
+                        }
+                        return;
+                    }
+                }
+            }
+            TimerId::RvNgh { peer } => {
+                let recorded = self
+                    .table
+                    .iter()
+                    .find(|&(_, _, e)| e.node == peer)
+                    .map(|(_, _, e)| e.state)
+                    .expect("still_wanted checked an entry records the peer");
+                self.post(out, peer, Message::RvNghNoti { recorded });
+            }
+            TimerId::InSys { peer } => self.post(out, peer, Message::InSysNoti),
+        }
+        self.retries.insert(id, attempt + 1);
+        out.push(Effect::SetTimer {
+            id,
+            delay_hint: rp.timeout_us,
+        });
+        self.trace(
+            out,
+            ProtocolEvent::RetrySent {
+                timer: id,
+                attempt: attempt + 1,
+            },
+        );
     }
 
     // ------------------------------------------------------------------
     // Status copying (Figure 5)
     // ------------------------------------------------------------------
 
-    fn on_cprst(&mut self, from: NodeId, level: u8, out: &mut Outbox) {
+    fn on_cprst(&mut self, from: NodeId, level: u8, out: &mut Effects) {
         // Any node replies to a copy request with no waiting, whatever its
         // status (Theorem 2's proof relies on this).
         let table = self.table.snapshot();
         self.post(out, from, Message::CpRly { level, table });
     }
 
-    fn on_cprly(&mut self, from: NodeId, level: u8, table: TableSnapshot, out: &mut Outbox) {
+    fn on_cprly(&mut self, from: NodeId, level: u8, table: TableSnapshot, out: &mut Effects) {
         if self.status != Status::Copying
             || self.copy_target != Some(from)
             || level as usize != self.copy_level
         {
             // Stale reply (cannot happen with reliable one-outstanding
-            // requests, but a real network layer may duplicate).
+            // requests, but a lossy or duplicating network layer can
+            // produce one).
             return;
         }
+        self.disarm(out, TimerId::CpRst { peer: from });
         let i = self.copy_level;
         // Copy level i of g's table into level i of our own.
         for row in table.rows().iter().filter(|r| r.level as usize == i) {
@@ -472,6 +640,7 @@ impl JoinEngine {
                         level: self.copy_level as u8,
                     },
                 );
+                self.arm(out, TimerId::CpRst { peer: e.node });
             }
             Some(e) => self.enter_waiting(e.node, out), // g exists but is a T-node
             None => self.enter_waiting(from, out),      // g == null: wait on p
@@ -480,7 +649,7 @@ impl JoinEngine {
 
     /// End of Figure 5: install self entries, switch to *waiting*, send the
     /// first `JoinWaitMsg`.
-    fn enter_waiting(&mut self, target: NodeId, out: &mut Outbox) {
+    fn enter_waiting(&mut self, target: NodeId, out: &mut Effects) {
         let me = self.id;
         for i in 0..self.space.digit_count() {
             // The primary (i, x[i])-neighbor of x is x itself; overwrite
@@ -494,19 +663,20 @@ impl JoinEngine {
                 },
             );
         }
-        self.status = Status::Waiting;
+        self.set_status(Status::Waiting, out);
         self.copy_target = None;
         debug_assert_ne!(target, self.id);
         self.qn.insert(target);
         self.qr.insert(target);
         self.post(out, target, Message::JoinWait);
+        self.arm(out, TimerId::JoinWait { peer: target });
     }
 
     // ------------------------------------------------------------------
     // JoinWaitMsg (Figure 6) and JoinWaitRlyMsg (Figure 7)
     // ------------------------------------------------------------------
 
-    fn on_joinwait(&mut self, from: NodeId, out: &mut Outbox) {
+    fn on_joinwait(&mut self, from: NodeId, out: &mut Effects) {
         if self.status != Status::InSystem {
             // A T-node must delay its reply until it becomes an S-node.
             self.qj.insert(from);
@@ -562,15 +732,18 @@ impl JoinEngine {
         positive: bool,
         next: NodeId,
         table: TableSnapshot,
-        out: &mut Outbox,
+        out: &mut Effects,
     ) {
-        self.qr.remove(&from);
+        let awaited = self.qr.remove(&from);
+        if !awaited && self.opts.retry.is_some() {
+            return; // duplicate reply under retransmission; already processed
+        }
+        self.disarm(out, TimerId::JoinWait { peer: from });
         let k = self.id.csuf_len(&from);
         // The sender replied, so it is an S-node; upgrade its recorded state.
-        self.table
-            .set_state_if(k, from.digit(k), &from, NodeState::S);
+        self.flip_state(k, from.digit(k), from, NodeState::S, out);
         if positive {
-            self.status = Status::Notifying;
+            self.set_status(Status::Notifying, out);
             self.noti_level = k;
             self.table.add_reverse(k, self.id.digit(k), from);
         } else {
@@ -578,6 +751,7 @@ impl JoinEngine {
             self.qn.insert(next);
             self.qr.insert(next);
             self.post(out, next, Message::JoinWait);
+            self.arm(out, TimerId::JoinWait { peer: next });
         }
         self.check_ngh_table(&table, out);
         if self.status == Status::Notifying && self.qr.is_empty() && self.qsr.is_empty() {
@@ -589,7 +763,7 @@ impl JoinEngine {
     // Subroutine Check_Ngh_Table (Figure 8)
     // ------------------------------------------------------------------
 
-    fn check_ngh_table(&mut self, table: &TableSnapshot, out: &mut Outbox) {
+    fn check_ngh_table(&mut self, table: &TableSnapshot, out: &mut Effects) {
         for &row in table.rows() {
             let u = row.entry.node;
             if u == self.id {
@@ -609,26 +783,35 @@ impl JoinEngine {
                 );
             }
             if self.status == Status::Notifying && k >= self.noti_level && !self.qn.contains(&u) {
-                let payload = self.noti_payload(k);
-                let filled_bits = match self.opts.payload {
-                    PayloadMode::BitVector => Some(BitVec {
-                        noti_level: self.noti_level as u8,
-                        words: self.table.filled_bitvec(),
-                    }),
-                    _ => None,
-                };
                 self.qn.insert(u);
                 self.qr.insert(u);
-                self.post(
-                    out,
-                    u,
-                    Message::JoinNoti {
-                        table: payload,
-                        filled_bits,
-                    },
-                );
+                self.send_join_noti(u, out);
+                self.arm(out, TimerId::JoinNoti { peer: u });
             }
         }
+    }
+
+    /// Builds and posts one `JoinNotiMsg` to `u` (also the retransmission
+    /// path, which is why payload construction recomputes from the current
+    /// table).
+    fn send_join_noti(&mut self, u: NodeId, out: &mut Effects) {
+        let k = self.id.csuf_len(&u);
+        let payload = self.noti_payload(k);
+        let filled_bits = match self.opts.payload {
+            PayloadMode::BitVector => Some(BitVec {
+                noti_level: self.noti_level as u8,
+                words: self.table.filled_bitvec(),
+            }),
+            _ => None,
+        };
+        self.post(
+            out,
+            u,
+            Message::JoinNoti {
+                table: payload,
+                filled_bits,
+            },
+        );
     }
 
     /// Table payload of a `JoinNotiMsg` to a node sharing `k` digits.
@@ -651,7 +834,7 @@ impl JoinEngine {
         from: NodeId,
         table: TableSnapshot,
         filled_bits: Option<BitVec>,
-        out: &mut Outbox,
+        out: &mut Effects,
     ) {
         let k = self.id.csuf_len(&from);
         if self.table.get(k, from.digit(k)).is_none() {
@@ -697,9 +880,13 @@ impl JoinEngine {
         positive: bool,
         table: TableSnapshot,
         flag: bool,
-        out: &mut Outbox,
+        out: &mut Effects,
     ) {
-        self.qr.remove(&from);
+        let awaited = self.qr.remove(&from);
+        if !awaited && self.opts.retry.is_some() {
+            return; // duplicate reply under retransmission; already processed
+        }
+        self.disarm(out, TimerId::JoinNoti { peer: from });
         let k = self.id.csuf_len(&from);
         if positive {
             self.table.add_reverse(k, self.id.digit(k), from);
@@ -721,6 +908,7 @@ impl JoinEngine {
                     subject: from,
                 },
             );
+            self.arm(out, TimerId::SpeNoti { subject: from });
         }
         self.check_ngh_table(&table, out);
         if self.qr.is_empty() && self.qsr.is_empty() && self.status == Status::Notifying {
@@ -732,7 +920,7 @@ impl JoinEngine {
     // SpeNotiMsg (Figure 11) and SpeNotiRlyMsg (Figure 12)
     // ------------------------------------------------------------------
 
-    fn on_spenoti(&mut self, initiator: NodeId, subject: NodeId, out: &mut Outbox) {
+    fn on_spenoti(&mut self, initiator: NodeId, subject: NodeId, out: &mut Effects) {
         debug_assert_ne!(subject, self.id, "SpeNoti delivered to its subject");
         if subject == self.id {
             // Defensive: we trivially "store" ourselves; acknowledge.
@@ -762,7 +950,9 @@ impl JoinEngine {
         } else if initiator == self.id {
             // We initiated and the chain came back to us having stored the
             // subject; nothing is outstanding to acknowledge remotely.
-            self.qsr.remove(&subject);
+            if self.qsr.remove(&subject) {
+                self.disarm(out, TimerId::SpeNoti { subject });
+            }
             if self.qr.is_empty() && self.qsr.is_empty() && self.status == Status::Notifying {
                 self.switch_to_s_node(out);
             }
@@ -771,8 +961,12 @@ impl JoinEngine {
         }
     }
 
-    fn on_spenotirly(&mut self, subject: NodeId, out: &mut Outbox) {
-        self.qsr.remove(&subject);
+    fn on_spenotirly(&mut self, subject: NodeId, out: &mut Effects) {
+        let awaited = self.qsr.remove(&subject);
+        if !awaited && self.opts.retry.is_some() {
+            return; // duplicate reply under retransmission; already processed
+        }
+        self.disarm(out, TimerId::SpeNoti { subject });
         if self.qr.is_empty() && self.qsr.is_empty() && self.status == Status::Notifying {
             self.switch_to_s_node(out);
         }
@@ -782,19 +976,20 @@ impl JoinEngine {
     // Switch_To_S_Node (Figure 13) and InSysNotiMsg (Figure 14)
     // ------------------------------------------------------------------
 
-    fn switch_to_s_node(&mut self, out: &mut Outbox) {
+    fn switch_to_s_node(&mut self, out: &mut Effects) {
         debug_assert_eq!(self.status, Status::Notifying);
         if self.status == Status::InSystem {
             return;
         }
-        self.status = Status::InSystem;
+        self.set_status(Status::InSystem, out);
         let me = self.id;
         for i in 0..self.space.digit_count() {
-            self.table.set_state_if(i, me.digit(i), &me, NodeState::S);
+            self.flip_state(i, me.digit(i), me, NodeState::S, out);
         }
         for v in self.table.reverse_neighbors() {
             if v != me {
                 self.post(out, v, Message::InSysNoti);
+                self.arm(out, TimerId::InSys { peer: v });
             }
         }
         for u in std::mem::take(&mut self.qj) {
@@ -850,17 +1045,16 @@ impl JoinEngine {
         }
     }
 
-    fn on_insysnoti(&mut self, from: NodeId) {
+    fn on_insysnoti(&mut self, from: NodeId, out: &mut Effects) {
         let k = self.id.csuf_len(&from);
-        self.table
-            .set_state_if(k, from.digit(k), &from, NodeState::S);
+        self.flip_state(k, from.digit(k), from, NodeState::S, out);
     }
 
     // ------------------------------------------------------------------
     // RvNghNotiMsg / RvNghNotiRlyMsg
     // ------------------------------------------------------------------
 
-    fn on_rvnghnoti(&mut self, from: NodeId, recorded: NodeState, out: &mut Outbox) {
+    fn on_rvnghnoti(&mut self, from: NodeId, recorded: NodeState, out: &mut Effects) {
         // `from` stored us in its (k, self[k]) entry; we are now a reverse
         // neighbor of... it; equivalently it is a reverse (k, self[k])-
         // neighbor of us.
@@ -876,9 +1070,16 @@ impl JoinEngine {
         }
     }
 
-    fn on_rvnghnotirly(&mut self, from: NodeId, actual: NodeState) {
+    fn on_rvnghnotirly(&mut self, from: NodeId, actual: NodeState, out: &mut Effects) {
         let k = self.id.csuf_len(&from);
-        self.table.set_state_if(k, from.digit(k), &from, actual);
+        self.disarm(out, TimerId::RvNgh { peer: from });
+        if self.opts.retry.is_some() && actual != NodeState::S {
+            // Under retransmission a stale duplicate could otherwise
+            // permanently downgrade S back to T; the S-ward direction is
+            // re-driven by InSysNoti repeats, the T-ward one is not.
+            return;
+        }
+        self.flip_state(k, from.digit(k), from, actual, out);
     }
 }
 
@@ -915,15 +1116,15 @@ mod tests {
         fn join(&mut self, id: &str, via: NodeId) -> NodeId {
             let id = self.space.parse_id(id).unwrap();
             let mut e = JoinEngine::new_joiner(self.space, ProtocolOptions::new(), id);
-            let mut out = Outbox::new();
+            let mut out = Effects::new();
             e.start_join(via, &mut out);
             self.nodes.insert(id, e);
             self.enqueue(id, &mut out);
             id
         }
 
-        fn enqueue(&mut self, from: NodeId, out: &mut Outbox) {
-            for (to, msg) in out.drain() {
+        fn enqueue(&mut self, from: NodeId, out: &mut Effects) {
+            for (to, msg) in out.drain_sends() {
                 self.queue.push_back((from, to, msg));
             }
         }
@@ -933,7 +1134,7 @@ mod tests {
             while let Some((from, to, msg)) = self.queue.pop_front() {
                 steps += 1;
                 assert!(steps < 1_000_000, "protocol did not quiesce");
-                let mut out = Outbox::new();
+                let mut out = Effects::new();
                 self.nodes
                     .get_mut(&to)
                     .unwrap_or_else(|| panic!("message to unknown node {to}"))
@@ -1085,8 +1286,80 @@ mod tests {
         let a = space.parse_id("000").unwrap();
         let b = space.parse_id("111").unwrap();
         let mut e = JoinEngine::new_joiner(space, ProtocolOptions::new(), b);
-        let mut out = Outbox::new();
+        let mut out = Effects::new();
         e.start_join(a, &mut out);
         e.start_join(a, &mut out);
+    }
+
+    #[test]
+    fn default_options_emit_only_send_effects() {
+        let space = IdSpace::new(4, 3).unwrap();
+        let a = space.parse_id("000").unwrap();
+        let b = space.parse_id("321").unwrap();
+        let mut e = JoinEngine::new_joiner(space, ProtocolOptions::new(), b);
+        let mut out = Effects::new();
+        e.start_join(a, &mut out);
+        for fx in out.drain() {
+            assert!(matches!(fx, Effect::Send { .. }), "unexpected {fx:?}");
+        }
+    }
+
+    #[test]
+    fn retry_mode_arms_a_timer_on_start_join() {
+        let space = IdSpace::new(4, 3).unwrap();
+        let a = space.parse_id("000").unwrap();
+        let b = space.parse_id("321").unwrap();
+        let opts = ProtocolOptions::new().with_retry(crate::options::RetryPolicy {
+            timeout_us: 777,
+            max_retries: 3,
+            noti_repeats: 2,
+        });
+        let mut e = JoinEngine::new_joiner(space, opts, b);
+        let mut out = Effects::new();
+        e.start_join(a, &mut out);
+        let fx: Vec<Effect> = out.drain().collect();
+        assert!(fx.iter().any(|f| matches!(
+            f,
+            Effect::SetTimer { id: TimerId::CpRst { peer }, delay_hint: 777 } if *peer == a
+        )));
+    }
+
+    #[test]
+    fn timer_retry_is_bounded_and_traced() {
+        let space = IdSpace::new(4, 3).unwrap();
+        let a = space.parse_id("000").unwrap();
+        let b = space.parse_id("321").unwrap();
+        let opts = ProtocolOptions::new()
+            .with_retry(crate::options::RetryPolicy {
+                timeout_us: 100,
+                max_retries: 2,
+                noti_repeats: 1,
+            })
+            .with_trace();
+        let mut e = JoinEngine::new_joiner(space, opts, b);
+        let mut out = Effects::new();
+        e.start_join(a, &mut out);
+        out.drain().count();
+        let id = TimerId::CpRst { peer: a };
+        let mut resends = 0;
+        let mut exhausted = 0;
+        for _ in 0..5 {
+            let mut out = Effects::new();
+            e.on_event(Event::TimerFired { id }, &mut out);
+            for fx in out.drain() {
+                match fx {
+                    Effect::Send {
+                        to,
+                        msg: Message::CpRst { level: 0 },
+                    } if to == a => {
+                        resends += 1;
+                    }
+                    Effect::Trace(ProtocolEvent::RetriesExhausted { .. }) => exhausted += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!(resends, 2, "max_retries bounds retransmissions");
+        assert_eq!(exhausted, 1, "exhaustion is traced exactly once");
     }
 }

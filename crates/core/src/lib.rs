@@ -16,6 +16,10 @@
 //! * network initialization per §6.1 ([`bootstrap_sequential`], or
 //!   concurrent bootstrap through [`SimNetworkBuilder`]);
 //! * the §6.2 message-size reductions ([`PayloadMode`]);
+//! * a typed **effect/event layer** at the engine ↔ runtime boundary
+//!   ([`Effect`], [`Event`], [`dispatch_effects`]) with optional
+//!   timeout-and-retry for lossy transports ([`RetryPolicy`]) and a
+//!   structured trace stream ([`TraceSink`], [`ProtocolEvent`]);
 //! * an adapter ([`SimNetwork`]) that runs whole networks on the
 //!   deterministic event-driven simulator of `hyperring-sim`.
 //!
@@ -54,6 +58,8 @@
 #![warn(missing_docs)]
 
 mod consistency;
+mod dispatch;
+mod effect;
 mod engine;
 mod messages;
 mod optimize;
@@ -64,15 +70,18 @@ mod simnet;
 mod stats;
 mod suffix_index;
 mod table;
+mod trace;
 
 pub use consistency::{
     check_consistency, check_consistency_naive, check_consistency_with_index, check_reachability,
     ConsistencyReport, Violation,
 };
-pub use engine::{JoinEngine, Outbox, Status};
+pub use dispatch::{dispatch_effects, EffectHandler};
+pub use effect::{Effect, Effects, Event, TimerId};
+pub use engine::{JoinEngine, Status};
 pub use messages::{packed_id_bytes, BitVec, Message, MessageKind};
 pub use optimize::{optimize_tables, OptimizeReport};
-pub use options::{PayloadMode, ProtocolOptions};
+pub use options::{PayloadMode, ProtocolOptions, RetryPolicy};
 pub use oracle::build_consistent_tables;
 pub use routing::{next_hop, route, RouteOutcome};
 pub use simnet::{
@@ -82,3 +91,7 @@ pub use simnet::{
 pub use stats::MessageStats;
 pub use suffix_index::SuffixIndex;
 pub use table::{Entry, NeighborTable, NodeState, SnapshotRow, TableSnapshot};
+pub use trace::{
+    DigestTrace, JsonlTrace, NullTrace, ProtocolEvent, RingTrace, SharedSink, TraceRecord,
+    TraceSink, TraceStream,
+};

@@ -15,15 +15,54 @@ pub enum PayloadMode {
     BitVector,
 }
 
+/// Timeout-and-retry parameters for running the join protocol over a lossy
+/// transport (the paper assumes reliable delivery; this is the engineering
+/// extension that makes the assumption hold in practice).
+///
+/// With a policy installed, the engine guards every request awaiting a
+/// reply (`CpRstMsg`, `JoinWaitMsg`, `JoinNotiMsg`, `SpeNotiMsg`) with a
+/// timer and retransmits up to [`max_retries`](RetryPolicy::max_retries)
+/// times, and blindly repeats the unacknowledged state notifications
+/// (`RvNghNotiMsg`, `InSysNotiMsg`)
+/// [`noti_repeats`](RetryPolicy::noti_repeats) times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Microseconds to wait for a reply before retransmitting.
+    pub timeout_us: u64,
+    /// Maximum retransmissions of a reply-awaiting request.
+    pub max_retries: u32,
+    /// Bounded blind repeats of the unacknowledged notifications.
+    pub noti_repeats: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            timeout_us: 1_000_000,
+            max_retries: 16,
+            noti_repeats: 4,
+        }
+    }
+}
+
 /// Tunable options of the join protocol.
 ///
 /// The defaults reproduce the paper's base protocol exactly; the payload
 /// modes are the paper's own §6.2 enhancements, kept optional so their
-/// effect can be measured (see the `ablation_msgsize` experiment).
+/// effect can be measured (see the `ablation_msgsize` experiment). The
+/// [`retry`](ProtocolOptions::retry) and [`trace`](ProtocolOptions::trace)
+/// extensions default to off, so a default-configured engine emits exactly
+/// the same effect stream as before they existed (the golden tests pin
+/// this).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ProtocolOptions {
     /// Table-payload reduction mode.
     pub payload: PayloadMode,
+    /// Timeout-and-retry policy; `None` (the default) assumes a reliable
+    /// transport and arms no timers.
+    pub retry: Option<RetryPolicy>,
+    /// Whether the engine emits [`Effect::Trace`](crate::Effect) events.
+    pub trace: bool,
 }
 
 impl ProtocolOptions {
@@ -34,7 +73,22 @@ impl ProtocolOptions {
 
     /// Base protocol with the given payload mode.
     pub fn with_payload(payload: PayloadMode) -> Self {
-        ProtocolOptions { payload }
+        ProtocolOptions {
+            payload,
+            ..Self::default()
+        }
+    }
+
+    /// Enables timeout-and-retry with the given policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = Some(retry);
+        self
+    }
+
+    /// Enables structured trace emission.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
     }
 }
 
@@ -52,5 +106,15 @@ mod tests {
     fn with_payload_sets_mode() {
         let o = ProtocolOptions::with_payload(PayloadMode::BitVector);
         assert_eq!(o.payload, PayloadMode::BitVector);
+    }
+
+    #[test]
+    fn retry_and_trace_default_off() {
+        let o = ProtocolOptions::new();
+        assert!(o.retry.is_none());
+        assert!(!o.trace);
+        let o = o.with_retry(RetryPolicy::default()).with_trace();
+        assert_eq!(o.retry.unwrap().max_retries, 16);
+        assert!(o.trace);
     }
 }

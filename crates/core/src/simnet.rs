@@ -28,17 +28,20 @@
 //! ```
 
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 use hyperring_id::{IdSpace, NodeId};
 use hyperring_sim::{Actor, Context, DelayModel, RunReport, Simulator, Time};
 
 use crate::consistency::{check_consistency, ConsistencyReport};
-use crate::engine::{JoinEngine, Outbox, Status};
+use crate::dispatch::{dispatch_effects, EffectHandler};
+use crate::effect::{Effects, Event, TimerId};
+use crate::engine::{JoinEngine, Status};
 use crate::messages::Message;
 use crate::options::ProtocolOptions;
 use crate::oracle::build_consistent_tables;
 use crate::table::NeighborTable;
+use crate::trace::{TraceSink, TraceStream};
 
 /// Message wrapper carried by the simulator.
 #[derive(Debug, Clone)]
@@ -136,68 +139,129 @@ pub struct SimNode {
     /// lock-free on every send and refreshed only when a lookup misses
     /// (i.e. after the network grew).
     dir_map: Arc<HashMap<NodeId, usize>>,
-    outbox: Outbox,
+    effects: Effects,
+    /// The run-global trace stream, shared by every node of a traced
+    /// network; locked only while a node actually has effects to flush.
+    trace: Option<Arc<Mutex<TraceStream>>>,
 }
 
 impl SimNode {
-    fn new(engine: JoinEngine, dir: &Arc<Directory>) -> Self {
+    fn new(
+        engine: JoinEngine,
+        dir: &Arc<Directory>,
+        trace: Option<Arc<Mutex<TraceStream>>>,
+    ) -> Self {
         SimNode {
             engine,
             dir: Arc::clone(dir),
             dir_map: dir.snapshot(),
-            outbox: Outbox::new(),
+            effects: Effects::new(),
+            trace,
         }
     }
 
-    /// Resolves a destination against the local snapshot, falling back to
-    /// one re-snapshot of the shared directory (the destination may have
-    /// joined after this node's snapshot was taken).
-    fn resolve(&mut self, to: &NodeId) -> usize {
-        if let Some(&i) = self.dir_map.get(to) {
-            return i;
-        }
-        self.dir_map = self.dir.snapshot();
-        self.dir_map
-            .get(to)
-            .copied()
-            .unwrap_or_else(|| panic!("message addressed to unknown node {to}"))
-    }
-}
-
-impl SimNode {
     /// The wrapped protocol engine.
     pub fn engine(&self) -> &JoinEngine {
         &self.engine
+    }
+
+    /// Drains the engine's queued effects into the simulator through the
+    /// shared dispatch path.
+    fn flush(
+        &mut self,
+        ctx: &mut Context<'_, SimMsg, TimerId>,
+        from_idx: usize,
+        reply_to: Option<NodeId>,
+    ) {
+        if self.effects.is_empty() {
+            return;
+        }
+        let me = self.engine.id();
+        let now = ctx.now();
+        let mut effects = std::mem::take(&mut self.effects);
+        let mut handler = SimHandler {
+            ctx,
+            me,
+            reply_to,
+            from_idx,
+            dir: &self.dir,
+            dir_map: &mut self.dir_map,
+        };
+        match &self.trace {
+            Some(stream) => {
+                let mut stream = stream.lock().unwrap();
+                dispatch_effects(me, now, &mut effects, &mut handler, Some(&mut stream));
+            }
+            None => dispatch_effects(me, now, &mut effects, &mut handler, None),
+        }
+        self.effects = effects;
+    }
+}
+
+/// [`EffectHandler`] adapter mapping engine effects onto one simulator
+/// actor's context: overlay `NodeId`s are resolved to dense indices (with
+/// the reply fast-path — the sender's index is already known), timer
+/// effects become simulator timers.
+struct SimHandler<'a, 'c> {
+    ctx: &'a mut Context<'c, SimMsg, TimerId>,
+    me: NodeId,
+    reply_to: Option<NodeId>,
+    from_idx: usize,
+    dir: &'a Directory,
+    dir_map: &'a mut Arc<HashMap<NodeId, usize>>,
+}
+
+impl EffectHandler for SimHandler<'_, '_> {
+    fn send(&mut self, to: NodeId, msg: Message) {
+        // Dense reply routing: for a protocol message the simulator already
+        // told us the sender's index, so replies (the bulk of join traffic)
+        // skip the directory lookup entirely.
+        let idx = if self.reply_to == Some(to) {
+            self.from_idx
+        } else if let Some(&i) = self.dir_map.get(&to) {
+            i
+        } else {
+            // Fall back to one re-snapshot of the shared directory (the
+            // destination may have joined after our snapshot was taken).
+            *self.dir_map = self.dir.snapshot();
+            self.dir_map
+                .get(&to)
+                .copied()
+                .unwrap_or_else(|| panic!("message addressed to unknown node {to}"))
+        };
+        self.ctx.send(idx, SimMsg::Proto { from: self.me, msg });
+    }
+
+    fn set_timer(&mut self, id: TimerId, delay_hint: u64) {
+        self.ctx.set_timer(id, delay_hint);
+    }
+
+    fn cancel_timer(&mut self, id: TimerId) {
+        self.ctx.cancel_timer(id);
     }
 }
 
 impl Actor for SimNode {
     type Msg = SimMsg;
+    type Timer = TimerId;
 
-    fn on_message(&mut self, ctx: &mut Context<'_, SimMsg>, from_idx: usize, msg: SimMsg) {
-        // Dense reply routing: for a protocol message the simulator already
-        // told us the sender's index, so replies (the bulk of join traffic)
-        // skip the directory lookup entirely.
+    fn on_message(&mut self, ctx: &mut Context<'_, SimMsg, TimerId>, from_idx: usize, msg: SimMsg) {
         let reply_to = match &msg {
             SimMsg::Proto { from, .. } => Some(*from),
             _ => None,
         };
         match msg {
-            SimMsg::Start { gateway } => self.engine.start_join(gateway, &mut self.outbox),
-            SimMsg::Leave => self.engine.begin_leave(&mut self.outbox),
-            SimMsg::Proto { from, msg } => self.engine.handle(from, msg, &mut self.outbox),
+            SimMsg::Start { gateway } => self.engine.start_join(gateway, &mut self.effects),
+            SimMsg::Leave => self.engine.begin_leave(&mut self.effects),
+            SimMsg::Proto { from, msg } => self.engine.handle(from, msg, &mut self.effects),
         }
-        let me = self.engine.id();
-        let mut outbox = std::mem::take(&mut self.outbox);
-        for (to, msg) in outbox.drain() {
-            let idx = if reply_to == Some(to) {
-                from_idx
-            } else {
-                self.resolve(&to)
-            };
-            ctx.send(idx, SimMsg::Proto { from: me, msg });
-        }
-        self.outbox = outbox;
+        self.flush(ctx, from_idx, reply_to);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, SimMsg, TimerId>, timer: TimerId) {
+        self.engine
+            .on_event(Event::TimerFired { id: timer }, &mut self.effects);
+        self.flush(ctx, usize::MAX, None);
     }
 }
 
@@ -209,6 +273,7 @@ pub struct SimNetworkBuilder {
     members: Vec<NodeId>,
     member_tables: Option<Vec<NeighborTable>>,
     joiners: Vec<(NodeId, NodeId, Time)>,
+    trace: Option<Arc<Mutex<TraceStream>>>,
 }
 
 impl SimNetworkBuilder {
@@ -220,12 +285,22 @@ impl SimNetworkBuilder {
             members: Vec::new(),
             member_tables: None,
             joiners: Vec::new(),
+            trace: None,
         }
     }
 
     /// Sets the protocol options for every node.
     pub fn options(&mut self, opts: ProtocolOptions) -> &mut Self {
         self.opts = opts;
+        self
+    }
+
+    /// Attaches a [`TraceSink`] that will receive every node's protocol
+    /// events, stamped with virtual time and a run-global sequence number.
+    /// Implies [`ProtocolOptions::trace`] for every node (regardless of the
+    /// order of `options` and `trace` calls).
+    pub fn trace(&mut self, sink: Box<dyn TraceSink + Send>) -> &mut Self {
+        self.trace = Some(Arc::new(Mutex::new(TraceStream::new(sink))));
         self
     }
 
@@ -273,6 +348,10 @@ impl SimNetworkBuilder {
             !member_tables.is_empty(),
             "network needs at least one member"
         );
+        let mut opts = self.opts;
+        if self.trace.is_some() {
+            opts.trace = true;
+        }
 
         let mut ids: Vec<NodeId> = member_tables.iter().map(|t| t.owner()).collect();
         ids.extend(self.joiners.iter().map(|(id, _, _)| *id));
@@ -284,12 +363,19 @@ impl SimNetworkBuilder {
 
         let mut actors: Vec<SimNode> = member_tables
             .into_iter()
-            .map(|t| SimNode::new(JoinEngine::new_member(self.space, self.opts, t), &dir))
+            .map(|t| {
+                SimNode::new(
+                    JoinEngine::new_member(self.space, opts, t),
+                    &dir,
+                    self.trace.clone(),
+                )
+            })
             .collect();
         for (id, _, _) in &self.joiners {
             actors.push(SimNode::new(
-                JoinEngine::new_joiner(self.space, self.opts, *id),
+                JoinEngine::new_joiner(self.space, opts, *id),
                 &dir,
+                self.trace.clone(),
             ));
         }
 
@@ -302,11 +388,12 @@ impl SimNetworkBuilder {
         }
         SimNetwork {
             space: self.space,
-            opts: self.opts,
+            opts,
             sim,
             dir,
             ids,
             joiner_count: self.joiners.len(),
+            trace: self.trace.clone(),
         }
     }
 }
@@ -320,6 +407,7 @@ pub struct SimNetwork<D: DelayModel> {
     dir: Arc<Directory>,
     ids: Vec<NodeId>,
     joiner_count: usize,
+    trace: Option<Arc<Mutex<TraceStream>>>,
 }
 
 impl<D: DelayModel> SimNetwork<D> {
@@ -340,12 +428,25 @@ impl<D: DelayModel> SimNetwork<D> {
 
     /// Runs to quiescence and returns the simulator's report.
     pub fn run(&mut self) -> RunReport {
-        self.sim.run()
+        let report = self.sim.run();
+        self.stamp_trace(report)
     }
 
     /// Runs, but aborts after `max_deliveries` — for liveness tests.
     pub fn run_limited(&mut self, max_deliveries: u64) -> RunReport {
-        self.sim.run_limited(max_deliveries)
+        let report = self.sim.run_limited(max_deliveries);
+        self.stamp_trace(report)
+    }
+
+    /// Copies the trace stream's emission count into the report, and
+    /// flushes the sink so file-backed traces are complete at return.
+    fn stamp_trace(&self, mut report: RunReport) -> RunReport {
+        if let Some(stream) = &self.trace {
+            let mut stream = stream.lock().unwrap();
+            stream.flush();
+            report.traced = stream.emitted();
+        }
+        report
     }
 
     /// The engine of node `id`.
@@ -405,7 +506,7 @@ impl<D: DelayModel> SimNetwork<D> {
             Status::Departed,
             "{id} failed to depart"
         );
-        report
+        self.stamp_trace(report)
     }
 
     /// Whether every node is either an S-node or cleanly departed.
@@ -445,6 +546,7 @@ impl<D: DelayModel> SimNetwork<D> {
         let added = self.sim.add_actor(SimNode::new(
             JoinEngine::new_joiner(self.space, self.opts, id),
             &self.dir,
+            self.trace.clone(),
         ));
         debug_assert_eq!(added, idx);
         let now = self.sim.now();
@@ -693,6 +795,50 @@ mod tests {
         assert_eq!(net.joiner_count(), 2);
         assert_eq!(net.ids().len(), 7);
         assert!(net.check_consistency().is_consistent());
+    }
+
+    #[test]
+    fn traced_run_records_transitions_without_perturbing_the_run() {
+        use crate::trace::{RingTrace, SharedSink};
+
+        let build = |traced: bool| {
+            let mut b = SimNetworkBuilder::new(space());
+            let v = paper_members(&mut b);
+            for s in ["10261", "47051", "00261"] {
+                b.add_joiner(space().parse_id(s).unwrap(), v[0], 0);
+            }
+            let sink = SharedSink::new(RingTrace::new(4096));
+            if traced {
+                b.trace(Box::new(sink.clone()));
+            }
+            let mut net = b.build(UniformDelay::new(1_000, 80_000), 1234);
+            let report = net.run();
+            (report, sink)
+        };
+
+        let (plain, _) = build(false);
+        let (traced, sink) = build(true);
+        // Tracing is observation only: same deliveries, same virtual time.
+        assert_eq!(plain.delivered, traced.delivered);
+        assert_eq!(plain.finished_at, traced.finished_at);
+        assert_eq!(plain.traced, 0);
+        assert!(traced.traced > 0);
+
+        let ring = sink.lock();
+        assert_eq!(ring.total(), traced.traced);
+        let mut prev = None;
+        for r in ring.records() {
+            assert!(prev.is_none_or(|p| r.seq > p), "seq not increasing");
+            prev = Some(r.seq);
+        }
+        let lines: Vec<String> = ring.records().map(|r| r.to_jsonl()).collect();
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("\"event\":\"join_started\"")));
+        assert!(lines.iter().any(|l| l.contains("\"to\":\"in_system\"")));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("\"event\":\"entry_filled\"")));
     }
 
     #[test]

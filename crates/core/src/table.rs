@@ -392,7 +392,7 @@ pub struct SnapshotRow {
 ///
 /// Snapshots are reference-counted: attaching one to several messages,
 /// cloning a [`Message`](crate::Message), or draining an
-/// [`Outbox`](crate::Outbox) never copies the rows, mirroring how a real
+/// [`Effects`](crate::Effects) buffer never copies the rows, mirroring how a real
 /// implementation would serialize a table once. (The rows sit behind
 /// `Arc<Vec<_>>` rather than `Arc<[_]>` deliberately: constructing an
 /// `Arc<[T]>` from an unknown-length iterator copies the collected buffer

@@ -9,7 +9,8 @@
 //! re-recording.
 
 use hyperring_core::{
-    bootstrap_sequential, check_consistency, NeighborTable, ProtocolOptions, SimNetworkBuilder,
+    bootstrap_sequential, check_consistency, DigestTrace, NeighborTable, ProtocolOptions,
+    SharedSink, SimNetworkBuilder,
 };
 use hyperring_id::{IdSpace, NodeId};
 use hyperring_sim::UniformDelay;
@@ -131,6 +132,46 @@ fn golden_forty_node_concurrent_join() {
         "forty_node",
         observed,
         (358, 1_495_051, true, 0x8b04_5360_ccdc_6dc7),
+    );
+}
+
+/// The Figure 2 scenario again, with a digest sink attached: the ordered
+/// stream of `ProtocolEvent`s is itself part of the golden fingerprint.
+/// Two invariants at once — attaching a trace must not perturb the run
+/// (delivered/finished_at equal the untraced golden above), and the trace
+/// content must be bit-stable under a fixed seed.
+#[test]
+fn golden_figure2_trace_digest() {
+    let space = IdSpace::new(8, 5).unwrap();
+    let mut b = SimNetworkBuilder::new(space);
+    for s in ["72430", "10353", "62332", "13141", "31701"] {
+        b.add_member(space.parse_id(s).unwrap());
+    }
+    let gateway = space.parse_id("72430").unwrap();
+    for s in ["10261", "47051", "00261"] {
+        b.add_joiner(space.parse_id(s).unwrap(), gateway, 0);
+    }
+    let sink = SharedSink::new(DigestTrace::new());
+    b.trace(Box::new(sink.clone()));
+    let mut net = b.build(UniformDelay::new(1_000, 80_000), 1234);
+    let report = net.run();
+    assert_eq!(
+        (report.delivered, report.finished_at),
+        (60, 520_793),
+        "tracing perturbed the run itself"
+    );
+    let digest = *sink.lock();
+    assert_eq!(digest.count(), report.traced, "sink missed records");
+    let observed = (
+        digest.count(),
+        report.finished_at,
+        net.check_consistency().is_consistent(),
+        digest.digest(),
+    );
+    check(
+        "figure2_trace",
+        observed,
+        (63, 520_793, true, 0xb38d_2be8_4c38_6573),
     );
 }
 

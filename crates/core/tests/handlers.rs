@@ -4,7 +4,7 @@
 //! prescribes.
 
 use hyperring_core::{
-    build_consistent_tables, Entry, JoinEngine, Message, NeighborTable, NodeState, Outbox,
+    build_consistent_tables, Effects, Entry, JoinEngine, Message, NeighborTable, NodeState,
     ProtocolOptions, Status,
 };
 use hyperring_id::{IdSpace, NodeId};
@@ -31,8 +31,8 @@ fn joiner(who: &str) -> JoinEngine {
     JoinEngine::new_joiner(space(), ProtocolOptions::new(), id(who))
 }
 
-fn sent(out: &mut Outbox) -> Vec<(NodeId, Message)> {
-    out.drain().collect()
+fn sent(out: &mut Effects) -> Vec<(NodeId, Message)> {
+    out.drain_sends().collect()
 }
 
 /// Delivers every queued message from `from`'s outbox that is addressed to
@@ -56,7 +56,7 @@ fn fig5_copying_walks_levels_and_stops_at_null() {
     let g0 = member(&v, "0000");
     let mut g0 = g0;
     let mut x = joiner("2113");
-    let mut out = Outbox::new();
+    let mut out = Effects::new();
     x.start_join(id("0000"), &mut out);
     let msgs = sent(&mut out);
     assert_eq!(msgs.len(), 1);
@@ -64,7 +64,7 @@ fn fig5_copying_walks_levels_and_stops_at_null() {
     assert!(matches!(msgs[0].1, Message::CpRst { level: 0 }));
 
     // g0 replies with its full table.
-    let mut out = Outbox::new();
+    let mut out = Effects::new();
     g0.handle(id("2113"), Message::CpRst { level: 0 }, &mut out);
     let msgs = sent(&mut out);
     assert_eq!(msgs.len(), 1);
@@ -74,7 +74,7 @@ fn fig5_copying_walks_levels_and_stops_at_null() {
 
     // x copies level 0; next hop = g0's (0, 3)-neighbor (suffix "3"),
     // which the oracle filled with 1113 (smallest of {3213, 1113}).
-    let mut out = Outbox::new();
+    let mut out = Effects::new();
     x.handle(id("0000"), reply.clone(), &mut out);
     assert_eq!(x.status(), Status::Copying);
     let msgs = sent(&mut out);
@@ -98,14 +98,14 @@ fn fig5_copying_enters_waiting_when_no_deeper_node() {
     // digit differs; x waits on g0 itself (g = null case).
     let mut g0 = member(&["0000"], "0000");
     let mut x = joiner("3213");
-    let mut out = Outbox::new();
+    let mut out = Effects::new();
     x.start_join(id("0000"), &mut out);
     let (_, cprst) = sent(&mut out).pop().unwrap();
-    let mut out = Outbox::new();
+    let mut out = Effects::new();
     g0.handle(id("3213"), cprst, &mut out);
     let (_, cprly) = sent(&mut out).pop().unwrap();
 
-    let mut out = Outbox::new();
+    let mut out = Effects::new();
     x.handle(id("0000"), cprly, &mut out);
     assert_eq!(x.status(), Status::Waiting);
     // Self entries are installed on the transition (Figure 5's last loop).
@@ -141,10 +141,10 @@ fn fig5_copying_waits_on_t_node() {
             state: NodeState::T,
         },
     );
-    let mut out = Outbox::new();
+    let mut out = Effects::new();
     x.start_join(id("0000"), &mut out);
-    out.drain().count();
-    let mut out = Outbox::new();
+    out.drain_sends().count();
+    let mut out = Effects::new();
     x.handle(
         id("0000"),
         Message::CpRly {
@@ -170,7 +170,7 @@ fn fig5_copying_waits_on_t_node() {
 fn fig6_s_node_with_empty_entry_replies_positive_and_stores() {
     let mut y = member(&["0000", "1110"], "0000");
     let x = id("3213");
-    let mut out = Outbox::new();
+    let mut out = Effects::new();
     y.handle(x, Message::JoinWait, &mut out);
     // k = |csuf(0000, 3213)| = 0; entry (0, 3) was empty.
     let e = y.table().get(0, 3).unwrap();
@@ -191,7 +191,7 @@ fn fig6_s_node_with_empty_entry_replies_positive_and_stores() {
 fn fig6_s_node_with_occupied_entry_replies_negative_with_occupant() {
     let mut y = member(&["0000", "1113"], "0000");
     // (0, 3) already holds 1113; joiner 3213 must be redirected there.
-    let mut out = Outbox::new();
+    let mut out = Effects::new();
     y.handle(id("3213"), Message::JoinWait, &mut out);
     let msgs = sent(&mut out);
     match &msgs[0].1 {
@@ -211,31 +211,31 @@ fn fig6_t_node_queues_the_request_until_switching() {
     let mut x = joiner("3213");
     let mut g0 = member(&["0000"], "0000");
     // Drive x into waiting via the usual exchange.
-    let mut out = Outbox::new();
+    let mut out = Effects::new();
     x.start_join(id("0000"), &mut out);
     let (_, m) = sent(&mut out).pop().unwrap();
-    let mut out = Outbox::new();
+    let mut out = Effects::new();
     g0.handle(id("3213"), m, &mut out);
     let (_, m) = sent(&mut out).pop().unwrap();
-    let mut out = Outbox::new();
+    let mut out = Effects::new();
     x.handle(id("0000"), m, &mut out);
-    out.drain().count();
+    out.drain_sends().count();
     assert_eq!(x.status(), Status::Waiting);
 
     // Another joiner asks x to store it: silence.
-    let mut out = Outbox::new();
+    let mut out = Effects::new();
     x.handle(id("1113"), Message::JoinWait, &mut out);
     assert!(out.is_empty(), "T-node must delay its JoinWaitRlyMsg");
 
     // Now let x's own join finish: g0 replies positive; x has nobody to
     // notify, switches, and must answer the queued joiner (Figure 13).
-    let mut out = Outbox::new();
+    let mut out = Effects::new();
     g0.handle(id("3213"), Message::JoinWait, &mut out);
     let (_, rly) = sent(&mut out)
         .into_iter()
         .find(|(_, m)| matches!(m, Message::JoinWaitRly { .. }))
         .unwrap();
-    let mut out = Outbox::new();
+    let mut out = Effects::new();
     x.handle(id("0000"), rly, &mut out);
     assert_eq!(x.status(), Status::InSystem);
     let msgs = sent(&mut out);
@@ -259,20 +259,20 @@ fn fig6_t_node_queues_the_request_until_switching() {
 fn fig7_negative_reply_extends_the_wait_chain() {
     let mut x = joiner("3213");
     let mut g0 = member(&["0000"], "0000");
-    let mut out = Outbox::new();
+    let mut out = Effects::new();
     x.start_join(id("0000"), &mut out);
     let (_, m) = sent(&mut out).pop().unwrap();
-    let mut out = Outbox::new();
+    let mut out = Effects::new();
     g0.handle(id("3213"), m, &mut out);
     let (_, m) = sent(&mut out).pop().unwrap();
-    let mut out = Outbox::new();
+    let mut out = Effects::new();
     x.handle(id("0000"), m, &mut out);
-    out.drain().count();
+    out.drain_sends().count();
 
     // Craft a negative reply pointing at 1113.
     let mut holder = NeighborTable::new(space(), id("0000"));
     holder.set_self_entries(NodeState::S);
-    let mut out = Outbox::new();
+    let mut out = Effects::new();
     x.handle(
         id("0000"),
         Message::JoinWaitRly {
@@ -308,11 +308,11 @@ fn fig7_positive_reply_sets_noti_level_and_fig8_notifies() {
         },
     );
     drop(g);
-    let mut out = Outbox::new();
+    let mut out = Effects::new();
     x.start_join(id("0000"), &mut out);
-    out.drain().count();
+    out.drain_sends().count();
     // Skip the copy: deliver CpRly with an empty-ish table to reach waiting.
-    let mut out = Outbox::new();
+    let mut out = Effects::new();
     x.handle(
         id("0000"),
         Message::CpRly {
@@ -321,10 +321,10 @@ fn fig7_positive_reply_sets_noti_level_and_fig8_notifies() {
         },
         &mut out,
     );
-    out.drain().count();
+    out.drain_sends().count();
     assert_eq!(x.status(), Status::Waiting);
 
-    let mut out = Outbox::new();
+    let mut out = Effects::new();
     x.handle(
         id("0000"),
         Message::JoinWaitRly {
@@ -368,7 +368,7 @@ fn fig9_s_node_sets_flag_when_notifier_stored_someone_else() {
             state: NodeState::T,
         },
     );
-    let mut out = Outbox::new();
+    let mut out = Effects::new();
     y.handle(
         id("3213"),
         Message::JoinNoti {
@@ -398,10 +398,10 @@ fn fig10_flag_triggers_spenoti_toward_the_occupant() {
     // x in notifying with noti_level 0 has entry (2,1) = 2113; a flagged
     // reply from 1113 (k = 2 > 0) must trigger SpeNoti(x, 1113) to 2113.
     let mut x = joiner("3213");
-    let mut out = Outbox::new();
+    let mut out = Effects::new();
     x.start_join(id("0000"), &mut out);
-    out.drain().count();
-    let mut out = Outbox::new();
+    out.drain_sends().count();
+    let mut out = Effects::new();
     x.handle(
         id("0000"),
         Message::CpRly {
@@ -410,7 +410,7 @@ fn fig10_flag_triggers_spenoti_toward_the_occupant() {
         },
         &mut out,
     );
-    out.drain().count();
+    out.drain_sends().count();
     // Positive wait-reply whose table contains 2113, so x fills (2,1).
     let mut gt = NeighborTable::new(space(), id("0000"));
     gt.set_self_entries(NodeState::S);
@@ -422,7 +422,7 @@ fn fig10_flag_triggers_spenoti_toward_the_occupant() {
             state: NodeState::S,
         },
     );
-    let mut out = Outbox::new();
+    let mut out = Effects::new();
     x.handle(
         id("0000"),
         Message::JoinWaitRly {
@@ -432,14 +432,14 @@ fn fig10_flag_triggers_spenoti_toward_the_occupant() {
         },
         &mut out,
     );
-    out.drain().count();
+    out.drain_sends().count();
     assert_eq!(x.status(), Status::Notifying);
     assert_eq!(x.table().get(2, 1).unwrap().node, id("2113"));
 
     // Flagged JoinNotiRly from 1113.
     let mut yt = NeighborTable::new(space(), id("1113"));
     yt.set_self_entries(NodeState::S);
-    let mut out = Outbox::new();
+    let mut out = Effects::new();
     x.handle(
         id("1113"),
         Message::JoinNotiRly {
@@ -475,7 +475,7 @@ fn fig10_flag_triggers_spenoti_toward_the_occupant() {
             table: zt.snapshot(),
             flag: false,
         },
-        &mut Outbox::new(),
+        &mut Effects::new(),
     );
     assert_eq!(x.status(), Status::Notifying, "Q_sr still outstanding");
 
@@ -490,12 +490,12 @@ fn fig10_flag_triggers_spenoti_toward_the_occupant() {
             table: yt2.snapshot(),
             flag: false,
         },
-        &mut Outbox::new(),
+        &mut Effects::new(),
     );
     assert_eq!(x.status(), Status::Notifying, "Q_sr still outstanding");
 
     // The SpeNotiRly releases it.
-    let mut out = Outbox::new();
+    let mut out = Effects::new();
     x.handle(
         id("2113"),
         Message::SpeNotiRly {
@@ -515,7 +515,7 @@ fn fig11_receiver_stores_subject_or_forwards() {
     // u = 2113 with empty (3, 1): stores subject 1113 (state S) and
     // replies to the initiator.
     let mut u = member(&["2113", "0000"], "2113");
-    let mut out = Outbox::new();
+    let mut out = Effects::new();
     u.handle(
         id("0000"), // transport sender is irrelevant
         Message::SpeNoti {
@@ -540,7 +540,7 @@ fn fig11_receiver_stores_subject_or_forwards() {
     // digit 0) must be *forwarded* to the occupant, not answered.
     let mut u2 = member(&["2113", "0000", "3013"], "2113");
     assert_eq!(u2.table().get(2, 0).unwrap().node, id("3013"));
-    let mut out = Outbox::new();
+    let mut out = Effects::new();
     u2.handle(
         id("0000"),
         Message::SpeNoti {
@@ -578,9 +578,9 @@ fn fig11_receiver_stores_subject_or_forwards() {
 fn fig14_insysnoti_upgrades_t_to_s() {
     let mut y = member(&["0000"], "0000");
     // Store a T-state neighbor by receiving its JoinWait.
-    y.handle(id("3213"), Message::JoinWait, &mut Outbox::new());
+    y.handle(id("3213"), Message::JoinWait, &mut Effects::new());
     assert_eq!(y.table().get(0, 3).unwrap().state, NodeState::T);
-    y.handle(id("3213"), Message::InSysNoti, &mut Outbox::new());
+    y.handle(id("3213"), Message::InSysNoti, &mut Effects::new());
     assert_eq!(y.table().get(0, 3).unwrap().state, NodeState::S);
 }
 
@@ -589,7 +589,7 @@ fn rvnghnoti_mismatch_gets_corrected() {
     // An S-node member receives RvNghNoti recording it as T: it must
     // immediately reply with its actual state S.
     let mut y = member(&["0000"], "0000");
-    let mut out = Outbox::new();
+    let mut out = Effects::new();
     y.handle(
         id("3213"),
         Message::RvNghNoti {
@@ -604,7 +604,7 @@ fn rvnghnoti_mismatch_gets_corrected() {
         other => panic!("unexpected {other:?}"),
     }
     // Consistent recording: silence.
-    let mut out = Outbox::new();
+    let mut out = Effects::new();
     y.handle(
         id("1110"),
         Message::RvNghNoti {
@@ -635,16 +635,16 @@ fn rvnghnotirly_updates_recorded_state() {
             state: NodeState::T,
         },
     );
-    let mut out = Outbox::new();
+    let mut out = Effects::new();
     x.start_join(id("0000"), &mut out);
-    out.drain().count();
+    out.drain_sends().count();
     x.handle(
         id("0000"),
         Message::CpRly {
             level: 0,
             table: gt.snapshot(),
         },
-        &mut Outbox::new(),
+        &mut Effects::new(),
     );
     // next = gt(0, 3) is empty, so x entered waiting; the copied record
     // remains, still marked T.
@@ -660,7 +660,7 @@ fn rvnghnotirly_updates_recorded_state() {
         Message::RvNghNotiRly {
             actual: NodeState::S,
         },
-        &mut Outbox::new(),
+        &mut Effects::new(),
     );
     assert_eq!(x.table().get(0, 1).unwrap().state, NodeState::S);
     let _ = snapshot_of(&x);

@@ -109,6 +109,7 @@ impl OptNode {
 
 impl Actor for OptNode {
     type Msg = OptMsg;
+    type Timer = ();
 
     fn on_message(&mut self, ctx: &mut Context<'_, OptMsg>, _from: usize, msg: OptMsg) {
         let mut out: Vec<(NodeId, OptMsg)> = Vec::new();

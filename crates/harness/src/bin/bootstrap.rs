@@ -1,15 +1,17 @@
 //! §6.1 network initialization: build an n-node network from a single
 //! node, sequentially, concurrently, and staggered.
 //!
-//! Usage: `cargo run --release -p hyperring-harness --bin bootstrap [n] [--trials N] [--sequential]`
+//! Usage: `cargo run --release -p hyperring-harness --bin bootstrap [n] [--trials N] [--sequential] [--trace PATH]`
 //!
 //! With `--trials N`, each mode is re-run under `N` independent seeds
 //! (fanned across cores), one row per trial; trial 0 keeps the base seed,
-//! so `--trials 1` reproduces the plain run exactly.
+//! so `--trials 1` reproduces the plain run exactly. With `--trace PATH`,
+//! the concurrent mode's trial-0 run writes its JSONL protocol trace to
+//! `PATH` (deterministic for the fixed seed).
 
 use std::path::Path;
 
-use hyperring_harness::experiments::{run_bootstrap, BootstrapConfig};
+use hyperring_harness::experiments::{run_bootstrap_traced, BootstrapConfig};
 use hyperring_harness::{report, Table, TrialOpts};
 
 fn main() {
@@ -32,7 +34,14 @@ fn main() {
         ),
     ] {
         eprintln!("bootstrapping {n} nodes ({name}) …");
-        let runs = opts.run(11, |_k, seed| run_bootstrap(16, 8, n, mode, seed));
+        let trace = opts.trace.clone();
+        let runs = opts.run(11, |k, seed| {
+            let path = match (k, mode) {
+                (0, BootstrapConfig::Concurrent) => trace.as_deref(),
+                _ => None,
+            };
+            run_bootstrap_traced(16, 8, n, mode, seed, path)
+        });
         for (k, r) in runs.iter().enumerate() {
             assert!(r.consistent, "{name} bootstrap inconsistent");
             let row_label = if opts.trials > 1 {

@@ -8,7 +8,14 @@
 //! * `--sequential` — run those trials on one core instead. The printed
 //!   output is identical either way (the parallel runner is
 //!   order-preserving and trials share no mutable state), so this exists
-//!   for cross-checking and for memory-constrained machines.
+//!   for cross-checking and for memory-constrained machines;
+//! * `--trace PATH` — binaries that support it write a JSONL protocol
+//!   trace (one [`ProtocolEvent`](hyperring_core::ProtocolEvent) per line,
+//!   stamped with virtual time) of one representative run to `PATH`.
+//!   Simulator traces are deterministic under a fixed seed: same inputs,
+//!   byte-identical file.
+
+use std::path::PathBuf;
 
 use crate::workload::{run_trials, run_trials_sequential};
 use rayon::prelude::*;
@@ -20,6 +27,8 @@ pub struct TrialOpts {
     pub trials: usize,
     /// Run trials sequentially instead of across cores.
     pub sequential: bool,
+    /// Where to write a JSONL protocol trace, if requested.
+    pub trace: Option<PathBuf>,
     /// The arguments left over after removing trial flags, in order
     /// (excluding the program name).
     pub rest: Vec<String>,
@@ -35,6 +44,7 @@ impl TrialOpts {
     pub fn parse(args: impl Iterator<Item = String>) -> Self {
         let mut trials = 1usize;
         let mut sequential = false;
+        let mut trace = None;
         let mut rest = Vec::new();
         let mut args = args.peekable();
         while let Some(a) = args.next() {
@@ -47,12 +57,17 @@ impl TrialOpts {
                     assert!(trials >= 1, "--trials value must be a positive integer");
                 }
                 "--sequential" => sequential = true,
+                "--trace" => {
+                    let v = args.next().expect("--trace requires a path");
+                    trace = Some(PathBuf::from(v));
+                }
                 _ => rest.push(a),
             }
         }
         TrialOpts {
             trials,
             sequential,
+            trace,
             rest,
         }
     }
@@ -129,11 +144,21 @@ mod tests {
         let o = parse(&[]);
         assert_eq!(o.trials, 1);
         assert!(!o.sequential);
+        assert!(o.trace.is_none());
         assert!(o.rest.is_empty());
 
-        let o = parse(&["5000", "--trials", "8", "--sequential", "--small"]);
+        let o = parse(&[
+            "5000",
+            "--trials",
+            "8",
+            "--sequential",
+            "--trace",
+            "out.jsonl",
+            "--small",
+        ]);
         assert_eq!(o.trials, 8);
         assert!(o.sequential);
+        assert_eq!(o.trace.as_deref(), Some(std::path::Path::new("out.jsonl")));
         assert_eq!(o.rest, vec!["5000".to_string(), "--small".to_string()]);
         assert_eq!(o.positional(0, 0u64), 5000);
         assert!(o.has_flag("--small"));

@@ -1,7 +1,11 @@
 //! §6.1 network initialization: start from one node, join everyone else
 //! through it, end with a consistent network.
 
-use hyperring_core::{bootstrap_sequential, check_consistency, ProtocolOptions, SimNetworkBuilder};
+use std::path::Path;
+
+use hyperring_core::{
+    bootstrap_sequential, check_consistency, JsonlTrace, ProtocolOptions, SimNetworkBuilder,
+};
 use hyperring_id::IdSpace;
 use hyperring_sim::UniformDelay;
 
@@ -51,6 +55,24 @@ pub fn run_bootstrap(
     mode: BootstrapConfig,
     seed: u64,
 ) -> BootstrapResult {
+    run_bootstrap_traced(b, d, n, mode, seed, None)
+}
+
+/// [`run_bootstrap`] with an optional JSONL protocol trace of the run
+/// written to `trace` (concurrent/staggered modes only; the sequential
+/// path runs one isolated join at a time and is not worth tracing).
+///
+/// # Panics
+///
+/// As [`run_bootstrap`], plus if the trace file cannot be created.
+pub fn run_bootstrap_traced(
+    b: u16,
+    d: usize,
+    n: usize,
+    mode: BootstrapConfig,
+    seed: u64,
+    trace: Option<&Path>,
+) -> BootstrapResult {
     let space = IdSpace::new(b, d).expect("valid space");
     let ids = distinct_ids(space, n, seed);
     match mode {
@@ -69,6 +91,11 @@ pub fn run_bootstrap(
         BootstrapConfig::Concurrent | BootstrapConfig::Staggered { .. } => {
             let mut builder = SimNetworkBuilder::new(space);
             builder.options(ProtocolOptions::new());
+            if let Some(path) = trace {
+                let file = std::fs::File::create(path)
+                    .unwrap_or_else(|e| panic!("cannot create trace file {}: {e}", path.display()));
+                builder.trace(Box::new(JsonlTrace::new(std::io::BufWriter::new(file))));
+            }
             builder.add_member(ids[0]);
             for (i, id) in ids[1..].iter().enumerate() {
                 let at = match mode {

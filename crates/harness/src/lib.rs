@@ -11,7 +11,9 @@
 //! * `theorem4` — measured single-join cost vs the closed form;
 //! * `ablation_msgsize` — §6.2 payload reductions;
 //! * `bootstrap` — §6.1 network initialization;
-//! * `baseline_consistency` — optimistic joins vs the paper's protocol.
+//! * `baseline_consistency` — optimistic joins vs the paper's protocol;
+//! * `faultsim` — concurrent joins over a lossy network (`FaultyDelay`),
+//!   recovered by `RetryPolicy` timer retransmission; supports `--trace`.
 //!
 //! # Examples
 //!

@@ -8,6 +8,12 @@
 //! consistency under *any* message interleaving, and integration tests
 //! assert exactly that here.
 //!
+//! Engine effects are drained through the same [`dispatch_effects`] path
+//! as the simulators: sends become channel messages, timer effects are
+//! served by a per-thread wall-clock timer wheel (so a
+//! [`RetryPolicy`](hyperring_core::RetryPolicy) works here too), and trace
+//! events go to an optional shared [`TraceSink`].
+//!
 //! Quiescence is detected with an in-flight message counter (incremented
 //! before a send, decremented after the receiver finishes processing), the
 //! standard termination-detection trick for diffusing computations.
@@ -31,7 +37,7 @@
 //!
 //! let joiners: Vec<_> = ids[8..].iter().map(|&id| (id, ids[0])).collect();
 //! let net = ThreadedNetwork::new(space, ProtocolOptions::new(), members);
-//! let tables = net.run_joins(&joiners);
+//! let tables = net.run_joins(&joiners)?;
 //! assert!(check_consistency(space, &tables).is_consistent());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -39,15 +45,62 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
 use std::sync::atomic::{AtomicI64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use hyperring_core::{JoinEngine, Message, NeighborTable, Outbox, ProtocolOptions, Status};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use hyperring_core::{
+    dispatch_effects, EffectHandler, Effects, Event, JoinEngine, Message, NeighborTable,
+    ProtocolOptions, Status, TimerId, TraceSink, TraceStream,
+};
 use hyperring_id::{IdSpace, NodeId};
+
+/// Failure of a threaded run. The runtime reports problems instead of
+/// panicking: configuration mistakes surface before any thread spawns,
+/// liveness failures after an orderly shutdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// A joiner duplicates an existing node identifier.
+    DuplicateNode(NodeId),
+    /// A joiner's gateway is neither a member nor a joiner.
+    UnknownGateway(NodeId),
+    /// The engine addressed a message to a node the network doesn't know
+    /// (an engine bug; recorded rather than unwinding a worker thread).
+    UnknownDestination(NodeId),
+    /// The network failed to quiesce within the deadline.
+    QuiesceTimeout {
+        /// Messages still in flight when the deadline passed.
+        in_flight: i64,
+        /// Joiners still not `in_system` when the deadline passed.
+        joining: i64,
+    },
+    /// A node thread panicked (its engine state is lost).
+    NodePanicked,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::DuplicateNode(id) => write!(f, "duplicate node identifier {id}"),
+            NetError::UnknownGateway(id) => write!(f, "unknown gateway {id}"),
+            NetError::UnknownDestination(id) => {
+                write!(f, "message addressed to unknown node {id}")
+            }
+            NetError::QuiesceTimeout { in_flight, joining } => write!(
+                f,
+                "network failed to quiesce: {in_flight} in flight, {joining} joining"
+            ),
+            NetError::NodePanicked => write!(f, "a node thread panicked"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
 
 /// A message envelope on the thread network.
 #[derive(Debug)]
@@ -66,6 +119,90 @@ struct Flight {
     joining: AtomicI64,
 }
 
+/// Per-thread wall-clock timer wheel: deadlines in a min-heap, liveness in
+/// an armed-generation map (re-arming or canceling invalidates the heap
+/// entry in place; stale entries are skipped when they surface).
+#[derive(Debug, Default)]
+struct Timers {
+    heap: BinaryHeap<Reverse<(Instant, u64, TimerId)>>,
+    armed: HashMap<TimerId, u64>,
+    seq: u64,
+}
+
+impl Timers {
+    fn arm(&mut self, id: TimerId, delay: Duration) {
+        self.seq += 1;
+        self.armed.insert(id, self.seq);
+        self.heap
+            .push(Reverse((Instant::now() + delay, self.seq, id)));
+    }
+
+    fn cancel(&mut self, id: TimerId) {
+        self.armed.remove(&id);
+    }
+
+    /// Earliest live deadline, discarding stale heap heads.
+    fn next_deadline(&mut self) -> Option<Instant> {
+        while let Some(&Reverse((at, seq, id))) = self.heap.peek() {
+            if self.armed.get(&id) == Some(&seq) {
+                return Some(at);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Pops every live timer due at `now` (disarming it — the engine
+    /// re-arms explicitly if it retries).
+    fn pop_due(&mut self, now: Instant) -> Vec<TimerId> {
+        let mut due = Vec::new();
+        while let Some(&Reverse((at, seq, id))) = self.heap.peek() {
+            if at > now {
+                break;
+            }
+            self.heap.pop();
+            if self.armed.get(&id) == Some(&seq) {
+                self.armed.remove(&id);
+                due.push(id);
+            }
+        }
+        due
+    }
+}
+
+/// [`EffectHandler`] adapter for one node thread: sends go over channels
+/// (counted for quiescence detection), timers into the thread's wheel.
+struct ThreadHandler<'a> {
+    me: NodeId,
+    senders: &'a HashMap<NodeId, Sender<Envelope>>,
+    flight: &'a Flight,
+    timers: &'a mut Timers,
+    error: &'a mut Option<NetError>,
+}
+
+impl EffectHandler for ThreadHandler<'_> {
+    fn send(&mut self, to: NodeId, msg: Message) {
+        let Some(tx) = self.senders.get(&to) else {
+            self.error.get_or_insert(NetError::UnknownDestination(to));
+            return;
+        };
+        self.flight.in_flight.fetch_add(1, Ordering::SeqCst);
+        if tx.send(Envelope::Proto { from: self.me, msg }).is_err() {
+            // The receiver is gone, which only happens once shutdown has
+            // begun; undo the count so quiescence bookkeeping stays exact.
+            self.flight.in_flight.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    fn set_timer(&mut self, id: TimerId, delay_hint: u64) {
+        self.timers.arm(id, Duration::from_micros(delay_hint));
+    }
+
+    fn cancel_timer(&mut self, id: TimerId) {
+        self.timers.cancel(id);
+    }
+}
+
 /// A network of per-thread protocol engines connected by channels.
 ///
 /// Construct with the initial members' tables, then call
@@ -78,6 +215,7 @@ pub struct ThreadedNetwork {
     space: IdSpace,
     opts: ProtocolOptions,
     members: Vec<NeighborTable>,
+    trace: Option<Arc<Mutex<TraceStream>>>,
 }
 
 impl ThreadedNetwork {
@@ -93,18 +231,33 @@ impl ThreadedNetwork {
             space,
             opts,
             members,
+            trace: None,
         }
+    }
+
+    /// Attaches a [`TraceSink`] shared by every node thread. Timestamps
+    /// are wall-clock microseconds since the run started (monotone but —
+    /// unlike the simulators' virtual time — not deterministic). Implies
+    /// [`ProtocolOptions::trace`].
+    pub fn with_trace(mut self, sink: Box<dyn TraceSink + Send>) -> Self {
+        self.opts.trace = true;
+        self.trace = Some(Arc::new(Mutex::new(TraceStream::new(sink))));
+        self
     }
 
     /// Runs all `(joiner, gateway)` joins concurrently on real threads and
     /// returns every node's final table.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a joiner duplicates an existing identifier, a gateway is
-    /// unknown, or the run fails to quiesce within a generous deadline
-    /// (60 s), which Theorem 2 rules out absent bugs.
-    pub fn run_joins(self, joiners: &[(NodeId, NodeId)]) -> Vec<NeighborTable> {
+    /// [`NetError::DuplicateNode`] / [`NetError::UnknownGateway`] for
+    /// configuration mistakes (reported before any thread spawns);
+    /// [`NetError::QuiesceTimeout`] if the run fails to quiesce within a
+    /// generous deadline (60 s), which Theorem 2 rules out absent bugs;
+    /// [`NetError::NodePanicked`] / [`NetError::UnknownDestination`] for
+    /// internal failures. On every error path all node threads are shut
+    /// down and joined before returning.
+    pub fn run_joins(self, joiners: &[(NodeId, NodeId)]) -> Result<Vec<NeighborTable>, NetError> {
         let flight = Arc::new(Flight {
             in_flight: AtomicI64::new(0),
             joining: AtomicI64::new(joiners.len() as i64),
@@ -116,18 +269,20 @@ impl ThreadedNetwork {
         let member_ids: Vec<NodeId> = self.members.iter().map(|t| t.owner()).collect();
         for id in member_ids.iter().chain(joiners.iter().map(|(id, _)| id)) {
             let (tx, rx) = unbounded();
-            assert!(
-                senders.insert(*id, tx).is_none(),
-                "duplicate node identifier {id}"
-            );
+            if senders.insert(*id, tx).is_some() {
+                return Err(NetError::DuplicateNode(*id));
+            }
             receivers.push(rx);
         }
         let senders = Arc::new(senders);
         for (_, gateway) in joiners {
-            assert!(senders.contains_key(gateway), "unknown gateway {gateway}");
+            if !senders.contains_key(gateway) {
+                return Err(NetError::UnknownGateway(*gateway));
+            }
         }
 
         // Spawn one thread per node.
+        let epoch = Instant::now();
         let mut handles = Vec::new();
         let mut rx_iter = receivers.into_iter();
         for table in self.members {
@@ -138,6 +293,8 @@ impl ThreadedNetwork {
                 rx,
                 Arc::clone(&senders),
                 Arc::clone(&flight),
+                self.trace.clone(),
+                epoch,
             ));
         }
         for (id, _) in joiners {
@@ -148,40 +305,70 @@ impl ThreadedNetwork {
                 rx,
                 Arc::clone(&senders),
                 Arc::clone(&flight),
+                self.trace.clone(),
+                epoch,
             ));
         }
+
+        let shutdown_all = |handles: Vec<thread::JoinHandle<(JoinEngine, Option<NetError>)>>| {
+            for s in senders.values() {
+                let _ = s.send(Envelope::Shutdown);
+            }
+            let mut engines = Vec::with_capacity(handles.len());
+            let mut first_error = None;
+            for h in handles {
+                match h.join() {
+                    Ok((engine, err)) => {
+                        if let Some(e) = err {
+                            first_error.get_or_insert(e);
+                        }
+                        engines.push(engine);
+                    }
+                    Err(_) => {
+                        first_error.get_or_insert(NetError::NodePanicked);
+                    }
+                }
+            }
+            if let Some(stream) = &self.trace {
+                if let Ok(mut stream) = stream.lock() {
+                    stream.flush();
+                }
+            }
+            (engines, first_error)
+        };
 
         // Fire all starts "at the same time" (the paper starts all joins at
         // t = 0).
         for (id, gateway) in joiners {
             flight.in_flight.fetch_add(1, Ordering::SeqCst);
-            senders[id]
+            if senders[id]
                 .send(Envelope::Start { gateway: *gateway })
-                .expect("node thread alive");
+                .is_err()
+            {
+                let (_, err) = shutdown_all(handles);
+                return Err(err.unwrap_or(NetError::NodePanicked));
+            }
         }
 
         // Wait for quiescence: no in-flight messages and no joining nodes.
-        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        let deadline = Instant::now() + Duration::from_secs(60);
         loop {
-            let inflight = flight.in_flight.load(Ordering::SeqCst);
+            let in_flight = flight.in_flight.load(Ordering::SeqCst);
             let joining = flight.joining.load(Ordering::SeqCst);
-            if inflight == 0 && joining == 0 {
+            if in_flight == 0 && joining == 0 {
                 break;
             }
-            assert!(
-                std::time::Instant::now() < deadline,
-                "network failed to quiesce: {inflight} in flight, {joining} joining"
-            );
+            if Instant::now() >= deadline {
+                let (_, err) = shutdown_all(handles);
+                return Err(err.unwrap_or(NetError::QuiesceTimeout { in_flight, joining }));
+            }
             thread::sleep(Duration::from_micros(200));
         }
-        for s in senders.values() {
-            let _ = s.send(Envelope::Shutdown);
+        let (engines, err) = shutdown_all(handles);
+        if let Some(e) = err {
+            return Err(e);
         }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("node thread panicked"))
-            .map(|e| e.table().clone())
-            .collect()
+        Ok(engines.iter().map(|e| e.table().clone()).collect())
     }
 }
 
@@ -190,39 +377,84 @@ fn spawn_node(
     rx: Receiver<Envelope>,
     senders: Arc<HashMap<NodeId, Sender<Envelope>>>,
     flight: Arc<Flight>,
-) -> thread::JoinHandle<JoinEngine> {
+    trace: Option<Arc<Mutex<TraceStream>>>,
+    epoch: Instant,
+) -> thread::JoinHandle<(JoinEngine, Option<NetError>)> {
     thread::spawn(move || {
-        let mut outbox = Outbox::new();
+        let mut effects = Effects::new();
+        let mut timers = Timers::default();
+        let mut error: Option<NetError> = None;
         let mut still_joining = !engine.is_in_system();
-        while let Ok(env) = rx.recv() {
-            match env {
-                Envelope::Shutdown => break,
-                Envelope::Start { gateway } => engine.start_join(gateway, &mut outbox),
-                Envelope::Proto { from, msg } => engine.handle(from, msg, &mut outbox),
-            }
-            let me = engine.id();
-            for (to, msg) in outbox.drain() {
-                flight.in_flight.fetch_add(1, Ordering::SeqCst);
-                senders[&to]
-                    .send(Envelope::Proto { from: me, msg })
-                    .expect("peer thread alive");
+        loop {
+            // Block for the next envelope, but only until the nearest live
+            // timer deadline.
+            let wake = match timers.next_deadline() {
+                Some(at) => match rx.recv_timeout(at.saturating_duration_since(Instant::now())) {
+                    Ok(env) => Some(env),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                },
+                None => match rx.recv() {
+                    Ok(env) => Some(env),
+                    Err(_) => break,
+                },
+            };
+            let counted = match wake {
+                Some(Envelope::Shutdown) => break,
+                Some(Envelope::Start { gateway }) => {
+                    engine.start_join(gateway, &mut effects);
+                    true
+                }
+                Some(Envelope::Proto { from, msg }) => {
+                    engine.handle(from, msg, &mut effects);
+                    true
+                }
+                None => {
+                    for id in timers.pop_due(Instant::now()) {
+                        engine.on_event(Event::TimerFired { id }, &mut effects);
+                    }
+                    false
+                }
+            };
+            if !effects.is_empty() {
+                let me = engine.id();
+                let now_us = epoch.elapsed().as_micros() as u64;
+                let mut handler = ThreadHandler {
+                    me,
+                    senders: &senders,
+                    flight: &flight,
+                    timers: &mut timers,
+                    error: &mut error,
+                };
+                match trace.as_ref().map(|t| t.lock()) {
+                    Some(Ok(mut stream)) => {
+                        dispatch_effects(me, now_us, &mut effects, &mut handler, Some(&mut stream));
+                    }
+                    // A poisoned trace lock loses trace records, never
+                    // protocol traffic.
+                    _ => dispatch_effects(me, now_us, &mut effects, &mut handler, None),
+                }
             }
             if still_joining && engine.status() == Status::InSystem {
                 still_joining = false;
                 flight.joining.fetch_sub(1, Ordering::SeqCst);
             }
-            // Decrement only now: new sends were counted before our own
-            // decrement, so in_flight == 0 really means quiescent.
-            flight.in_flight.fetch_sub(1, Ordering::SeqCst);
+            if counted {
+                // Decrement only now: new sends were counted before our own
+                // decrement, so in_flight == 0 really means quiescent.
+                flight.in_flight.fetch_sub(1, Ordering::SeqCst);
+            }
         }
-        engine
+        (engine, error)
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hyperring_core::{build_consistent_tables, check_consistency};
+    use hyperring_core::{
+        build_consistent_tables, check_consistency, RetryPolicy, RingTrace, SharedSink,
+    };
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -247,8 +479,9 @@ mod tests {
         let members = build_consistent_tables(space, &ids[..20]);
         let gateway = ids[0];
         let joiners: Vec<(NodeId, NodeId)> = ids[20..].iter().map(|&id| (id, gateway)).collect();
-        let tables =
-            ThreadedNetwork::new(space, ProtocolOptions::new(), members).run_joins(&joiners);
+        let tables = ThreadedNetwork::new(space, ProtocolOptions::new(), members)
+            .run_joins(&joiners)
+            .expect("run quiesces");
         assert_eq!(tables.len(), 30);
         let report = check_consistency(space, &tables);
         assert!(report.is_consistent(), "{report}");
@@ -267,8 +500,9 @@ mod tests {
                 .enumerate()
                 .map(|(i, &id)| (id, ids[i % 16]))
                 .collect();
-            let tables =
-                ThreadedNetwork::new(space, ProtocolOptions::new(), members).run_joins(&joiners);
+            let tables = ThreadedNetwork::new(space, ProtocolOptions::new(), members)
+                .run_joins(&joiners)
+                .expect("run quiesces");
             let report = check_consistency(space, &tables);
             assert!(report.is_consistent(), "round {round}: {report}");
         }
@@ -279,15 +513,15 @@ mod tests {
         let space = IdSpace::new(4, 3).unwrap();
         let ids = distinct_ids(space, 5, 7);
         let members = build_consistent_tables(space, &ids);
-        let tables =
-            ThreadedNetwork::new(space, ProtocolOptions::new(), members.clone()).run_joins(&[]);
+        let tables = ThreadedNetwork::new(space, ProtocolOptions::new(), members.clone())
+            .run_joins(&[])
+            .expect("empty run quiesces");
         assert_eq!(tables.len(), members.len());
         assert!(check_consistency(space, &tables).is_consistent());
     }
 
     #[test]
-    #[should_panic(expected = "unknown gateway")]
-    fn unknown_gateway_panics() {
+    fn unknown_gateway_is_an_error() {
         let space = IdSpace::new(4, 3).unwrap();
         let ids = distinct_ids(space, 4, 9);
         let members = build_consistent_tables(space, &ids[..3]);
@@ -296,6 +530,50 @@ mod tests {
             .map(|v| space.id_from_value(v).unwrap())
             .find(|id| !ids.contains(id))
             .expect("space has spare ids");
-        ThreadedNetwork::new(space, ProtocolOptions::new(), members).run_joins(&[(ids[3], ghost)]);
+        let err = ThreadedNetwork::new(space, ProtocolOptions::new(), members)
+            .run_joins(&[(ids[3], ghost)])
+            .unwrap_err();
+        assert_eq!(err, NetError::UnknownGateway(ghost));
+        assert!(err.to_string().contains("unknown gateway"));
+    }
+
+    #[test]
+    fn duplicate_joiner_is_an_error() {
+        let space = IdSpace::new(4, 3).unwrap();
+        let ids = distinct_ids(space, 4, 13);
+        let members = build_consistent_tables(space, &ids[..3]);
+        let err = ThreadedNetwork::new(space, ProtocolOptions::new(), members)
+            .run_joins(&[(ids[0], ids[1])])
+            .unwrap_err();
+        assert_eq!(err, NetError::DuplicateNode(ids[0]));
+    }
+
+    #[test]
+    fn retry_policy_and_trace_run_on_real_threads() {
+        // An aggressive timeout forces real retransmissions (the channels
+        // are reliable, so every retry produces a duplicate); the engine's
+        // duplicate-reply guards must keep the result consistent, and the
+        // shared trace stream must observe every joiner reach in_system.
+        let space = IdSpace::new(4, 4).unwrap();
+        let ids = distinct_ids(space, 16, 21);
+        let members = build_consistent_tables(space, &ids[..10]);
+        let joiners: Vec<(NodeId, NodeId)> = ids[10..].iter().map(|&id| (id, ids[0])).collect();
+        let opts = ProtocolOptions::new().with_retry(RetryPolicy {
+            timeout_us: 200,
+            max_retries: 8,
+            noti_repeats: 2,
+        });
+        let sink = SharedSink::new(RingTrace::new(1 << 16));
+        let tables = ThreadedNetwork::new(space, opts, members)
+            .with_trace(Box::new(sink.clone()))
+            .run_joins(&joiners)
+            .expect("run quiesces under retransmission");
+        assert!(check_consistency(space, &tables).is_consistent());
+        let ring = sink.lock();
+        let in_system = ring
+            .records()
+            .filter(|r| r.to_jsonl().contains("\"to\":\"in_system\""))
+            .count();
+        assert_eq!(in_system, joiners.len(), "every joiner traced in_system");
     }
 }

@@ -1,6 +1,20 @@
 /// Virtual time in microseconds since the start of the run.
 pub type Time = u64;
 
+/// What a scheduled event carries: a message in flight or a pending timer.
+///
+/// Timer events are validated against the simulator's armed-timer table at
+/// pop time; a canceled or superseded timer is skipped without touching
+/// virtual time or any counter, so arming-then-canceling perturbs nothing
+/// observable.
+#[derive(Debug, Clone)]
+pub(crate) enum Payload<M, T> {
+    /// A message from one actor to another.
+    Msg(M),
+    /// A timer the destination actor armed for itself.
+    Timer(T),
+}
+
 /// A scheduled delivery. Ordering (and equality) consider only the
 /// `(at, seq)` key, never the payload, so message types need no `Ord`.
 #[derive(Debug, Clone)]

@@ -14,12 +14,20 @@
 //!
 //! # Examples
 //!
+//! Actors may also arm per-actor timers ([`Context::set_timer`]) and see
+//! them expire via [`Actor::on_timer`], and a [`FaultyDelay`] wrapper can
+//! drop or duplicate actor-sent messages by seeded probability — the
+//! substrate for testing timeout-and-retry protocol extensions.
+//!
+//! # Examples
+//!
 //! ```
 //! use hyperring_sim::{Actor, ConstantDelay, Context, Simulator};
 //!
 //! struct Echo;
 //! impl Actor for Echo {
 //!     type Msg = u32;
+//!     type Timer = ();
 //!     fn on_message(&mut self, ctx: &mut Context<'_, u32>, from: usize, msg: u32) {
 //!         if msg > 0 {
 //!             ctx.send(from, msg - 1);
@@ -42,6 +50,6 @@ mod event;
 mod sim;
 pub mod stats;
 
-pub use delay::{ConstantDelay, DelayModel, FnDelay, MatrixDelay, UniformDelay};
+pub use delay::{ConstantDelay, DelayModel, Fate, FaultyDelay, FnDelay, MatrixDelay, UniformDelay};
 pub use event::Time;
 pub use sim::{Actor, Context, RunReport, Simulator};

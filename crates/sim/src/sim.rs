@@ -1,51 +1,90 @@
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
+use std::hash::Hash;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::delay::DelayModel;
-use crate::event::{Event, Time};
+use crate::delay::{DelayModel, Fate};
+use crate::event::{Event, Payload, Time};
 
 /// A simulated protocol participant.
 ///
 /// Actors are addressed by dense indices `0..n`. They react to message
-/// deliveries by mutating their state and sending further messages through
-/// the [`Context`]. Actors never block: the paper's protocol is a pure
-/// message-driven state machine, and so is this trait.
+/// deliveries (and their own timer expiries) by mutating their state and
+/// issuing further operations through the [`Context`]. Actors never block:
+/// the paper's protocol is a pure event-driven state machine, and so is
+/// this trait.
 pub trait Actor {
     /// Message type exchanged between actors.
     type Msg;
 
+    /// Timer identifier type. An actor arms timers for *itself* via
+    /// [`Context::set_timer`]; actors without timers use `()`.
+    type Timer: Clone + Eq + Hash;
+
     /// Handles a delivered message.
-    fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, from: usize, msg: Self::Msg);
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, Self::Msg, Self::Timer>,
+        from: usize,
+        msg: Self::Msg,
+    );
+
+    /// Handles an expired timer previously armed with
+    /// [`Context::set_timer`]. The default does nothing.
+    fn on_timer(&mut self, _ctx: &mut Context<'_, Self::Msg, Self::Timer>, _timer: Self::Timer) {}
+}
+
+/// One operation an actor issued during a delivery, buffered until the
+/// simulator applies it.
+#[derive(Debug)]
+pub(crate) enum Op<M, T> {
+    Send(usize, M),
+    SetTimer(T, Time),
+    CancelTimer(T),
 }
 
 /// Handle an actor uses to interact with the simulation during a delivery.
 #[derive(Debug)]
-pub struct Context<'a, M> {
+pub struct Context<'a, M, T = ()> {
     now: Time,
     me: usize,
-    out: &'a mut Vec<(usize, M)>,
+    out: &'a mut Vec<Op<M, T>>,
 }
 
-impl<'a, M> Context<'a, M> {
+impl<'a, M, T> Context<'a, M, T> {
     /// Current virtual time in microseconds.
     #[inline]
     pub fn now(&self) -> Time {
         self.now
     }
 
-    /// Index of the actor handling the message.
+    /// Index of the actor handling the event.
     #[inline]
     pub fn me(&self) -> usize {
         self.me
     }
 
-    /// Sends `msg` to actor `to`; it will be delivered after the delay
-    /// model's latency.
+    /// Sends `msg` to actor `to`; its delivery (or loss) is decided by the
+    /// delay model's [`Fate`].
     #[inline]
     pub fn send(&mut self, to: usize, msg: M) {
-        self.out.push((to, msg));
+        self.out.push(Op::Send(to, msg));
+    }
+
+    /// Arms (or re-arms) timer `timer` to fire on this actor after `delay`
+    /// microseconds. Re-arming an already-pending timer replaces it: only
+    /// the latest deadline fires.
+    #[inline]
+    pub fn set_timer(&mut self, timer: T, delay: Time) {
+        self.out.push(Op::SetTimer(timer, delay));
+    }
+
+    /// Cancels a pending timer. Canceling a timer that is not armed is a
+    /// no-op, so callers need not track armed state precisely.
+    #[inline]
+    pub fn cancel_timer(&mut self, timer: T) {
+        self.out.push(Op::CancelTimer(timer));
     }
 }
 
@@ -59,6 +98,15 @@ pub struct RunReport {
     /// Whether the run stopped because it hit the delivery limit rather
     /// than draining the event queue.
     pub truncated: bool,
+    /// Number of timers that fired (canceled/superseded timers excluded).
+    pub timers_fired: u64,
+    /// Messages dropped by the delay model's [`Fate`].
+    pub dropped: u64,
+    /// Messages duplicated by the delay model's [`Fate`].
+    pub duplicated: u64,
+    /// Protocol trace records emitted during the run. The simulator itself
+    /// never traces; trace-aware runtimes layered on top fill this in.
+    pub traced: u64,
 }
 
 /// Deterministic discrete-event simulator over a set of actors.
@@ -69,14 +117,24 @@ pub struct Simulator<A: Actor, D> {
     actors: Vec<A>,
     delay: D,
     rng: StdRng,
-    queue: BinaryHeap<Event<A::Msg>>,
+    queue: BinaryHeap<Event<Payload<A::Msg, A::Timer>>>,
+    /// Armed timers: `(actor, timer) → seq` of the live queue entry. A
+    /// popped timer event fires only if its seq is still the armed one;
+    /// otherwise it was canceled or superseded and is skipped silently.
+    armed: HashMap<(usize, A::Timer), u64>,
     now: Time,
     seq: u64,
     delivered: u64,
-    outbox: Vec<(usize, A::Msg)>,
+    timers_fired: u64,
+    dropped: u64,
+    duplicated: u64,
+    ops: Vec<Op<A::Msg, A::Timer>>,
 }
 
-impl<A: Actor, D: DelayModel> Simulator<A, D> {
+impl<A: Actor, D: DelayModel> Simulator<A, D>
+where
+    A::Msg: Clone,
+{
     /// Creates a simulator over `actors` with the given delay model and RNG
     /// seed.
     pub fn new(actors: Vec<A>, delay: D, seed: u64) -> Self {
@@ -85,10 +143,14 @@ impl<A: Actor, D: DelayModel> Simulator<A, D> {
             delay,
             rng: StdRng::seed_from_u64(seed),
             queue: BinaryHeap::new(),
+            armed: HashMap::new(),
             now: 0,
             seq: 0,
             delivered: 0,
-            outbox: Vec::new(),
+            timers_fired: 0,
+            dropped: 0,
+            duplicated: 0,
+            ops: Vec::new(),
         }
     }
 
@@ -149,13 +211,16 @@ impl<A: Actor, D: DelayModel> Simulator<A, D> {
     /// Schedules delivery of `msg` to `to` at the current time plus the
     /// model latency, as if sent by `from`.
     ///
+    /// Injections are driver-level and always reliable: the delay model's
+    /// [`Fate`] applies only to messages actors send, never to these.
+    ///
     /// # Panics
     ///
     /// Panics if `to` or `from` is out of range.
     pub fn inject(&mut self, from: usize, to: usize, msg: A::Msg) {
         assert!(from < self.actors.len() && to < self.actors.len());
         let d = self.delay.delay(from, to, &mut self.rng);
-        self.push_event(self.now + d, from, to, msg);
+        self.push_event(self.now + d, from, to, Payload::Msg(msg));
     }
 
     /// Schedules delivery of `msg` at absolute virtual time `at`.
@@ -166,10 +231,10 @@ impl<A: Actor, D: DelayModel> Simulator<A, D> {
     pub fn inject_at(&mut self, at: Time, from: usize, to: usize, msg: A::Msg) {
         assert!(from < self.actors.len() && to < self.actors.len());
         assert!(at >= self.now, "cannot schedule in the past");
-        self.push_event(at, from, to, msg);
+        self.push_event(at, from, to, Payload::Msg(msg));
     }
 
-    fn push_event(&mut self, at: Time, from: usize, to: usize, msg: A::Msg) {
+    fn push_event(&mut self, at: Time, from: usize, to: usize, msg: Payload<A::Msg, A::Timer>) {
         self.queue.push(Event {
             at,
             seq: self.seq,
@@ -180,31 +245,81 @@ impl<A: Actor, D: DelayModel> Simulator<A, D> {
         self.seq += 1;
     }
 
-    /// Delivers a single event; returns `false` when the queue is empty.
-    pub fn step(&mut self) -> bool {
-        let Some(ev) = self.queue.pop() else {
-            return false;
-        };
-        debug_assert!(ev.at >= self.now, "time went backwards");
-        self.now = ev.at;
-        self.delivered += 1;
-        let me = ev.to;
-        debug_assert!(self.outbox.is_empty());
-        let mut ctx = Context {
-            now: self.now,
-            me,
-            out: &mut self.outbox,
-        };
-        self.actors[me].on_message(&mut ctx, ev.from, ev.msg);
-        // Drain the outbox into the queue with sampled latencies.
-        let mut outbox = std::mem::take(&mut self.outbox);
-        for (to, msg) in outbox.drain(..) {
-            assert!(to < self.actors.len(), "send to unknown actor {to}");
-            let d = self.delay.delay(me, to, &mut self.rng);
-            self.push_event(self.now + d, me, to, msg);
+    /// Applies the operations `me` buffered during one delivery.
+    fn apply_ops(&mut self, me: usize) {
+        let mut ops = std::mem::take(&mut self.ops);
+        for op in ops.drain(..) {
+            match op {
+                Op::Send(to, msg) => {
+                    assert!(to < self.actors.len(), "send to unknown actor {to}");
+                    match self.delay.fate(me, to, &mut self.rng) {
+                        Fate::Deliver(d) => {
+                            self.push_event(self.now + d, me, to, Payload::Msg(msg))
+                        }
+                        Fate::Drop => self.dropped += 1,
+                        Fate::Duplicate(d1, d2) => {
+                            self.duplicated += 1;
+                            self.push_event(self.now + d1, me, to, Payload::Msg(msg.clone()));
+                            self.push_event(self.now + d2, me, to, Payload::Msg(msg));
+                        }
+                    }
+                }
+                Op::SetTimer(timer, delay) => {
+                    let seq = self.seq;
+                    self.push_event(self.now + delay, me, me, Payload::Timer(timer.clone()));
+                    // Overwrites any prior arming: the superseded queue
+                    // entry's seq no longer matches and dies at pop.
+                    self.armed.insert((me, timer), seq);
+                }
+                Op::CancelTimer(timer) => {
+                    // The queue entry (if any) becomes stale and is skipped.
+                    self.armed.remove(&(me, timer));
+                }
+            }
         }
-        self.outbox = outbox;
-        true
+        self.ops = ops;
+    }
+
+    /// Delivers a single event (message or live timer); returns `false`
+    /// when the queue is empty. Canceled or superseded timer events are
+    /// discarded without advancing virtual time or any counter.
+    pub fn step(&mut self) -> bool {
+        loop {
+            let Some(ev) = self.queue.pop() else {
+                return false;
+            };
+            debug_assert!(ev.at >= self.now, "time went backwards");
+            let me = ev.to;
+            debug_assert!(self.ops.is_empty());
+            match ev.msg {
+                Payload::Msg(msg) => {
+                    self.now = ev.at;
+                    self.delivered += 1;
+                    let mut ctx = Context {
+                        now: self.now,
+                        me,
+                        out: &mut self.ops,
+                    };
+                    self.actors[me].on_message(&mut ctx, ev.from, msg);
+                }
+                Payload::Timer(timer) => {
+                    if self.armed.get(&(me, timer.clone())) != Some(&ev.seq) {
+                        continue; // stale: canceled or re-armed since
+                    }
+                    self.armed.remove(&(me, timer.clone()));
+                    self.now = ev.at;
+                    self.timers_fired += 1;
+                    let mut ctx = Context {
+                        now: self.now,
+                        me,
+                        out: &mut self.ops,
+                    };
+                    self.actors[me].on_timer(&mut ctx, timer);
+                }
+            }
+            self.apply_ops(me);
+            return true;
+        }
     }
 
     /// Runs until the event queue drains. Equivalent to
@@ -213,8 +328,8 @@ impl<A: Actor, D: DelayModel> Simulator<A, D> {
         self.run_limited(u64::MAX)
     }
 
-    /// Runs until the queue drains or `max_deliveries` further messages have
-    /// been delivered, whichever comes first.
+    /// Runs until the queue drains or `max_deliveries` further events have
+    /// been handled, whichever comes first.
     ///
     /// The limit is a safety net for liveness tests: the join protocol is
     /// proven to terminate, so hitting the limit indicates a bug.
@@ -222,18 +337,23 @@ impl<A: Actor, D: DelayModel> Simulator<A, D> {
         let mut n = 0u64;
         while n < max_deliveries {
             if !self.step() {
-                return RunReport {
-                    delivered: self.delivered,
-                    finished_at: self.now,
-                    truncated: false,
-                };
+                return self.report(false);
             }
             n += 1;
         }
+        let truncated = !self.queue.is_empty();
+        self.report(truncated)
+    }
+
+    fn report(&self, truncated: bool) -> RunReport {
         RunReport {
             delivered: self.delivered,
             finished_at: self.now,
-            truncated: !self.queue.is_empty(),
+            truncated,
+            timers_fired: self.timers_fired,
+            dropped: self.dropped,
+            duplicated: self.duplicated,
+            traced: 0,
         }
     }
 
@@ -243,7 +363,8 @@ impl<A: Actor, D: DelayModel> Simulator<A, D> {
         self.delivered
     }
 
-    /// Number of undelivered events still queued.
+    /// Number of undelivered events still queued (including stale timer
+    /// entries awaiting discard).
     #[inline]
     pub fn pending(&self) -> usize {
         self.queue.len()
@@ -253,7 +374,7 @@ impl<A: Actor, D: DelayModel> Simulator<A, D> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{ConstantDelay, UniformDelay};
+    use crate::{ConstantDelay, FaultyDelay, UniformDelay};
 
     /// Counts deliveries and forwards `hops` times around a ring.
     struct Ring {
@@ -263,6 +384,7 @@ mod tests {
 
     impl Actor for Ring {
         type Msg = u32;
+        type Timer = ();
         fn on_message(&mut self, ctx: &mut Context<'_, u32>, _from: usize, hops: u32) {
             self.received += 1;
             if hops > 0 {
@@ -283,6 +405,8 @@ mod tests {
         let r = sim.run();
         assert_eq!(r.delivered, 11);
         assert!(!r.truncated);
+        assert_eq!(r.timers_fired, 0);
+        assert_eq!(r.dropped, 0);
         assert_eq!(sim.now(), 1100);
         let total: u32 = sim.actors().map(|a| a.received).sum();
         assert_eq!(total, 11);
@@ -319,6 +443,7 @@ mod tests {
         }
         impl Actor for Recorder {
             type Msg = u32;
+            type Timer = ();
             fn on_message(&mut self, ctx: &mut Context<'_, u32>, _f: usize, m: u32) {
                 self.log.push((ctx.now(), m));
             }
@@ -382,5 +507,144 @@ mod tests {
         assert_eq!(r.delivered, 4);
         assert_eq!(sim.actor(i).received, 0);
         assert_eq!(sim.len(), 3);
+    }
+
+    /// Re-sends a probe until an ack arrives, driven purely by timers.
+    struct Prober {
+        acked: bool,
+        sent: u32,
+    }
+
+    #[derive(Clone, Copy, PartialEq, Eq, Hash)]
+    enum ProbeTimer {
+        Resend,
+    }
+
+    #[derive(Clone)]
+    enum ProbeMsg {
+        Probe,
+        Ack,
+    }
+
+    impl Actor for Prober {
+        type Msg = ProbeMsg;
+        type Timer = ProbeTimer;
+
+        fn on_message(
+            &mut self,
+            ctx: &mut Context<'_, ProbeMsg, ProbeTimer>,
+            from: usize,
+            msg: ProbeMsg,
+        ) {
+            match msg {
+                ProbeMsg::Probe => {
+                    if ctx.me() == 1 {
+                        ctx.send(from, ProbeMsg::Ack);
+                    } else {
+                        // Actor 0 starting: fire first probe, arm retry.
+                        self.sent += 1;
+                        ctx.send(1, ProbeMsg::Probe);
+                        ctx.set_timer(ProbeTimer::Resend, 500);
+                    }
+                }
+                ProbeMsg::Ack => {
+                    self.acked = true;
+                    ctx.cancel_timer(ProbeTimer::Resend);
+                }
+            }
+        }
+
+        fn on_timer(&mut self, ctx: &mut Context<'_, ProbeMsg, ProbeTimer>, _t: ProbeTimer) {
+            if !self.acked {
+                self.sent += 1;
+                ctx.send(1, ProbeMsg::Probe);
+                ctx.set_timer(ProbeTimer::Resend, 500);
+            }
+        }
+    }
+
+    fn probers() -> Vec<Prober> {
+        vec![
+            Prober {
+                acked: false,
+                sent: 0,
+            },
+            Prober {
+                acked: false,
+                sent: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn canceled_timer_never_fires() {
+        // Fast ack: the resend timer is canceled before its deadline.
+        let mut sim = Simulator::new(probers(), ConstantDelay(10), 3);
+        sim.inject(0, 0, ProbeMsg::Probe);
+        let r = sim.run();
+        assert!(sim.actor(0).acked);
+        assert_eq!(sim.actor(0).sent, 1);
+        assert_eq!(r.timers_fired, 0);
+        // The stale timer entry drained without advancing time.
+        assert_eq!(r.finished_at, 30);
+    }
+
+    #[test]
+    fn timer_fires_and_retries_recover_from_drops() {
+        // Drop every message whose fate roll says so; retries must still
+        // land an ack eventually (drop_p well below 1).
+        let faulty = FaultyDelay::new(ConstantDelay(10), 0.5, 0.0);
+        let mut sim = Simulator::new(probers(), faulty, 12);
+        sim.inject(0, 0, ProbeMsg::Probe);
+        let r = sim.run_limited(10_000);
+        assert!(!r.truncated);
+        assert!(sim.actor(0).acked, "retries never landed");
+        assert!(r.dropped > 0 || sim.actor(0).sent == 1);
+        assert!(sim.actor(0).sent >= 1);
+    }
+
+    #[test]
+    fn rearming_replaces_the_pending_deadline() {
+        struct Rearm {
+            fired_at: Vec<Time>,
+        }
+        #[derive(Clone, Copy, PartialEq, Eq, Hash)]
+        struct T;
+        impl Actor for Rearm {
+            type Msg = u32;
+            type Timer = T;
+            fn on_message(&mut self, ctx: &mut Context<'_, u32, T>, _f: usize, m: u32) {
+                // Each delivery re-arms the same timer further out.
+                ctx.set_timer(T, 1_000 + m as Time);
+            }
+            fn on_timer(&mut self, ctx: &mut Context<'_, u32, T>, _t: T) {
+                self.fired_at.push(ctx.now());
+            }
+        }
+        let mut sim = Simulator::new(vec![Rearm { fired_at: vec![] }], ConstantDelay(0), 0);
+        sim.inject_at(0, 0, 0, 1);
+        sim.inject_at(500, 0, 0, 2); // supersedes the first arming
+        let r = sim.run();
+        // Only the second arming fires: at 500 + 1002.
+        assert_eq!(sim.actor(0).fired_at, vec![1502]);
+        assert_eq!(r.timers_fired, 1);
+        assert_eq!(r.delivered, 2);
+    }
+
+    #[test]
+    fn duplicated_messages_deliver_twice() {
+        let faulty = FaultyDelay::new(ConstantDelay(10), 0.0, 1.0);
+        let mut sim = Simulator::new(ring(2), faulty, 7);
+        sim.inject(0, 1, 0); // injection is reliable: one delivery
+        let r = sim.run();
+        assert_eq!(r.delivered, 1);
+        assert_eq!(r.duplicated, 0);
+        // An actor-sent message under dup_p = 1 lands twice.
+        let faulty = FaultyDelay::new(ConstantDelay(10), 0.0, 1.0);
+        let mut sim = Simulator::new(ring(2), faulty, 7);
+        sim.inject(0, 0, 1); // actor 0 forwards one hop to actor 1
+        let r = sim.run_limited(100);
+        assert!(r.duplicated > 0);
+        assert!(sim.actor(1).received >= 2);
     }
 }

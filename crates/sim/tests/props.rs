@@ -13,6 +13,7 @@ struct Recorder {
 
 impl Actor for Recorder {
     type Msg = u32;
+    type Timer = ();
     fn on_message(&mut self, ctx: &mut Context<'_, u32>, _from: usize, m: u32) {
         self.log.push((ctx.now(), m));
         if m > 0 {

@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
     let started = std::time::Instant::now();
     let net = ThreadedNetwork::new(space, ProtocolOptions::new(), members);
-    let tables = net.run_joins(&joiners);
+    let tables = net.run_joins(&joiners)?;
     println!(
         "all joins finished in {:.1} ms of wall-clock time",
         started.elapsed().as_secs_f64() * 1e3

@@ -13,7 +13,7 @@ use std::collections::HashSet;
 use std::hash::{Hash, Hasher};
 
 use hyperring::core::{
-    check_consistency, JoinEngine, Message, NeighborTable, Outbox, ProtocolOptions, Status,
+    check_consistency, Effects, JoinEngine, Message, NeighborTable, ProtocolOptions, Status,
 };
 use hyperring::id::{IdSpace, NodeId};
 
@@ -131,10 +131,10 @@ impl Explorer {
             .iter()
             .position(|e| e.id() == f.to)
             .expect("known receiver");
-        let mut out = Outbox::new();
+        let mut out = Effects::new();
         state.engines[pos].handle(f.from, f.msg, &mut out);
         let from = state.engines[pos].id();
-        for (to, msg) in out.drain() {
+        for (to, msg) in out.drain_sends() {
             state.pending.push(Flight { from, to, msg });
         }
         state
@@ -204,9 +204,9 @@ fn check_scenario(
     for (s, gw) in joiners {
         let id = space.parse_id(s).unwrap();
         let mut e = JoinEngine::new_joiner(space, ProtocolOptions::new(), id);
-        let mut out = Outbox::new();
+        let mut out = Effects::new();
         e.start_join(member_ids[*gw], &mut out);
-        for (to, msg) in out.drain() {
+        for (to, msg) in out.drain_sends() {
             pending.push(Flight { from: id, to, msg });
         }
         engines.push(e);

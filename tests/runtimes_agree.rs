@@ -38,8 +38,9 @@ fn threaded_and_simulated_runs_both_consistent_and_reachable() {
 
     // Threaded run of the same workload.
     let members = build_consistent_tables(space, v);
-    let threaded_tables =
-        ThreadedNetwork::new(space, ProtocolOptions::new(), members).run_joins(&joiners);
+    let threaded_tables = ThreadedNetwork::new(space, ProtocolOptions::new(), members)
+        .run_joins(&joiners)
+        .expect("threaded run quiesces");
     assert!(check_consistency(space, &threaded_tables).is_consistent());
     assert!(check_reachability(&threaded_tables).is_empty());
 }
