@@ -2,8 +2,8 @@
 //! workload (the paper's protocol pays messages for its guarantee).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use hyperring_harness::baseline::{run_optimistic, run_paper_protocol};
 use hyperring_harness::workload::JoinWorkload;
+use hyperring_harness::Scenario;
 use hyperring_id::IdSpace;
 use std::hint::black_box;
 
@@ -13,11 +13,18 @@ fn bench_baseline(c: &mut Criterion) {
     let mut g = c.benchmark_group("baseline");
     g.sample_size(10);
     g.bench_function("optimistic_join_wave", |b| {
-        b.iter(|| black_box(run_optimistic(&w, 3, 0).false_negatives))
+        b.iter(|| {
+            let r = Scenario::new(space)
+                .workload(w.clone())
+                .seed(3)
+                .optimistic()
+                .run_sim();
+            black_box(r.false_negatives)
+        })
     });
     g.bench_function("paper_protocol_wave", |b| {
         b.iter(|| {
-            let r = run_paper_protocol(&w, 3);
+            let r = Scenario::new(space).workload(w.clone()).seed(3).run_sim();
             assert!(r.consistent());
             black_box(r.unreachable_pairs)
         })

@@ -51,6 +51,15 @@ pub enum TimerId {
         /// The reverse neighbor.
         peer: NodeId,
     },
+    /// Periodic failure-detector tick (crash-churn extension): on each
+    /// fire the node probes its monitored neighbors with `PingMsg`s,
+    /// declares unresponsive ones dead, re-drives pending repairs, and
+    /// re-arms the tick. One per node, keyed on the node itself.
+    FdProbe {
+        /// The probing node (timers are per-node; the detector uses one
+        /// periodic tick).
+        owner: NodeId,
+    },
 }
 
 impl TimerId {
@@ -63,6 +72,7 @@ impl TimerId {
             TimerId::SpeNoti { .. } => "spe_noti",
             TimerId::RvNgh { .. } => "rv_ngh",
             TimerId::InSys { .. } => "in_sys",
+            TimerId::FdProbe { .. } => "fd_probe",
         }
     }
 
@@ -75,6 +85,7 @@ impl TimerId {
             | TimerId::RvNgh { peer }
             | TimerId::InSys { peer } => peer,
             TimerId::SpeNoti { subject } => subject,
+            TimerId::FdProbe { owner } => owner,
         }
     }
 }

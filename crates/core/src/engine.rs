@@ -3,8 +3,10 @@ use std::collections::{BTreeMap, BTreeSet};
 use hyperring_id::{IdSpace, NodeId};
 
 use crate::effect::{Effect, Effects, Event, TimerId};
+use crate::failure::FailureState;
 use crate::messages::{BitVec, Message};
 use crate::options::{PayloadMode, ProtocolOptions};
+use crate::repair::{synth_target, RepairState};
 use crate::stats::MessageStats;
 use crate::table::{Entry, NeighborTable, NodeState, TableSnapshot};
 use crate::trace::ProtocolEvent;
@@ -26,6 +28,11 @@ pub enum Status {
     Leaving,
     /// **Extension**: fully departed; ignores all traffic.
     Departed,
+    /// **Extension**: crash-failed. Unlike [`Status::Departed`] (reached
+    /// through the graceful-leave ceremony) a crashed node falls silent
+    /// without telling anyone; survivors must detect it themselves (see
+    /// [`ProtocolOptions::with_failure_detector`](crate::ProtocolOptions::with_failure_detector)).
+    Crashed,
 }
 
 /// The join-protocol state machine of a single node — a faithful
@@ -99,8 +106,15 @@ pub struct JoinEngine {
     /// outstanding.
     ql: BTreeSet<NodeId>,
     /// Live retry timers → retransmissions already performed. Empty unless
-    /// [`ProtocolOptions::retry`] is set.
+    /// a [`RetryPolicy`](crate::RetryPolicy) is installed.
     retries: BTreeMap<TimerId, u32>,
+    /// Crash-churn extension: probe bookkeeping of the failure detector.
+    /// Inert unless a [`FailureDetector`](crate::FailureDetector) is
+    /// installed.
+    fd: FailureState,
+    /// Crash-churn extension: vacated slots awaiting repair and the set of
+    /// condemned nodes.
+    repair: RepairState,
     stats: MessageStats,
 }
 
@@ -130,6 +144,8 @@ impl JoinEngine {
             copy_target: None,
             ql: BTreeSet::new(),
             retries: BTreeMap::new(),
+            fd: FailureState::default(),
+            repair: RepairState::default(),
             stats: MessageStats::new(),
         }
     }
@@ -165,6 +181,8 @@ impl JoinEngine {
             copy_target: None,
             ql: BTreeSet::new(),
             retries: BTreeMap::new(),
+            fd: FailureState::default(),
+            repair: RepairState::default(),
             stats: MessageStats::new(),
         }
     }
@@ -236,6 +254,8 @@ impl JoinEngine {
             id.hash(h);
             n.hash(h);
         }
+        self.fd.hash_state(h);
+        self.repair.hash_state(h);
     }
 
     /// Begins the join, given a node `g0` of the existing network
@@ -267,7 +287,7 @@ impl JoinEngine {
     /// Handles a delivered protocol message, queueing any responses into
     /// `out`.
     pub fn handle(&mut self, from: NodeId, msg: Message, out: &mut Effects) {
-        if self.status == Status::Departed {
+        if matches!(self.status, Status::Departed | Status::Crashed) {
             return; // gone; late traffic is dropped
         }
         if self.status == Status::Leaving
@@ -308,7 +328,291 @@ impl JoinEngine {
             Message::RvNghForget => {
                 self.table.remove_reverse(&from);
             }
+            Message::Ping => self.post(out, from, Message::Pong),
+            Message::Pong => self.fd.pong(from),
+            Message::RepairQry {
+                origin,
+                target,
+                level,
+                digit,
+            } => self.on_repairqry(origin, target, level, digit, out),
+            Message::RepairRly {
+                level,
+                digit,
+                found,
+            } => self.on_repairrly(level as usize, digit, found, out),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Crash failure, detection, and table repair (extension; the paper
+    // defers failure recovery to future work)
+    // ------------------------------------------------------------------
+
+    /// Crash-fails the node: it transitions to [`Status::Crashed`] and
+    /// from then on silently drops every event. Unlike
+    /// [`begin_leave`](Self::begin_leave) there is no ceremony — nothing
+    /// is sent and no replacement is offered; survivors must notice the
+    /// silence through their failure detectors.
+    pub fn crash(&mut self) {
+        self.status = Status::Crashed;
+    }
+
+    /// Arms the periodic probe tick of the failure detector. A no-op
+    /// unless a [`FailureDetector`](crate::FailureDetector) is configured
+    /// and the node is *in_system* (joiners arm it themselves on
+    /// switching to S-node; runtimes call this once for initial members).
+    pub fn start_failure_detector(&mut self, out: &mut Effects) {
+        let Some(fd) = self.opts.failure_detector else {
+            return;
+        };
+        if self.fd.running || self.status != Status::InSystem {
+            return;
+        }
+        self.fd.running = true;
+        out.push(Effect::SetTimer {
+            id: TimerId::FdProbe { owner: self.id },
+            delay_hint: fd.probe_interval_us,
+        });
+    }
+
+    /// One tick of the failure detector: charge unanswered probes,
+    /// declare silent peers dead (evicting their entries and queueing
+    /// repairs), ping the rest, re-drive pending repairs, re-arm.
+    fn on_fd_tick(&mut self, out: &mut Effects) {
+        let Some(fd) = self.opts.failure_detector else {
+            return;
+        };
+        if self.status != Status::InSystem {
+            self.fd.running = false;
+            return; // leaving, departed, or crashed: stop probing
+        }
+        let outcome = self.fd.tick(&self.table, fd.suspicion_threshold);
+        for (peer, missed) in outcome.dead {
+            self.declare_dead(peer, missed, fd.repair, out);
+        }
+        for peer in outcome.probe {
+            self.post(out, peer, Message::Ping);
+        }
+        if fd.repair {
+            self.drive_repairs(out);
+        }
+        out.push(Effect::SetTimer {
+            id: TimerId::FdProbe { owner: self.id },
+            delay_hint: fd.probe_interval_us,
+        });
+    }
+
+    /// Declares `peer` dead: condemns it, evicts every table entry
+    /// storing it, drops it from the reverse sets, and (with repair on)
+    /// queues each vacated slot for refilling.
+    fn declare_dead(&mut self, peer: NodeId, missed: u32, repair: bool, out: &mut Effects) {
+        self.trace(out, ProtocolEvent::NeighborDead { peer, missed });
+        self.repair.condemn(peer);
+        self.table.remove_reverse(&peer);
+        let vacated: Vec<(usize, u8)> = self
+            .table
+            .iter()
+            .filter(|&(_, _, e)| e.node == peer)
+            .map(|(level, digit, _)| (level, digit))
+            .collect();
+        for (level, digit) in vacated {
+            self.table.clear(level, digit);
+            self.trace(
+                out,
+                ProtocolEvent::EntryEvicted {
+                    level,
+                    digit,
+                    node: peer,
+                },
+            );
+            if repair {
+                self.repair.enqueue(level, digit);
+            }
+        }
+        // The peer can no longer answer; drop any reply-awaiting state so
+        // join-era bookkeeping does not dangle on a dead node.
+        self.qr.remove(&peer);
+        self.qsr.remove(&peer);
+        self.ql.remove(&peer);
+    }
+
+    /// (Re-)sends `RepairQryMsg`s for every still-vacant slot under
+    /// repair, and gives up on slots that exhausted their budget.
+    fn drive_repairs(&mut self, out: &mut Effects) {
+        let due = self.repair.due(&self.table);
+        for (level, digit) in due.exhausted {
+            self.trace(out, ProtocolEvent::RepairFailed { level, digit });
+        }
+        for (level, digit) in due.query {
+            let recipients = self.repair.recipients(&self.table, level);
+            if recipients.is_empty() {
+                continue; // isolated for now; the next tick retries
+            }
+            self.trace(out, ProtocolEvent::RepairStarted { level, digit });
+            let target = synth_target(&self.id, level, digit);
+            for r in recipients {
+                self.post(
+                    out,
+                    r,
+                    Message::RepairQry {
+                        origin: self.id,
+                        target,
+                        level: level as u8,
+                        digit,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Handles a `RepairQryMsg`: answer with a carrier of the desired
+    /// suffix if we are one or know one, forward one suffix-routing hop
+    /// closer otherwise, and report a dead end when we can do neither.
+    ///
+    /// Candidates are drawn from the table *and* the reverse-neighbor
+    /// sets. The latter matters after correlated eviction: when a crash
+    /// vacates slot `(i, j)` in every survivor at once, no survivor's
+    /// table stores a carrier any more (the vacated slot was the only one
+    /// that could), but the survivors a carrier itself stores still know
+    /// it as a reverse neighbor. Each forward strictly lengthens the
+    /// common suffix with `target`, so every query terminates within `d`
+    /// hops.
+    fn on_repairqry(
+        &mut self,
+        origin: NodeId,
+        target: NodeId,
+        level: u8,
+        digit: u8,
+        out: &mut Effects,
+    ) {
+        if origin == self.id {
+            return; // a query of our own echoed back; nothing to add
+        }
+        let k = self.id.csuf_len(&target);
+        if k > level as usize {
+            // We carry the desired suffix ourselves.
+            let state = if self.status == Status::InSystem {
+                NodeState::S
+            } else {
+                NodeState::T
+            };
+            let found = Some(Entry {
+                node: self.id,
+                state,
+            });
+            self.post(
+                out,
+                origin,
+                Message::RepairRly {
+                    level,
+                    digit,
+                    found,
+                },
+            );
+            return;
+        }
+        // Best known candidate: longest common suffix with the target,
+        // breaking ties toward table entries (whose recorded state we
+        // know). Only strict progress (csuf > ours) qualifies.
+        let mut best: Option<(usize, Entry)> = None;
+        let candidates = self.table.iter().map(|(_, _, e)| e).chain(
+            self.table
+                .reverse_neighbors()
+                .into_iter()
+                .map(|node| Entry {
+                    node,
+                    state: NodeState::S,
+                }),
+        );
+        for e in candidates {
+            if e.node == self.id || e.node == origin {
+                continue;
+            }
+            let c = e.node.csuf_len(&target);
+            if c > k && best.is_none_or(|(b, _)| c > b) {
+                best = Some((c, e));
+            }
+        }
+        match best {
+            Some((c, e)) if c > level as usize => {
+                // We know a carrier: answer directly.
+                let found = Some(e);
+                self.post(
+                    out,
+                    origin,
+                    Message::RepairRly {
+                        level,
+                        digit,
+                        found,
+                    },
+                );
+            }
+            Some((_, e)) => self.post(
+                out,
+                e.node,
+                Message::RepairQry {
+                    origin,
+                    target,
+                    level,
+                    digit,
+                },
+            ),
+            None => {
+                // Dead end: nobody we know is closer to the target.
+                let found = None;
+                self.post(
+                    out,
+                    origin,
+                    Message::RepairRly {
+                        level,
+                        digit,
+                        found,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Handles a `RepairRlyMsg`: install the first usable replacement
+    /// through the join machinery's `T`→`S` discipline. Negative or
+    /// stale replies are dropped; the detector tick re-drives dry slots.
+    fn on_repairrly(&mut self, level: usize, digit: u8, found: Option<Entry>, out: &mut Effects) {
+        if !self.repair.is_pending(level, digit) {
+            return;
+        }
+        let Some(e) = found else {
+            return;
+        };
+        if e.node == self.id
+            || self.repair.is_condemned(&e.node)
+            || self.table.get(level, digit).is_some()
+            || !self.table.fits(level, digit, &e.node)
+        {
+            return;
+        }
+        // Install as T and let the RvNghNoti/RvNghNotiRly exchange (sent
+        // by `install`) upgrade the recorded state to S, exactly as a
+        // join-installed entry would converge.
+        self.install(
+            level,
+            digit,
+            Entry {
+                node: e.node,
+                state: NodeState::T,
+            },
+            true,
+            out,
+        );
+        self.repair.complete(level, digit);
+        self.trace(
+            out,
+            ProtocolEvent::RepairInstalled {
+                level,
+                digit,
+                node: e.node,
+            },
+        );
     }
 
     // ------------------------------------------------------------------
@@ -502,10 +806,22 @@ impl JoinEngine {
     /// timer die. Reachable only via [`Event::TimerFired`]; a no-op when no
     /// [`RetryPolicy`](crate::RetryPolicy) is installed.
     fn on_timer_fired(&mut self, id: TimerId, out: &mut Effects) {
+        // The failure-detector tick rides the same timer channel but is
+        // not a retry: dispatch it before the retry-policy gate so the
+        // detector works with retries disabled.
+        if let TimerId::FdProbe { .. } = id {
+            if !matches!(self.status, Status::Departed | Status::Crashed) {
+                self.on_fd_tick(out);
+            }
+            return;
+        }
         let Some(rp) = self.opts.retry else {
             return;
         };
-        if matches!(self.status, Status::Leaving | Status::Departed) {
+        if matches!(
+            self.status,
+            Status::Leaving | Status::Departed | Status::Crashed
+        ) {
             self.retries.remove(&id);
             return;
         }
@@ -520,6 +836,7 @@ impl JoinEngine {
             TimerId::SpeNoti { subject } => self.qsr.contains(&subject),
             TimerId::RvNgh { peer } => self.table.iter().any(|(_, _, e)| e.node == peer),
             TimerId::InSys { .. } => self.status == Status::InSystem,
+            TimerId::FdProbe { .. } => unreachable!("dispatched before the retry gate"),
         };
         if !still_wanted {
             self.retries.remove(&id);
@@ -576,6 +893,7 @@ impl JoinEngine {
                 self.post(out, peer, Message::RvNghNoti { recorded });
             }
             TimerId::InSys { peer } => self.post(out, peer, Message::InSysNoti),
+            TimerId::FdProbe { .. } => unreachable!("dispatched before the retry gate"),
         }
         self.retries.insert(id, attempt + 1);
         out.push(Effect::SetTimer {
@@ -1043,6 +1361,7 @@ impl JoinEngine {
                 }
             }
         }
+        self.start_failure_detector(out);
     }
 
     fn on_insysnoti(&mut self, from: NodeId, out: &mut Effects) {

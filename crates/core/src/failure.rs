@@ -1,0 +1,172 @@
+//! Crash-failure detection (crash-churn extension).
+//!
+//! The paper assumes crash-free nodes and defers failure recovery to
+//! future work (§7). This module adds the detection half of that layer: a
+//! per-node probe loop driven entirely by the existing
+//! [`Effect::SetTimer`](crate::Effect) / [`Event::TimerFired`](crate::Event)
+//! boundary, so it works unchanged under every runtime. Each tick of the
+//! [`TimerId::FdProbe`](crate::TimerId) timer, an *in_system* node pings
+//! the peers it monitors — its primary neighbors plus its reverse
+//! neighbors — and charges every probe that went unanswered since the
+//! previous tick. A peer that stays silent for
+//! [`suspicion_threshold`](crate::FailureDetector::suspicion_threshold)
+//! consecutive ticks is declared dead; the engine then evicts its table
+//! entries and (optionally) starts a repair (see [`crate::repair`]).
+//!
+//! The bookkeeping here is deliberately pure: it decides *who* to ping
+//! and *who* is dead, while the engine owns all effect emission, so the
+//! detector inherits the engine's sans-io determinism.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use hyperring_id::NodeId;
+
+use crate::table::NeighborTable;
+
+/// Probe bookkeeping of one node's failure detector.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FailureState {
+    /// Whether the periodic `FdProbe` tick is armed.
+    pub(crate) running: bool,
+    /// Monitored peer → consecutive probes sent without a `PongMsg`.
+    missed: BTreeMap<NodeId, u32>,
+}
+
+/// What one detector tick decided.
+#[derive(Debug, Default)]
+pub(crate) struct TickOutcome {
+    /// Peers declared dead this tick, with their final missed-probe count.
+    pub(crate) dead: Vec<(NodeId, u32)>,
+    /// Peers to send a `PingMsg` to this tick.
+    pub(crate) probe: Vec<NodeId>,
+}
+
+impl FailureState {
+    /// The peers `table`'s owner monitors: every distinct primary neighbor
+    /// plus every reverse neighbor, excluding the owner itself.
+    pub(crate) fn monitored(table: &NeighborTable) -> BTreeSet<NodeId> {
+        let me = table.owner();
+        let mut peers: BTreeSet<NodeId> = table
+            .iter()
+            .map(|(_, _, e)| e.node)
+            .filter(|n| *n != me)
+            .collect();
+        peers.extend(table.reverse_neighbors().into_iter().filter(|n| *n != me));
+        peers
+    }
+
+    /// Runs one detector tick: peers whose missed count reached
+    /// `threshold` are returned as dead (and forgotten); every other
+    /// monitored peer is probed and charged one outstanding probe, to be
+    /// refunded by [`pong`](Self::pong).
+    pub(crate) fn tick(&mut self, table: &NeighborTable, threshold: u32) -> TickOutcome {
+        let monitored = Self::monitored(table);
+        // Forget peers that left the table between ticks (evicted, or
+        // replaced through the ordinary protocol).
+        self.missed.retain(|peer, _| monitored.contains(peer));
+        let mut out = TickOutcome::default();
+        for peer in monitored {
+            let m = self.missed.get(&peer).copied().unwrap_or(0);
+            if m >= threshold {
+                self.missed.remove(&peer);
+                out.dead.push((peer, m));
+            } else {
+                self.missed.insert(peer, m + 1);
+                out.probe.push(peer);
+            }
+        }
+        out
+    }
+
+    /// Records a `PongMsg` from `from`: it is alive, so its outstanding
+    /// probe count resets.
+    pub(crate) fn pong(&mut self, from: NodeId) {
+        self.missed.remove(&from);
+    }
+
+    /// Hashes the detector state (for [`JoinEngine::hash_state`]
+    /// (crate::JoinEngine::hash_state)).
+    pub(crate) fn hash_state<H: std::hash::Hasher>(&self, h: &mut H) {
+        use std::hash::Hash;
+        self.running.hash(h);
+        for (peer, m) in &self.missed {
+            peer.hash(h);
+            m.hash(h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{Entry, NodeState};
+    use hyperring_id::IdSpace;
+
+    fn table_with(owner: &str, neighbor: &str) -> NeighborTable {
+        let space = IdSpace::new(4, 3).unwrap();
+        let me = space.parse_id(owner).unwrap();
+        let other = space.parse_id(neighbor).unwrap();
+        let mut t = NeighborTable::new(space, me);
+        t.set_self_entries(NodeState::S);
+        let k = me.csuf_len(&other);
+        t.set(
+            k,
+            other.digit(k),
+            Entry {
+                node: other,
+                state: NodeState::S,
+            },
+        );
+        t
+    }
+
+    #[test]
+    fn monitored_covers_primary_and_reverse_but_not_self() {
+        let space = IdSpace::new(4, 3).unwrap();
+        let mut t = table_with("000", "321");
+        t.add_reverse(0, 0, space.parse_id("210").unwrap());
+        let peers = FailureState::monitored(&t);
+        assert_eq!(peers.len(), 2);
+        assert!(!peers.contains(&space.parse_id("000").unwrap()));
+    }
+
+    #[test]
+    fn silent_peer_dies_after_threshold_ticks() {
+        let t = table_with("000", "321");
+        let peer = t.space().parse_id("321").unwrap();
+        let mut fd = FailureState::default();
+        for _ in 0..3 {
+            let o = fd.tick(&t, 3);
+            assert!(o.dead.is_empty());
+            assert_eq!(o.probe, vec![peer]);
+        }
+        let o = fd.tick(&t, 3);
+        assert_eq!(o.dead, vec![(peer, 3)]);
+        assert!(o.probe.is_empty());
+    }
+
+    #[test]
+    fn pong_resets_the_missed_count() {
+        let t = table_with("000", "321");
+        let peer = t.space().parse_id("321").unwrap();
+        let mut fd = FailureState::default();
+        for _ in 0..100 {
+            let o = fd.tick(&t, 3);
+            assert!(o.dead.is_empty(), "responsive peer must never die");
+            fd.pong(peer);
+        }
+    }
+
+    #[test]
+    fn evicted_peer_is_forgotten() {
+        let mut t = table_with("000", "321");
+        let peer = t.space().parse_id("321").unwrap();
+        let mut fd = FailureState::default();
+        fd.tick(&t, 3);
+        let k = t.owner().csuf_len(&peer);
+        t.clear(k, peer.digit(k));
+        let o = fd.tick(&t, 3);
+        assert!(o.dead.is_empty());
+        assert!(o.probe.is_empty());
+    }
+}

@@ -20,6 +20,10 @@
 //!   ([`Effect`], [`Event`], [`dispatch_effects`]) with optional
 //!   timeout-and-retry for lossy transports ([`RetryPolicy`]) and a
 //!   structured trace stream ([`TraceSink`], [`ProtocolEvent`]);
+//! * **crash-failure detection and table repair** ([`FailureDetector`]) —
+//!   periodic liveness probes evict dead neighbors, and suffix-routed
+//!   repair queries refill the vacated slots among survivors (the paper
+//!   defers failures to future work; off by default);
 //! * an adapter ([`SimNetwork`]) that runs whole networks on the
 //!   deterministic event-driven simulator of `hyperring-sim`.
 //!
@@ -61,10 +65,12 @@ mod consistency;
 mod dispatch;
 mod effect;
 mod engine;
+mod failure;
 mod messages;
 mod optimize;
 mod options;
 mod oracle;
+mod repair;
 mod routing;
 mod simnet;
 mod stats;
@@ -81,7 +87,7 @@ pub use effect::{Effect, Effects, Event, TimerId};
 pub use engine::{JoinEngine, Status};
 pub use messages::{packed_id_bytes, BitVec, Message, MessageKind};
 pub use optimize::{optimize_tables, OptimizeReport};
-pub use options::{PayloadMode, ProtocolOptions, RetryPolicy};
+pub use options::{FailureDetector, PayloadMode, ProtocolOptions, RetryPolicy};
 pub use oracle::build_consistent_tables;
 pub use routing::{next_hop, route, RouteOutcome};
 pub use simnet::{

@@ -104,6 +104,40 @@ pub enum Message {
     /// in its table) is leaving; the receiver drops it from its
     /// reverse-neighbor sets.
     RvNghForget,
+    /// `PingMsg` — **extension** (crash-churn): liveness probe from the
+    /// failure detector; any non-crashed receiver answers with `PongMsg`.
+    Ping,
+    /// `PongMsg` — **extension**: reply to a `PingMsg`; resets the
+    /// sender's missed-probe count at the prober.
+    Pong,
+    /// `RepairQryMsg` — **extension**: the failure detector at `origin`
+    /// evicted a dead neighbor from entry `(level, digit)` and asks for a
+    /// surviving replacement. Suffix-routed toward `target` (a synthetic
+    /// identifier carrying the vacated entry's desired suffix); a receiver
+    /// that itself carries the suffix replies, otherwise it forwards one
+    /// hop closer.
+    RepairQry {
+        /// The node whose table entry is being repaired.
+        origin: NodeId,
+        /// Synthetic routing target carrying the desired suffix.
+        target: NodeId,
+        /// Level of the vacated entry at `origin`.
+        level: u8,
+        /// Digit of the vacated entry at `origin`.
+        digit: u8,
+    },
+    /// `RepairRlyMsg` — **extension**: terminal response to a
+    /// `RepairQryMsg`, sent directly to the query's origin. `found` names
+    /// a node carrying the desired suffix, or `None` when routing
+    /// dead-ended (no reachable survivor carries it).
+    RepairRly {
+        /// Echo of the query's level.
+        level: u8,
+        /// Echo of the query's digit.
+        digit: u8,
+        /// A surviving carrier of the desired suffix, if one was reached.
+        found: Option<crate::table::Entry>,
+    },
 }
 
 /// A bit vector over table slots (level-major), used by the §6.2
@@ -134,11 +168,15 @@ pub enum MessageKind {
     LeaveNoti,
     LeaveNotiRly,
     RvNghForget,
+    Ping,
+    Pong,
+    RepairQry,
+    RepairRly,
 }
 
 impl MessageKind {
     /// All kinds, in declaration order.
-    pub const ALL: [MessageKind; 14] = [
+    pub const ALL: [MessageKind; 18] = [
         MessageKind::CpRst,
         MessageKind::CpRly,
         MessageKind::JoinWait,
@@ -153,6 +191,10 @@ impl MessageKind {
         MessageKind::LeaveNoti,
         MessageKind::LeaveNotiRly,
         MessageKind::RvNghForget,
+        MessageKind::Ping,
+        MessageKind::Pong,
+        MessageKind::RepairQry,
+        MessageKind::RepairRly,
     ];
 
     /// Whether the paper counts this type as a "big" message (it may carry
@@ -184,6 +226,10 @@ impl MessageKind {
             MessageKind::LeaveNoti => "LeaveNotiMsg",
             MessageKind::LeaveNotiRly => "LeaveNotiRlyMsg",
             MessageKind::RvNghForget => "RvNghForgetMsg",
+            MessageKind::Ping => "PingMsg",
+            MessageKind::Pong => "PongMsg",
+            MessageKind::RepairQry => "RepairQryMsg",
+            MessageKind::RepairRly => "RepairRlyMsg",
         }
     }
 }
@@ -206,6 +252,10 @@ impl Message {
             Message::LeaveNoti { .. } => MessageKind::LeaveNoti,
             Message::LeaveNotiRly => MessageKind::LeaveNotiRly,
             Message::RvNghForget => MessageKind::RvNghForget,
+            Message::Ping => MessageKind::Ping,
+            Message::Pong => MessageKind::Pong,
+            Message::RepairQry { .. } => MessageKind::RepairQry,
+            Message::RepairRly { .. } => MessageKind::RepairRly,
         }
     }
 
@@ -239,6 +289,10 @@ impl Message {
                 Message::LeaveNoti { replacement } => 1 + replacement.map_or(0, |_| node_ref + 1),
                 Message::LeaveNotiRly => 0,
                 Message::RvNghForget => 0,
+                Message::Ping => 0,
+                Message::Pong => 0,
+                Message::RepairQry { .. } => 2 * node_ref + 2,
+                Message::RepairRly { found, .. } => 3 + found.map_or(0, |_| node_ref + 1),
             }
     }
 }
@@ -303,6 +357,19 @@ mod tests {
             Message::LeaveNoti { replacement: None },
             Message::LeaveNotiRly,
             Message::RvNghForget,
+            Message::Ping,
+            Message::Pong,
+            Message::RepairQry {
+                origin: id,
+                target: id,
+                level: 1,
+                digit: 2,
+            },
+            Message::RepairRly {
+                level: 1,
+                digit: 2,
+                found: None,
+            },
         ];
         let kinds: Vec<MessageKind> = msgs.iter().map(|m| m.kind()).collect();
         assert_eq!(kinds, MessageKind::ALL.to_vec());

@@ -45,24 +45,73 @@ impl Default for RetryPolicy {
     }
 }
 
+/// Crash-failure detection and table-repair parameters (the paper defers
+/// failures to future work; this is the crash-churn extension).
+///
+/// With a detector installed, every `in_system` node periodically probes
+/// its stored neighbors and reverse neighbors with `PingMsg`s. A neighbor
+/// that leaves [`suspicion_threshold`](FailureDetector::suspicion_threshold)
+/// consecutive probes unanswered is declared dead: its table entries are
+/// evicted, and (when [`repair`](FailureDetector::repair) is on) a
+/// `RepairQryMsg` is suffix-routed toward each vacated `(level, digit)`
+/// slot to find a surviving replacement, which is installed through the
+/// same `T`→`S` state discipline the join protocol uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureDetector {
+    /// Microseconds between liveness probes of each monitored neighbor.
+    pub probe_interval_us: u64,
+    /// Consecutive unanswered probes before a neighbor is declared dead.
+    pub suspicion_threshold: u32,
+    /// Whether evicted slots are refilled via `RepairQryMsg` routing;
+    /// with repair off the detector only evicts (the control arm of the
+    /// `crashchurn` experiment).
+    pub repair: bool,
+}
+
+impl Default for FailureDetector {
+    fn default() -> Self {
+        FailureDetector {
+            probe_interval_us: 2_000_000,
+            suspicion_threshold: 3,
+            repair: true,
+        }
+    }
+}
+
 /// Tunable options of the join protocol.
 ///
 /// The defaults reproduce the paper's base protocol exactly; the payload
 /// modes are the paper's own §6.2 enhancements, kept optional so their
 /// effect can be measured (see the `ablation_msgsize` experiment). The
-/// [`retry`](ProtocolOptions::retry) and [`trace`](ProtocolOptions::trace)
-/// extensions default to off, so a default-configured engine emits exactly
-/// the same effect stream as before they existed (the golden tests pin
-/// this).
+/// retry, trace, and failure-detection extensions default to off, so a
+/// default-configured engine emits exactly the same effect stream as
+/// before they existed (the golden tests pin this).
+///
+/// Fields are private; construct with the builder methods so future knobs
+/// do not churn every construction site:
+///
+/// ```
+/// use hyperring_core::{FailureDetector, ProtocolOptions, RetryPolicy};
+/// let opts = ProtocolOptions::new()
+///     .with_retry(RetryPolicy::default())
+///     .with_failure_detector(FailureDetector::default())
+///     .with_trace();
+/// assert!(opts.retry().is_some());
+/// assert!(opts.failure_detector().is_some());
+/// assert!(opts.trace());
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ProtocolOptions {
     /// Table-payload reduction mode.
-    pub payload: PayloadMode,
+    pub(crate) payload: PayloadMode,
     /// Timeout-and-retry policy; `None` (the default) assumes a reliable
     /// transport and arms no timers.
-    pub retry: Option<RetryPolicy>,
+    pub(crate) retry: Option<RetryPolicy>,
     /// Whether the engine emits [`Effect::Trace`](crate::Effect) events.
-    pub trace: bool,
+    pub(crate) trace: bool,
+    /// Crash-failure detection; `None` (the default) assumes crash-free
+    /// nodes and sends no probes.
+    pub(crate) failure_detector: Option<FailureDetector>,
 }
 
 impl ProtocolOptions {
@@ -90,6 +139,32 @@ impl ProtocolOptions {
         self.trace = true;
         self
     }
+
+    /// Enables crash-failure detection (and, per the config, repair).
+    pub fn with_failure_detector(mut self, detector: FailureDetector) -> Self {
+        self.failure_detector = Some(detector);
+        self
+    }
+
+    /// The configured table-payload reduction mode.
+    pub fn payload(&self) -> PayloadMode {
+        self.payload
+    }
+
+    /// The configured timeout-and-retry policy, if any.
+    pub fn retry(&self) -> Option<RetryPolicy> {
+        self.retry
+    }
+
+    /// Whether structured trace emission is on.
+    pub fn trace(&self) -> bool {
+        self.trace
+    }
+
+    /// The configured crash-failure detector, if any.
+    pub fn failure_detector(&self) -> Option<FailureDetector> {
+        self.failure_detector
+    }
 }
 
 #[cfg(test)]
@@ -98,23 +173,33 @@ mod tests {
 
     #[test]
     fn default_is_full_payload() {
-        assert_eq!(ProtocolOptions::new().payload, PayloadMode::Full);
+        assert_eq!(ProtocolOptions::new().payload(), PayloadMode::Full);
         assert_eq!(ProtocolOptions::default(), ProtocolOptions::new());
     }
 
     #[test]
     fn with_payload_sets_mode() {
         let o = ProtocolOptions::with_payload(PayloadMode::BitVector);
-        assert_eq!(o.payload, PayloadMode::BitVector);
+        assert_eq!(o.payload(), PayloadMode::BitVector);
     }
 
     #[test]
     fn retry_and_trace_default_off() {
         let o = ProtocolOptions::new();
-        assert!(o.retry.is_none());
-        assert!(!o.trace);
+        assert!(o.retry().is_none());
+        assert!(!o.trace());
         let o = o.with_retry(RetryPolicy::default()).with_trace();
-        assert_eq!(o.retry.unwrap().max_retries, 16);
-        assert!(o.trace);
+        assert_eq!(o.retry().unwrap().max_retries, 16);
+        assert!(o.trace());
+    }
+
+    #[test]
+    fn failure_detector_defaults_off_and_builds_on() {
+        let o = ProtocolOptions::new();
+        assert!(o.failure_detector().is_none());
+        let o = o.with_failure_detector(FailureDetector::default());
+        let fd = o.failure_detector().unwrap();
+        assert_eq!(fd.suspicion_threshold, 3);
+        assert!(fd.repair);
     }
 }

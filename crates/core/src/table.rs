@@ -142,8 +142,9 @@ impl NeighborTable {
         self.invalidate_snapshot();
     }
 
-    /// Clears the `(level, digit)` entry (used only by tests and tooling —
-    /// the join protocol never removes neighbors).
+    /// Clears the `(level, digit)` entry. The join protocol never removes
+    /// neighbors; the callers are the leave handlers, the failure
+    /// detector's eviction pass, tests, and tooling.
     pub fn clear(&mut self, level: usize, digit: u8) {
         let s = self.slot(level, digit);
         self.entries[s] = None;

@@ -71,6 +71,47 @@ pub enum ProtocolEvent {
         /// The timer that gave up.
         timer: TimerId,
     },
+    /// The failure detector declared a monitored neighbor dead after
+    /// `missed` consecutive unanswered probes (crash-churn extension).
+    NeighborDead {
+        /// The neighbor declared dead.
+        peer: NodeId,
+        /// Unanswered probes at the moment of the verdict.
+        missed: u32,
+    },
+    /// A table entry holding a dead neighbor was evicted.
+    EntryEvicted {
+        /// Table level of the evicted entry.
+        level: usize,
+        /// Digit of the evicted entry.
+        digit: u8,
+        /// The dead node that occupied it.
+        node: NodeId,
+    },
+    /// A `RepairQryMsg` was sent toward a vacated `(level, digit)` slot.
+    RepairStarted {
+        /// Table level of the slot under repair.
+        level: usize,
+        /// Digit of the slot under repair.
+        digit: u8,
+    },
+    /// A `RepairRlyMsg` refilled a vacated slot with a survivor.
+    RepairInstalled {
+        /// Table level of the repaired slot.
+        level: usize,
+        /// Digit of the repaired slot.
+        digit: u8,
+        /// The replacement neighbor installed.
+        node: NodeId,
+    },
+    /// A repair query dead-ended: no reachable survivor carries the
+    /// slot's desired suffix, so the slot stays (correctly) empty.
+    RepairFailed {
+        /// Table level of the unrepairable slot.
+        level: usize,
+        /// Digit of the unrepairable slot.
+        digit: u8,
+    },
 }
 
 fn status_name(s: Status) -> &'static str {
@@ -81,6 +122,7 @@ fn status_name(s: Status) -> &'static str {
         Status::InSystem => "in_system",
         Status::Leaving => "leaving",
         Status::Departed => "departed",
+        Status::Crashed => "crashed",
     }
 }
 
@@ -160,6 +202,31 @@ impl TraceRecord {
                     ",\"event\":\"retries_exhausted\",\"timer\":\"{}:{}\"",
                     timer.kind_name(),
                     timer.peer()
+                ));
+            }
+            ProtocolEvent::NeighborDead { peer, missed } => {
+                s.push_str(&format!(
+                    ",\"event\":\"neighbor_dead\",\"peer\":\"{peer}\",\"missed\":{missed}"
+                ));
+            }
+            ProtocolEvent::EntryEvicted { level, digit, node } => {
+                s.push_str(&format!(
+                    ",\"event\":\"entry_evicted\",\"level\":{level},\"digit\":{digit},\"peer\":\"{node}\""
+                ));
+            }
+            ProtocolEvent::RepairStarted { level, digit } => {
+                s.push_str(&format!(
+                    ",\"event\":\"repair_started\",\"level\":{level},\"digit\":{digit}"
+                ));
+            }
+            ProtocolEvent::RepairInstalled { level, digit, node } => {
+                s.push_str(&format!(
+                    ",\"event\":\"repair_installed\",\"level\":{level},\"digit\":{digit},\"peer\":\"{node}\""
+                ));
+            }
+            ProtocolEvent::RepairFailed { level, digit } => {
+                s.push_str(&format!(
+                    ",\"event\":\"repair_failed\",\"level\":{level},\"digit\":{digit}"
                 ));
             }
         }

@@ -27,14 +27,15 @@
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
-use hyperring_core::{
-    check_consistency, check_reachability, ConsistencyReport, Entry, NeighborTable, NodeState,
-    TableSnapshot, Violation,
-};
+use hyperring_core::{Entry, NeighborTable, NodeState, TableSnapshot};
 use hyperring_id::{IdSpace, NodeId};
 use hyperring_sim::{Actor, Context, Simulator, Time, UniformDelay};
 
+use crate::scenario::{RunReport, Scenario};
 use crate::workload::JoinWorkload;
+
+#[allow(deprecated)]
+pub use crate::scenario::BaselineResult;
 
 /// Messages of the optimistic protocol.
 #[derive(Debug, Clone)]
@@ -211,50 +212,20 @@ impl Actor for OptNode {
     }
 }
 
-/// Outcome metrics of a baseline (or paper-protocol) run.
-#[derive(Debug, Clone)]
-pub struct BaselineResult {
-    /// Number of joiners in the run.
-    pub joiners: usize,
-    /// Full consistency report over the final tables.
-    pub report: ConsistencyReport,
-    /// False-negative violations (the reachability-breaking kind).
-    pub false_negatives: usize,
-    /// `(source, target)` pairs that cannot route to each other.
-    pub unreachable_pairs: usize,
-    /// Total ordered pairs checked.
-    pub total_pairs: usize,
-}
-
-impl BaselineResult {
-    /// Whether the run ended with fully consistent tables.
-    pub fn consistent(&self) -> bool {
-        self.report.is_consistent()
-    }
-}
-
-fn summarize(space: IdSpace, tables: Vec<NeighborTable>, joiners: usize) -> BaselineResult {
-    let report = check_consistency(space, &tables);
-    let false_negatives = report
-        .violations()
-        .iter()
-        .filter(|v| matches!(v, Violation::FalseNegative { .. }))
-        .count();
-    let unreachable = check_reachability(&tables);
-    let n = tables.len();
-    BaselineResult {
-        joiners,
-        report,
-        false_negatives,
-        unreachable_pairs: unreachable.len(),
-        total_pairs: n * (n - 1),
-    }
-}
-
-/// Runs the optimistic baseline: joins start `gap_us` apart (0 = all
-/// concurrent at t = 0; a large gap approximates sequential joins, since
-/// a join completes within a handful of 100 ms round trips).
-pub fn run_optimistic(workload: &JoinWorkload, seed: u64, gap_us: Time) -> BaselineResult {
+/// Runs the optimistic baseline to quiescence and returns the final
+/// tables. This is the backend behind [`Scenario::optimistic`]; use the
+/// builder unless you need the raw tables.
+///
+/// Joins start `gap_us` apart (0 = all concurrent at t = 0; a large gap
+/// approximates sequential joins, since a join completes within a handful
+/// of 100 ms round trips). Message delays are uniform in `delay_bounds`
+/// microseconds.
+pub(crate) fn run_optimistic_tables(
+    workload: &JoinWorkload,
+    seed: u64,
+    gap_us: Time,
+    delay_bounds: (Time, Time),
+) -> Vec<NeighborTable> {
     let space = workload.space;
     let member_tables = hyperring_core::build_consistent_tables(space, &workload.members);
     let mut ids: Vec<NodeId> = workload.members.clone();
@@ -283,33 +254,38 @@ pub fn run_optimistic(workload: &JoinWorkload, seed: u64, gap_us: Time) -> Basel
             dir: Arc::clone(&dir),
         });
     }
-    let mut sim = Simulator::new(actors, UniformDelay::new(1_000, 100_000), seed);
+    let (lo, hi) = delay_bounds;
+    let mut sim = Simulator::new(actors, UniformDelay::new(lo, hi), seed);
     for (i, (id, gw)) in workload.joiners.iter().enumerate() {
         let idx = dir[id];
         sim.inject_at(i as Time * gap_us, idx, idx, OptMsg::Start { gateway: *gw });
     }
     let report = sim.run_limited(200_000_000);
     assert!(!report.truncated, "optimistic run did not quiesce");
-    let tables: Vec<NeighborTable> = sim.actors().map(|a| a.table.clone()).collect();
-    summarize(space, tables, workload.joiners.len())
+    sim.actors().map(|a| a.table.clone()).collect()
+}
+
+/// Runs the optimistic baseline: joins start `gap_us` apart (0 = all
+/// concurrent at t = 0; a large gap approximates sequential joins, since
+/// a join completes within a handful of 100 ms round trips).
+#[deprecated(note = "use `Scenario::new(space).workload(w).optimistic().run_sim()`")]
+pub fn run_optimistic(workload: &JoinWorkload, seed: u64, gap_us: Time) -> RunReport {
+    Scenario::new(workload.space)
+        .workload(workload.clone())
+        .seed(seed)
+        .join_gap_us(gap_us)
+        .optimistic()
+        .run_sim()
 }
 
 /// Runs the same workload under the paper's protocol, producing the same
 /// metrics (expected: zero violations, always).
-pub fn run_paper_protocol(workload: &JoinWorkload, seed: u64) -> BaselineResult {
-    let space = workload.space;
-    let mut b = hyperring_core::SimNetworkBuilder::new(space);
-    for id in &workload.members {
-        b.add_member(*id);
-    }
-    for (id, gw) in &workload.joiners {
-        b.add_joiner(*id, *gw, 0);
-    }
-    let mut net = b.build(UniformDelay::new(1_000, 100_000), seed);
-    let report = net.run();
-    assert!(!report.truncated);
-    assert!(net.all_in_system());
-    summarize(space, net.tables(), workload.joiners.len())
+#[deprecated(note = "use `Scenario::new(space).workload(w).run_sim()`")]
+pub fn run_paper_protocol(workload: &JoinWorkload, seed: u64) -> RunReport {
+    Scenario::new(workload.space)
+        .workload(workload.clone())
+        .seed(seed)
+        .run_sim()
 }
 
 #[cfg(test)]
@@ -321,12 +297,21 @@ mod tests {
     /// within ~1 s of simulated time; the gap is 60 s).
     const SEQ_GAP: Time = 60_000_000;
 
+    fn optimistic(w: &JoinWorkload, seed: u64, gap_us: Time) -> RunReport {
+        Scenario::new(w.space)
+            .workload(w.clone())
+            .seed(seed)
+            .join_gap_us(gap_us)
+            .optimistic()
+            .run_sim()
+    }
+
     #[test]
     fn paper_protocol_never_breaks() {
         let space = IdSpace::new(8, 4).unwrap();
         for seed in 0..5 {
             let w = JoinWorkload::generate(space, 24, 24, seed);
-            let r = run_paper_protocol(&w, seed);
+            let r = Scenario::new(space).workload(w).seed(seed).run_sim();
             assert!(r.consistent(), "seed {seed}: {}", r.report);
             assert_eq!(r.unreachable_pairs, 0);
         }
@@ -340,7 +325,7 @@ mod tests {
         let mut total_fns = 0;
         for seed in 0..10 {
             let w = JoinWorkload::generate(space, 16, 48, seed);
-            let r = run_optimistic(&w, seed, 0);
+            let r = optimistic(&w, seed, 0);
             if !r.consistent() {
                 broke += 1;
                 total_fns += r.false_negatives;
@@ -363,13 +348,24 @@ mod tests {
         let mut sequential = 0usize;
         for seed in 0..8 {
             let w = JoinWorkload::generate(space, 16, 32, seed);
-            concurrent += run_optimistic(&w, seed, 0).report.violations().len();
-            sequential += run_optimistic(&w, seed, SEQ_GAP).report.violations().len();
+            concurrent += optimistic(&w, seed, 0).report.violations().len();
+            sequential += optimistic(&w, seed, SEQ_GAP).report.violations().len();
         }
         assert!(
             concurrent >= sequential,
             "concurrent {concurrent} < sequential {sequential}"
         );
         assert!(concurrent > 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_run() {
+        let space = IdSpace::new(8, 4).unwrap();
+        let w = JoinWorkload::generate(space, 10, 4, 1);
+        let r: BaselineResult = run_paper_protocol(&w, 1);
+        assert!(r.consistent());
+        let r = run_optimistic(&w, 1, SEQ_GAP);
+        assert_eq!(r.joiners, 4);
     }
 }

@@ -11,9 +11,8 @@
 
 use std::path::Path;
 
-use hyperring_harness::baseline::{run_optimistic, run_paper_protocol};
 use hyperring_harness::workload::JoinWorkload;
-use hyperring_harness::{report, Table, TrialOpts};
+use hyperring_harness::{report, Scenario, Table, TrialOpts};
 use hyperring_id::IdSpace;
 
 fn main() {
@@ -39,8 +38,12 @@ fn main() {
         let per_seed = opts.map_indexed(seeds as usize, |s| {
             let seed = s as u64;
             let w = JoinWorkload::generate(space, n, m, seed);
-            let o = run_optimistic(&w, seed, 0);
-            let p = run_paper_protocol(&w, seed);
+            let o = Scenario::new(space)
+                .workload(w.clone())
+                .seed(seed)
+                .optimistic()
+                .run_sim();
+            let p = Scenario::new(space).workload(w).seed(seed).run_sim();
             (
                 u64::from(!o.consistent()),
                 o.report.violations().len() as u64,

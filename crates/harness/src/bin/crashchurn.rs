@@ -1,0 +1,115 @@
+//! Crash churn: silent mid-run crashes, detector-driven eviction, and
+//! suffix-routed table repair among the survivors.
+//!
+//! Usage: `cargo run --release -p hyperring-harness --bin crashchurn
+//! [--n MEMBERS] [--crash-pct PCT] [--trials N] [--sequential]`
+//!
+//! Each trial crashes `PCT`% (default 20) of an `MEMBERS`-node (default
+//! 64) consistent network at t = 0.5 s and runs both arms over the same
+//! schedule: repair **on** (must re-converge to Definition-3.8
+//! consistency among survivors) and repair **off** (the control, expected
+//! to be left with false negatives). Results go to
+//! `results/crashchurn.csv` and `results/crashchurn.json`; the trace
+//! digest column is byte-stable per seed.
+
+use std::path::Path;
+
+use hyperring_harness::experiments::{run_crashchurn, CrashChurnConfig, CrashChurnResult};
+use hyperring_harness::{report, Table, TrialOpts};
+
+fn json_arm(r: &CrashChurnResult) -> String {
+    format!(
+        "{{\"crashed\":{},\"survivors\":{},\"violations\":{},\"false_negatives\":{},\
+         \"consistent\":{},\"dead_refs\":{},\"delivered\":{},\"timers_fired\":{},\
+         \"finished_at_us\":{},\"traced\":{},\"trace_digest\":\"{:016x}\"}}",
+        r.crashed,
+        r.survivors,
+        r.violations,
+        r.false_negatives,
+        r.consistent,
+        r.dead_refs,
+        r.delivered,
+        r.timers_fired,
+        r.finished_at,
+        r.traced,
+        r.trace_digest,
+    )
+}
+
+fn main() {
+    let opts = TrialOpts::from_env();
+    let members: usize = opts.named("--n", 64);
+    let crash_pct: u32 = opts.named("--crash-pct", 20);
+    let cfg = CrashChurnConfig {
+        members,
+        crash_fraction: f64::from(crash_pct) / 100.0,
+        ..CrashChurnConfig::default()
+    };
+
+    eprintln!(
+        "crashing {} of {members} members mid-run ({} trials, repair on + control) …",
+        cfg.crashes(),
+        opts.trials
+    );
+    let results = opts.run(41, |_, seed| {
+        (
+            seed,
+            run_crashchurn(&cfg, seed, true),
+            run_crashchurn(&cfg, seed, false),
+        )
+    });
+
+    let mut t = Table::new([
+        "trial",
+        "crashed",
+        "survivors",
+        "repair: consistent",
+        "repair: dead refs",
+        "repair: trace digest",
+        "control: false negatives",
+        "control: consistent",
+        "virtual time (s)",
+    ]);
+    let mut json_rows = Vec::new();
+    for (k, (seed, on, off)) in results.iter().enumerate() {
+        assert!(
+            on.consistent,
+            "trial {k}: survivors inconsistent with repair on ({} violations)",
+            on.violations
+        );
+        assert_eq!(on.dead_refs, 0, "trial {k}: a crashed node is still stored");
+        t.row([
+            k.to_string(),
+            on.crashed.to_string(),
+            on.survivors.to_string(),
+            on.consistent.to_string(),
+            on.dead_refs.to_string(),
+            format!("{:016x}", on.trace_digest),
+            off.false_negatives.to_string(),
+            off.consistent.to_string(),
+            format!("{:.3}", on.finished_at as f64 / 1e6),
+        ]);
+        json_rows.push(format!(
+            "{{\"trial\":{k},\"seed\":{seed},\"repair\":{},\"control\":{}}}",
+            json_arm(on),
+            json_arm(off)
+        ));
+    }
+    println!(
+        "\ncrash churn: {} of {members} members crash at t=0.5s \
+         (b=4, d=6; probe {} ms, threshold {})",
+        cfg.crashes(),
+        cfg.fd.probe_interval_us / 1_000,
+        cfg.fd.suspicion_threshold
+    );
+    println!("{}", t.render());
+    report::write_csv_or_warn(&t, Path::new("results/crashchurn.csv"));
+    let json = format!("[\n  {}\n]\n", json_rows.join(",\n  "));
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write("results/crashchurn.json", &json))
+    {
+        eprintln!("warning: could not write results/crashchurn.json: {e}");
+    } else {
+        println!("wrote results/crashchurn.json");
+    }
+}

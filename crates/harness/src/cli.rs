@@ -97,6 +97,27 @@ impl TrialOpts {
         self.rest.iter().any(|a| a == flag)
     }
 
+    /// The value of a leftover `--flag VALUE` pair (e.g. `--n 64`) parsed
+    /// as `T`, or `default` when the flag is absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flag is present without a value, or the value does
+    /// not parse.
+    pub fn named<T: std::str::FromStr>(&self, flag: &str, default: T) -> T {
+        match self.rest.iter().position(|a| a == flag) {
+            None => default,
+            Some(i) => {
+                let v = self
+                    .rest
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("{flag} requires a value"));
+                v.parse()
+                    .unwrap_or_else(|_| panic!("could not parse {flag} value {v:?}"))
+            }
+        }
+    }
+
     /// Runs `self.trials` trials of `f` with per-trial seeds derived from
     /// `base_seed`, parallel unless `--sequential` was given. Results come
     /// back in trial order either way.
@@ -162,6 +183,14 @@ mod tests {
         assert_eq!(o.rest, vec!["5000".to_string(), "--small".to_string()]);
         assert_eq!(o.positional(0, 0u64), 5000);
         assert!(o.has_flag("--small"));
+    }
+
+    #[test]
+    fn named_flags_parse_with_defaults() {
+        let o = parse(&["--n", "64", "--trials", "2"]);
+        assert_eq!(o.named("--n", 16usize), 64);
+        assert_eq!(o.named("--seed", 7u64), 7);
+        assert_eq!(o.trials, 2);
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! Crash-failure churn: nodes die silently mid-run, the failure detector
+//! evicts their (now stale) table entries, and suffix-routed repair
+//! queries refill the vacated slots so the survivors re-converge to
+//! Definition-3.8 consistency.
+//!
+//! The paper defers failure recovery to future work (§7); this experiment
+//! measures the subsystem this repo adds in its place. Every trial runs
+//! two arms over the same workload and crash schedule:
+//!
+//! * **repair on** — eviction plus [`RepairQry`](hyperring_core::Message)
+//!   refill; expected to end consistent among survivors;
+//! * **repair off** (the control) — eviction only; expected to end with
+//!   false negatives, since nobody refills the vacated slots.
+//!
+//! Both arms run on the deterministic simulator, so for a fixed seed every
+//! metric — including the FNV-1a digest of the full protocol trace — is
+//! bit-for-bit reproducible.
+
+use hyperring_core::{
+    DigestTrace, FailureDetector, ProtocolOptions, SharedSink, SimNetworkBuilder, Violation,
+};
+use hyperring_id::{IdSpace, NodeId};
+use hyperring_sim::{Time, UniformDelay};
+
+use crate::scenario::pick_victims;
+use crate::workload::JoinWorkload;
+
+/// Shape of a crash-churn run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashChurnConfig {
+    /// Identifier base `b`.
+    pub base: u16,
+    /// Identifier length `d`.
+    pub digits: usize,
+    /// Size of the initial consistent network `V` (all `in_system` from
+    /// t = 0; crash victims are drawn from these).
+    pub members: usize,
+    /// Concurrent joiners started at t = 0 (they churn *in* while the
+    /// victims churn *out*).
+    pub joiners: usize,
+    /// Fraction of the members crashed (`⌈members · fraction⌉`).
+    pub crash_fraction: f64,
+    /// Virtual time (µs) at which every victim crashes.
+    pub crash_at: Time,
+    /// Virtual time (µs) the run is cut off at — must leave room for
+    /// detection (`suspicion_threshold` probe intervals) plus repair.
+    pub horizon: Time,
+    /// Probe interval and suspicion threshold; the `repair` field here is
+    /// ignored (each arm of [`run_crashchurn`] sets its own).
+    pub fd: FailureDetector,
+}
+
+impl Default for CrashChurnConfig {
+    fn default() -> Self {
+        CrashChurnConfig {
+            base: 4,
+            digits: 6,
+            members: 64,
+            joiners: 0,
+            crash_fraction: 0.20,
+            crash_at: 500_000,
+            fd: FailureDetector {
+                probe_interval_us: 200_000,
+                suspicion_threshold: 3,
+                repair: true,
+            },
+            horizon: 30_000_000,
+        }
+    }
+}
+
+impl CrashChurnConfig {
+    /// Number of victims the crash schedule kills.
+    pub fn crashes(&self) -> usize {
+        ((self.members as f64) * self.crash_fraction).ceil() as usize
+    }
+}
+
+/// Outcome of one crash-churn arm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashChurnResult {
+    /// Nodes crashed mid-run.
+    pub crashed: usize,
+    /// Live nodes at the end (members − crashed + joiners).
+    pub survivors: usize,
+    /// Definition-3.8 violations among the survivor tables.
+    pub violations: usize,
+    /// The reachability-breaking subset of those violations.
+    pub false_negatives: usize,
+    /// Whether the survivor tables are fully consistent.
+    pub consistent: bool,
+    /// Survivor table entries still naming a crashed node (0 once the
+    /// detector has evicted everything).
+    pub dead_refs: usize,
+    /// Messages delivered over the whole run.
+    pub delivered: u64,
+    /// Timers fired (probe ticks plus any retries).
+    pub timers_fired: u64,
+    /// Virtual time (µs) when the run ended.
+    pub finished_at: u64,
+    /// Protocol events recorded to the trace.
+    pub traced: u64,
+    /// FNV-1a digest of the full protocol trace — byte-identical across
+    /// reruns of the same seed.
+    pub trace_digest: u64,
+}
+
+/// Runs one seeded crash-churn trial arm. `repair` selects the arm:
+/// `true` enables slot refill after eviction, `false` is the control
+/// (detection and eviction only).
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (no members, or a crash
+/// fraction that kills everyone).
+pub fn run_crashchurn(cfg: &CrashChurnConfig, seed: u64, repair: bool) -> CrashChurnResult {
+    let space = IdSpace::new(cfg.base, cfg.digits).expect("valid space");
+    let crashes = cfg.crashes();
+    assert!(
+        crashes < cfg.members,
+        "crash fraction {} kills all {} members",
+        cfg.crash_fraction,
+        cfg.members
+    );
+    let w = JoinWorkload::generate(space, cfg.members, cfg.joiners, seed);
+    let victims = pick_victims(&w.members, crashes, seed);
+
+    let mut b = SimNetworkBuilder::new(space);
+    for id in &w.members {
+        b.add_member(*id);
+    }
+    for (id, gw) in &w.joiners {
+        b.add_joiner(*id, *gw, 0);
+    }
+    let fd = FailureDetector { repair, ..cfg.fd };
+    b.options(ProtocolOptions::new().with_failure_detector(fd));
+    let digest = SharedSink::new(DigestTrace::new());
+    b.trace(Box::new(digest.clone()));
+    let mut net = b.build(UniformDelay::new(1_000, 50_000), seed);
+    for id in &victims {
+        net.crash_at(id, cfg.crash_at);
+    }
+    let report = net.run_until(cfg.horizon);
+
+    let tables = net.tables();
+    let dead: std::collections::BTreeSet<NodeId> = victims.into_iter().collect();
+    let dead_refs = tables
+        .iter()
+        .flat_map(|t| t.iter())
+        .filter(|(_, _, e)| dead.contains(&e.node))
+        .count();
+    let consistency = net.check_consistency();
+    let false_negatives = consistency
+        .violations()
+        .iter()
+        .filter(|v| matches!(v, Violation::FalseNegative { .. }))
+        .count();
+    let trace_digest = digest.lock().digest();
+    CrashChurnResult {
+        crashed: crashes,
+        survivors: tables.len(),
+        violations: consistency.violations().len(),
+        false_negatives,
+        consistent: consistency.is_consistent(),
+        dead_refs,
+        delivered: report.delivered,
+        timers_fired: report.timers_fired,
+        finished_at: report.finished_at,
+        traced: report.traced,
+        trace_digest,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CrashChurnConfig {
+        CrashChurnConfig {
+            members: 16,
+            crash_at: 100_000,
+            fd: FailureDetector {
+                probe_interval_us: 100_000,
+                suspicion_threshold: 3,
+                repair: true,
+            },
+            horizon: 5_000_000,
+            ..CrashChurnConfig::default()
+        }
+    }
+
+    #[test]
+    fn repair_converges_and_control_does_not() {
+        let cfg = small();
+        let on = run_crashchurn(&cfg, 5, true);
+        assert_eq!(on.crashed, 4);
+        assert_eq!(on.survivors, 12);
+        assert_eq!(on.dead_refs, 0, "a survivor still stores a crashed node");
+        assert!(on.consistent, "{} violations with repair on", on.violations);
+
+        let off = run_crashchurn(&cfg, 5, false);
+        assert_eq!(off.dead_refs, 0, "eviction works without repair");
+        assert!(
+            !off.consistent && off.false_negatives > 0,
+            "the control arm should be left with holes"
+        );
+    }
+
+    #[test]
+    fn same_seed_gives_identical_results_and_trace_digest() {
+        let cfg = small();
+        let a = run_crashchurn(&cfg, 9, true);
+        let b = run_crashchurn(&cfg, 9, true);
+        assert_eq!(a, b);
+        assert!(a.traced > 0);
+        let c = run_crashchurn(&cfg, 10, true);
+        assert_ne!(a.trace_digest, c.trace_digest, "digest ignores the seed");
+    }
+
+    #[test]
+    fn joiners_and_crashes_can_overlap() {
+        let cfg = CrashChurnConfig {
+            joiners: 4,
+            // Crash well after the joins quiesce, so repair never needs a
+            // still-copying node (concurrent join+crash interleavings are
+            // exercised by the engine's proptests).
+            crash_at: 2_000_000,
+            horizon: 8_000_000,
+            ..small()
+        };
+        let r = run_crashchurn(&cfg, 3, true);
+        assert_eq!(r.survivors, 16 - 4 + 4);
+        assert!(r.consistent, "{} violations", r.violations);
+    }
+}

@@ -4,6 +4,7 @@
 
 mod bootstrap;
 mod churn;
+mod crashchurn;
 mod faults;
 mod fig15a;
 mod fig15b;
@@ -14,6 +15,7 @@ mod theorem4;
 
 pub use bootstrap::{run_bootstrap, run_bootstrap_traced, BootstrapConfig, BootstrapResult};
 pub use churn::{run_churn, ChurnResult, WaveStats};
+pub use crashchurn::{run_crashchurn, CrashChurnConfig, CrashChurnResult};
 pub use faults::{run_faults, FaultsConfig, FaultsResult};
 pub use fig15a::{fig15a_series, Fig15aPoint};
 pub use fig15b::{run_fig15b, run_fig15b_trials, DelayKind, Fig15bConfig, Fig15bResult};

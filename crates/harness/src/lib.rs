@@ -1,6 +1,7 @@
-//! Experiment harness: workloads, topology-backed delay models, experiment
-//! drivers for every table/figure of the paper's evaluation, the
-//! optimistic-join baseline, and plain-text/CSV reporting.
+//! Experiment harness: workloads, topology-backed delay models, the
+//! unified [`Scenario`] runner, experiment drivers for every table/figure
+//! of the paper's evaluation, the optimistic-join baseline, and
+//! plain-text/CSV reporting.
 //!
 //! Binaries (run with `--release`; each also writes CSV under `results/`):
 //!
@@ -13,7 +14,10 @@
 //! * `bootstrap` — §6.1 network initialization;
 //! * `baseline_consistency` — optimistic joins vs the paper's protocol;
 //! * `faultsim` — concurrent joins over a lossy network (`FaultyDelay`),
-//!   recovered by `RetryPolicy` timer retransmission; supports `--trace`.
+//!   recovered by `RetryPolicy` timer retransmission; supports `--trace`;
+//! * `crashchurn` — crash-failure churn: nodes die silently mid-run, the
+//!   failure detector evicts them, and suffix-routed repair re-converges
+//!   the survivors; includes a repair-off control arm.
 //!
 //! # Examples
 //!
@@ -31,10 +35,12 @@ pub mod baseline;
 pub mod cli;
 pub mod experiments;
 pub mod report;
+pub mod scenario;
 pub mod topo_delay;
 pub mod workload;
 
 pub use cli::TrialOpts;
 pub use report::Table;
+pub use scenario::{RunReport, Scenario};
 pub use topo_delay::{CachedTopologyDelay, SharedTopology, TopologyDelay};
 pub use workload::{distinct_ids, run_trials, run_trials_sequential, trial_seed, JoinWorkload};

@@ -105,8 +105,17 @@ impl std::error::Error for NetError {}
 /// A message envelope on the thread network.
 #[derive(Debug)]
 enum Envelope {
-    Proto { from: NodeId, msg: Message },
-    Start { gateway: NodeId },
+    Proto {
+        from: NodeId,
+        msg: Message,
+    },
+    Start {
+        gateway: NodeId,
+    },
+    /// Crash-fail the node: the thread exits on the spot, with no goodbye
+    /// traffic (crash-churn extension). Queued and future messages to it
+    /// die with its channel.
+    Kill,
     Shutdown,
 }
 
@@ -240,7 +249,7 @@ impl ThreadedNetwork {
     /// unlike the simulators' virtual time — not deterministic). Implies
     /// [`ProtocolOptions::trace`].
     pub fn with_trace(mut self, sink: Box<dyn TraceSink + Send>) -> Self {
-        self.opts.trace = true;
+        self.opts = self.opts.with_trace();
         self.trace = Some(Arc::new(Mutex::new(TraceStream::new(sink))));
         self
     }
@@ -258,6 +267,43 @@ impl ThreadedNetwork {
     /// internal failures. On every error path all node threads are shut
     /// down and joined before returning.
     pub fn run_joins(self, joiners: &[(NodeId, NodeId)]) -> Result<Vec<NeighborTable>, NetError> {
+        let engines = self.run_inner(joiners, &[], Duration::ZERO)?;
+        Ok(engines.iter().map(|e| e.table().clone()).collect())
+    }
+
+    /// Runs all joins to quiescence, then **kills** the `kills` nodes —
+    /// their threads exit on the spot with no goodbye traffic — and lets
+    /// the survivors run for `grace` wall-clock time so their failure
+    /// detectors (configure one via
+    /// [`ProtocolOptions::with_failure_detector`](hyperring_core::ProtocolOptions::with_failure_detector))
+    /// can evict the dead and repair their tables. Returns the survivors'
+    /// final tables (crash-churn extension).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`run_joins`](Self::run_joins) reports, plus
+    /// [`NetError::UnknownDestination`] when a kill target is neither a
+    /// member nor a joiner.
+    pub fn run_crash_scenario(
+        self,
+        joiners: &[(NodeId, NodeId)],
+        kills: &[NodeId],
+        grace: Duration,
+    ) -> Result<Vec<NeighborTable>, NetError> {
+        let engines = self.run_inner(joiners, kills, grace)?;
+        Ok(engines
+            .iter()
+            .filter(|e| e.status() != Status::Crashed)
+            .map(|e| e.table().clone())
+            .collect())
+    }
+
+    fn run_inner(
+        self,
+        joiners: &[(NodeId, NodeId)],
+        kills: &[NodeId],
+        grace: Duration,
+    ) -> Result<Vec<JoinEngine>, NetError> {
         let flight = Arc::new(Flight {
             in_flight: AtomicI64::new(0),
             joining: AtomicI64::new(joiners.len() as i64),
@@ -278,6 +324,11 @@ impl ThreadedNetwork {
         for (_, gateway) in joiners {
             if !senders.contains_key(gateway) {
                 return Err(NetError::UnknownGateway(*gateway));
+            }
+        }
+        for id in kills {
+            if !senders.contains_key(id) {
+                return Err(NetError::UnknownDestination(*id));
             }
         }
 
@@ -364,11 +415,25 @@ impl ThreadedNetwork {
             }
             thread::sleep(Duration::from_micros(200));
         }
+
+        // Crash phase: kill the victims (their threads exit immediately,
+        // dropping their receive channels, so traffic addressed to them
+        // simply dies) and give the survivors a wall-clock grace period to
+        // detect, evict, and repair. The in-flight counter is no longer
+        // exact once channels die mid-message, so this phase is bounded by
+        // time rather than by quiescence.
+        if !kills.is_empty() {
+            for id in kills {
+                let _ = senders[id].send(Envelope::Kill);
+            }
+            thread::sleep(grace);
+        }
+
         let (engines, err) = shutdown_all(handles);
         if let Some(e) = err {
             return Err(e);
         }
-        Ok(engines.iter().map(|e| e.table().clone()).collect())
+        Ok(engines)
     }
 }
 
@@ -385,6 +450,28 @@ fn spawn_node(
         let mut timers = Timers::default();
         let mut error: Option<NetError> = None;
         let mut still_joining = !engine.is_in_system();
+        // Initial members never pass through the joiner's S-node switch,
+        // so arm their failure detector here (a no-op unless configured);
+        // the probe timer must be in the wheel before the first blocking
+        // receive, or the thread would sleep through its own ticks.
+        engine.start_failure_detector(&mut effects);
+        if !effects.is_empty() {
+            let me = engine.id();
+            let now_us = epoch.elapsed().as_micros() as u64;
+            let mut handler = ThreadHandler {
+                me,
+                senders: &senders,
+                flight: &flight,
+                timers: &mut timers,
+                error: &mut error,
+            };
+            match trace.as_ref().map(|t| t.lock()) {
+                Some(Ok(mut stream)) => {
+                    dispatch_effects(me, now_us, &mut effects, &mut handler, Some(&mut stream));
+                }
+                _ => dispatch_effects(me, now_us, &mut effects, &mut handler, None),
+            }
+        }
         loop {
             // Block for the next envelope, but only until the nearest live
             // timer deadline.
@@ -401,6 +488,12 @@ fn spawn_node(
             };
             let counted = match wake {
                 Some(Envelope::Shutdown) => break,
+                Some(Envelope::Kill) => {
+                    // Crash failure: no goodbye, no flush — the thread
+                    // just stops. Dropping `rx` kills queued traffic.
+                    engine.crash();
+                    break;
+                }
                 Some(Envelope::Start { gateway }) => {
                     engine.start_join(gateway, &mut effects);
                     true
@@ -546,6 +639,55 @@ mod tests {
             .run_joins(&[(ids[0], ids[1])])
             .unwrap_err();
         assert_eq!(err, NetError::DuplicateNode(ids[0]));
+    }
+
+    #[test]
+    fn killed_threads_are_detected_and_survivor_tables_repaired() {
+        use hyperring_core::FailureDetector;
+
+        let space = IdSpace::new(4, 4).unwrap();
+        let ids = distinct_ids(space, 14, 31);
+        let members = build_consistent_tables(space, &ids[..10]);
+        let joiners: Vec<(NodeId, NodeId)> = ids[10..].iter().map(|&id| (id, ids[0])).collect();
+        let opts = ProtocolOptions::new().with_failure_detector(FailureDetector {
+            probe_interval_us: 20_000,
+            suspicion_threshold: 3,
+            repair: true,
+        });
+        // Kill two members after all joins quiesce; give the survivors
+        // plenty of detection cycles (wall-clock timing is best-effort,
+        // so the grace period is generous relative to the probe interval).
+        let kills = [ids[1], ids[2]];
+        let tables = ThreadedNetwork::new(space, opts, members)
+            .run_crash_scenario(&joiners, &kills, Duration::from_millis(2_000))
+            .expect("crash scenario quiesces");
+        assert_eq!(tables.len(), 12, "both victims excluded from the result");
+        for t in &tables {
+            for dead in &kills {
+                assert!(
+                    !t.iter().any(|(_, _, e)| e.node == *dead),
+                    "{} still stores killed {dead}",
+                    t.owner()
+                );
+            }
+        }
+        let report = check_consistency(space, &tables);
+        assert!(report.is_consistent(), "{report}");
+    }
+
+    #[test]
+    fn unknown_kill_target_is_an_error() {
+        let space = IdSpace::new(4, 3).unwrap();
+        let ids = distinct_ids(space, 4, 17);
+        let members = build_consistent_tables(space, &ids[..3]);
+        let ghost = (0..space.capacity().unwrap())
+            .map(|v| space.id_from_value(v).unwrap())
+            .find(|id| !ids.contains(id))
+            .expect("space has spare ids");
+        let err = ThreadedNetwork::new(space, ProtocolOptions::new(), members)
+            .run_crash_scenario(&[], &[ghost], Duration::from_millis(10))
+            .unwrap_err();
+        assert_eq!(err, NetError::UnknownDestination(ghost));
     }
 
     #[test]

@@ -345,6 +345,41 @@ where
         self.report(truncated)
     }
 
+    /// Runs until the queue drains or the next live event lies past
+    /// virtual time `until`, whichever comes first. Events scheduled at
+    /// exactly `until` are still delivered.
+    ///
+    /// This is the horizon for protocols with self-re-arming periodic
+    /// timers (the failure detector): their queue never drains, so
+    /// [`run`](Self::run) would not terminate. The report's `truncated`
+    /// flag is set when undelivered events remain past the horizon.
+    pub fn run_until(&mut self, until: Time) -> RunReport {
+        loop {
+            let (at, stale) = match self.queue.peek() {
+                None => return self.report(false),
+                Some(ev) => {
+                    let stale = match &ev.msg {
+                        Payload::Timer(timer) => {
+                            self.armed.get(&(ev.to, timer.clone())) != Some(&ev.seq)
+                        }
+                        Payload::Msg(_) => false,
+                    };
+                    (ev.at, stale)
+                }
+            };
+            if stale {
+                // Canceled or superseded timer: discard without delivering,
+                // even past the horizon (it would never fire anyway).
+                self.queue.pop();
+                continue;
+            }
+            if at > until {
+                return self.report(true);
+            }
+            self.step();
+        }
+    }
+
     fn report(&self, truncated: bool) -> RunReport {
         RunReport {
             delivered: self.delivered,
@@ -420,6 +455,65 @@ mod tests {
         assert!(r.truncated);
         assert_eq!(r.delivered, 10);
         assert_eq!(sim.pending(), 1);
+    }
+
+    /// Re-arms its tick forever: the queue never drains.
+    struct Heartbeat {
+        ticks: u32,
+    }
+
+    impl Actor for Heartbeat {
+        type Msg = u32;
+        type Timer = ();
+        fn on_message(&mut self, ctx: &mut Context<'_, u32, ()>, _f: usize, _m: u32) {
+            ctx.set_timer((), 100);
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_, u32, ()>, _t: ()) {
+            self.ticks += 1;
+            ctx.set_timer((), 100);
+        }
+    }
+
+    #[test]
+    fn run_until_bounds_a_self_rearming_timer() {
+        let mut sim = Simulator::new(vec![Heartbeat { ticks: 0 }], ConstantDelay(0), 0);
+        sim.inject_at(0, 0, 0, 0);
+        let r = sim.run_until(1_000);
+        // Ticks at 100, 200, ..., 1000 (the horizon itself still fires).
+        assert_eq!(sim.actor(0).ticks, 10);
+        assert!(r.truncated, "the re-armed tick at 1100 remains queued");
+        assert_eq!(sim.now(), 1_000);
+        // A later horizon resumes where the first left off.
+        sim.run_until(1_250);
+        assert_eq!(sim.actor(0).ticks, 12);
+    }
+
+    #[test]
+    fn run_until_discards_stale_timers_without_overshooting() {
+        struct OneShot {
+            fired: u32,
+        }
+        impl Actor for OneShot {
+            type Msg = u32;
+            type Timer = u32;
+            fn on_message(&mut self, ctx: &mut Context<'_, u32, u32>, _f: usize, m: u32) {
+                match m {
+                    0 => ctx.set_timer(7, 50), // armed...
+                    _ => ctx.cancel_timer(7),  // ...then canceled
+                }
+            }
+            fn on_timer(&mut self, _ctx: &mut Context<'_, u32, u32>, _t: u32) {
+                self.fired += 1;
+            }
+        }
+        let mut sim = Simulator::new(vec![OneShot { fired: 0 }], ConstantDelay(0), 0);
+        sim.inject_at(0, 0, 0, 0); // arms the timer for t = 50
+        sim.inject_at(10, 0, 0, 1); // cancels it at t = 10
+        sim.inject_at(80, 0, 0, 2); // past-horizon traffic
+        let r = sim.run_until(60);
+        assert_eq!(sim.actor(0).fired, 0, "canceled timer must not fire");
+        assert!(r.truncated, "the t = 80 message is past the horizon");
+        assert_eq!(r.delivered, 2);
     }
 
     #[test]

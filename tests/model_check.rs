@@ -73,6 +73,29 @@ fn digest_message(f: &Flight, h: &mut DefaultHasher) {
                 e.node.hash(h);
             }
         }
+        Message::Ping | Message::Pong => {}
+        Message::RepairQry {
+            origin,
+            target,
+            level,
+            digit,
+        } => {
+            origin.hash(h);
+            target.hash(h);
+            level.hash(h);
+            digit.hash(h);
+        }
+        Message::RepairRly {
+            level,
+            digit,
+            found,
+        } => {
+            level.hash(h);
+            digit.hash(h);
+            if let Some(e) = found {
+                e.node.hash(h);
+            }
+        }
     }
 }
 
