@@ -10,9 +10,11 @@
 
 use criterion::{BenchmarkId, Criterion, Throughput};
 use hyperring_core::{
-    bootstrap_sequential, bootstrap_sequential_rebuild, ProtocolOptions, SimNetworkBuilder,
+    bootstrap_batched, bootstrap_sequential, bootstrap_sequential_rebuild, ProtocolOptions,
+    SimNetworkBuilder,
 };
 use hyperring_harness::distinct_ids;
+use hyperring_harness::metrics::{cores, peak_rss_bytes};
 use hyperring_id::IdSpace;
 use hyperring_sim::UniformDelay;
 use std::hint::black_box;
@@ -23,6 +25,14 @@ const JOIN_SIZES: [usize; 3] = [64, 256, 1024];
 
 /// Population of a sequential-bootstrap run (seed node + n-1 joins).
 const BOOTSTRAP_SIZES: [usize; 2] = [256, 1024];
+
+/// Population of the sharded-vs-sequential scaling comparison (batched
+/// concurrent bootstrap on the sharded event-queue core).
+const SCALE_N: usize = 4096;
+/// Joiners per concurrent wave of the scaling comparison.
+const SCALE_BATCH: usize = 256;
+/// Shard counts compared at [`SCALE_N`]; `1` is the sequential queue.
+const SCALE_SHARDS: [usize; 2] = [1, 4];
 
 /// Pre-refactor measurements (ns/iter) of the same shapes, taken from a
 /// build of the commit immediately before the zero-copy simulation core
@@ -104,6 +114,33 @@ fn bench_bootstrap_rebuild(c: &mut Criterion, n: usize) {
     g.finish();
 }
 
+/// Batched concurrent bootstrap at `n` on each shard count — the sharded
+/// scheduler produces bit-identical tables for every count (digest-pinned
+/// in the golden tests), so this isolates pure scheduling cost. Shard
+/// speedups are bounded by the core count, exported alongside the rows.
+fn bench_scale(c: &mut Criterion, n: usize, batch: usize, shard_counts: &[usize]) {
+    let space = IdSpace::new(16, 8).unwrap();
+    let ids = distinct_ids(space, n, 13);
+    let mut g = c.benchmark_group("join_throughput");
+    g.sample_size(2);
+    for &shards in shard_counts {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(
+            BenchmarkId::new(format!("scale_shards{shards}"), n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let tables =
+                        bootstrap_batched(space, ProtocolOptions::new(), &ids, batch, shards);
+                    assert_eq!(tables.len(), n);
+                    black_box(tables.len())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
 fn mean_ns(c: &Criterion, id: &str) -> Option<f64> {
     c.results().iter().find(|r| r.id == id).map(|r| r.mean_ns)
 }
@@ -115,12 +152,17 @@ fn main() {
         bench_concurrent_joins(&mut c, &[64]);
         bench_bootstrap(&mut c, &[64]);
         bench_bootstrap_rebuild(&mut c, 64);
+        // The scaling comparison keeps its full n even in smoke mode — the
+        // point of the CI step is exercising the sharded scheduler at the
+        // size the acceptance numbers are quoted at.
+        bench_scale(&mut c, SCALE_N, SCALE_BATCH, &SCALE_SHARDS);
         println!("smoke run complete; BENCH_join.json left untouched");
         return;
     }
     bench_concurrent_joins(&mut c, &JOIN_SIZES);
     bench_bootstrap(&mut c, &BOOTSTRAP_SIZES);
     bench_bootstrap_rebuild(&mut c, 256);
+    bench_scale(&mut c, SCALE_N, SCALE_BATCH, &SCALE_SHARDS);
 
     let live_ratio = match (
         mean_ns(&c, "join_throughput/bootstrap_rebuild/256"),
@@ -152,10 +194,48 @@ fn main() {
         }
     }
 
+    // Scaling rows: nodes/sec and peak RSS per shard count at SCALE_N,
+    // plus the sharded-vs-sequential wall-clock ratio. Peak RSS is the
+    // process high-water mark (so an upper bound shared by all rows);
+    // `cores` qualifies the ratio — on a single-core host the sharded
+    // scheduler degrades to ordered sequential delivery and ≈1x is the
+    // honest expectation.
+    let rss = peak_rss_bytes().unwrap_or(0);
+    let ncores = cores();
+    let mut scale_rows = Vec::new();
+    let mut scale_ns = Vec::new();
+    for &shards in &SCALE_SHARDS {
+        if let Some(ns) = mean_ns(
+            &c,
+            &format!("join_throughput/scale_shards{shards}/{SCALE_N}"),
+        ) {
+            let nodes_per_sec = SCALE_N as f64 / (ns / 1e9);
+            println!(
+                "scale n={SCALE_N} shards={shards}: {ns:.0} ns/iter, {nodes_per_sec:.0} nodes/sec, peak RSS {rss} B, {ncores} core(s)"
+            );
+            scale_rows.push(format!(
+                "  {{\"shape\": \"scale_shards{shards}\", \"n\": {SCALE_N}, \"shards\": {shards}, \"mean_ns\": {ns:.1}, \"nodes_per_sec\": {nodes_per_sec:.1}, \"peak_rss_bytes\": {rss}, \"cores\": {ncores}}}"
+            ));
+            scale_ns.push((shards, ns));
+        }
+    }
+    let sharded_speedup = match (
+        scale_ns.iter().find(|&&(s, _)| s == 1),
+        scale_ns.iter().find(|&&(s, _)| s > 1),
+    ) {
+        (Some(&(_, seq)), Some(&(_, sharded))) if sharded > 0.0 => {
+            let r = seq / sharded;
+            println!("sharded vs sequential queue, n={SCALE_N}: {r:.2}x on {ncores} core(s)");
+            r
+        }
+        _ => 0.0,
+    };
+
     let json = format!(
-        "{{\n\"benches\": {},\n\"before_after\": [\n{}\n],\n\"live_rebuild_vs_incremental_n256\": {live_ratio:.3}\n}}\n",
+        "{{\n\"benches\": {},\n\"before_after\": [\n{}\n],\n\"live_rebuild_vs_incremental_n256\": {live_ratio:.3},\n\"scale\": [\n{}\n],\n\"sharded_speedup_n{SCALE_N}\": {sharded_speedup:.3},\n\"cores\": {ncores}\n}}\n",
         c.results_json().trim_end(),
-        trajectory.join(",\n")
+        trajectory.join(",\n"),
+        scale_rows.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_join.json");
     std::fs::write(path, json).expect("write BENCH_join.json");

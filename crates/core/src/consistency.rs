@@ -27,7 +27,6 @@
 //! All three report identical [`Violation`] lists: witnesses are always
 //! the *smallest* live node carrying the desired suffix.
 
-use std::collections::HashMap;
 use std::fmt;
 
 use hyperring_id::{IdSpace, NodeId};
@@ -379,14 +378,23 @@ pub fn check_consistency_naive(space: IdSpace, tables: &[NeighborTable]) -> Cons
 /// networks; `check_consistency` is the linear-time proxy (the two agree by
 /// Lemma 3.1).
 pub fn check_reachability(tables: &[NeighborTable]) -> Vec<(NodeId, NodeId)> {
-    let by_id: HashMap<NodeId, &NeighborTable> = tables.iter().map(|t| (t.owner(), t)).collect();
+    // Sorted vec + binary search instead of a `HashMap<NodeId, _>`: the
+    // per-hop lookup inside `route` is the hot path here, and digit
+    // compares beat rehashing 65-byte ids n²·d times.
+    let mut by_id: Vec<(NodeId, &NeighborTable)> = tables.iter().map(|t| (t.owner(), t)).collect();
+    by_id.sort_unstable_by_key(|p| p.0);
     let mut failures = Vec::new();
     for s in tables {
         for t in tables {
             if s.owner() == t.owner() {
                 continue;
             }
-            let outcome = route(s.owner(), t.owner(), |id| by_id.get(id).copied());
+            let outcome = route(s.owner(), t.owner(), |id| {
+                by_id
+                    .binary_search_by(|p| p.0.cmp(id))
+                    .ok()
+                    .map(|i| by_id[i].1)
+            });
             if !outcome.is_delivered() {
                 failures.push((s.owner(), t.owner()));
             }

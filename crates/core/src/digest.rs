@@ -1,0 +1,68 @@
+//! Canonical table fingerprinting, shared by the golden determinism
+//! tests, the scale harness, and CI's sharded-determinism smoke check.
+
+use crate::table::{NeighborTable, NodeState};
+
+/// FNV-1a over a canonical rendering of every table: owner, all entries
+/// `(level, digit, node, state)`, and all reverse-neighbor sets in
+/// ascending id order. Spelled out here (instead of `DefaultHasher`) so
+/// the digest is stable across Rust releases; two runs — e.g. a
+/// sequential and a sharded one — produced identical tables iff their
+/// digests match.
+pub fn tables_digest(tables: &[NeighborTable]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |s: &str| {
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for t in tables {
+        eat(&format!("T{}", t.owner()));
+        for (level, digit, e) in t.iter() {
+            eat(&format!(
+                "E{level}.{digit}.{}.{}",
+                e.node,
+                if e.state == NodeState::S { 'S' } else { 'T' }
+            ));
+        }
+        for level in 0..t.space().digit_count() {
+            for digit in 0..t.space().base() as u8 {
+                for r in t.reverse_of(level, digit) {
+                    eat(&format!("R{level}.{digit}.{r}"));
+                }
+            }
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Entry;
+    use hyperring_id::IdSpace;
+
+    #[test]
+    fn digest_is_order_and_content_sensitive() {
+        let space = IdSpace::new(4, 5).unwrap();
+        let a = space.parse_id("21233").unwrap();
+        let b = space.parse_id("31033").unwrap();
+        let mut ta = NeighborTable::new(space, a);
+        ta.set_self_entries(NodeState::S);
+        let mut tb = NeighborTable::new(space, b);
+        tb.set_self_entries(NodeState::S);
+        let d1 = tables_digest(&[ta.clone(), tb.clone()]);
+        let d2 = tables_digest(&[tb.clone(), ta.clone()]);
+        assert_ne!(d1, d2, "table order must be part of the fingerprint");
+        ta.set(
+            2,
+            0,
+            Entry {
+                node: b,
+                state: NodeState::T,
+            },
+        );
+        assert_ne!(d1, tables_digest(&[ta, tb]));
+    }
+}

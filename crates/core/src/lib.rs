@@ -62,6 +62,7 @@
 #![warn(missing_docs)]
 
 mod consistency;
+mod digest;
 mod dispatch;
 mod effect;
 mod engine;
@@ -82,6 +83,7 @@ pub use consistency::{
     check_consistency, check_consistency_naive, check_consistency_with_index, check_reachability,
     ConsistencyReport, Violation,
 };
+pub use digest::tables_digest;
 pub use dispatch::{dispatch_effects, EffectHandler};
 pub use effect::{Effect, Effects, Event, TimerId};
 pub use engine::{JoinEngine, Status};
@@ -91,8 +93,8 @@ pub use options::{FailureDetector, PayloadMode, ProtocolOptions, RetryPolicy};
 pub use oracle::build_consistent_tables;
 pub use routing::{next_hop, route, RouteOutcome};
 pub use simnet::{
-    bootstrap_sequential, bootstrap_sequential_rebuild, Directory, SimMsg, SimNetwork,
-    SimNetworkBuilder, SimNode,
+    bootstrap_batched, bootstrap_sequential, bootstrap_sequential_rebuild, Directory, SimMsg,
+    SimNetwork, SimNetworkBuilder, SimNode,
 };
 pub use stats::MessageStats;
 pub use suffix_index::SuffixIndex;

@@ -111,7 +111,11 @@ pub fn build_consistent_tables(space: IdSpace, ids: &[NodeId]) -> Vec<NeighborTa
     // Second pass: register reverse neighbors, as the protocol's
     // RvNghNotiMsg bookkeeping would have. `y` records `x` as a reverse
     // neighbor at `(k, y[k])`, `k = |csuf(x, y)|`, whenever `x` stores `y`.
-    let index: HashMap<NodeId, usize> = ids.iter().enumerate().map(|(i, &x)| (x, i)).collect();
+    // The id → table-index map is a sorted vec probed by binary search:
+    // hashing a 65-byte `NodeId` per neighbor lost to Θ(log n) digit
+    // compares over this n·d·b-lookup loop at bootstrap scale.
+    let mut index: Vec<(NodeId, usize)> = ids.iter().enumerate().map(|(i, &x)| (x, i)).collect();
+    index.sort_unstable_by_key(|p| p.0);
     let mut neighbors: Vec<NodeId> = Vec::new();
     for xi in 0..tables.len() {
         let x = tables[xi].owner();
@@ -124,7 +128,10 @@ pub fn build_consistent_tables(space: IdSpace, ids: &[NodeId]) -> Vec<NeighborTa
         );
         for &y in &neighbors {
             let k = x.csuf_len(&y);
-            let yi = index[&y];
+            let yi = index[index
+                .binary_search_by(|p| p.0.cmp(&y))
+                .expect("every neighbor is a member")]
+            .1;
             tables[yi].add_reverse(k, y.digit(k), x);
         }
     }

@@ -126,6 +126,31 @@ impl Directory {
         true
     }
 
+    /// Registers a batch of consecutive ids (`base`, `base + 1`, …) in ONE
+    /// copy-on-write step. Actors hold on to whichever snapshot they last
+    /// resolved against, so every distinct map version can stay live at
+    /// once; inserting a join wave per-id would publish `wave` versions of
+    /// an O(n) map where one suffices — the difference between O(n²) and
+    /// O(n · waves) peak memory over a large bootstrap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is already present (the batch is applied
+    /// all-or-nothing only in the sense that the panic fires before the
+    /// new map is published).
+    fn insert_batch(&self, ids: &[NodeId], base: usize) {
+        let mut guard = self.map.write().unwrap();
+        let mut next = HashMap::clone(&guard);
+        next.reserve(ids.len());
+        for (off, &id) in ids.iter().enumerate() {
+            assert!(
+                next.insert(id, base + off).is_none(),
+                "duplicate node identifier"
+            );
+        }
+        *guard = Arc::new(next);
+    }
+
     /// Number of registered nodes.
     pub fn len(&self) -> usize {
         self.map.read().unwrap().len()
@@ -283,6 +308,7 @@ pub struct SimNetworkBuilder {
     member_tables: Option<Vec<NeighborTable>>,
     joiners: Vec<(NodeId, NodeId, Time)>,
     trace: Option<Arc<Mutex<TraceStream>>>,
+    shards: usize,
 }
 
 impl SimNetworkBuilder {
@@ -295,7 +321,20 @@ impl SimNetworkBuilder {
             member_tables: None,
             joiners: Vec::new(),
             trace: None,
+            shards: 1,
         }
+    }
+
+    /// Partitions the simulator's event queue into `n` shards
+    /// ([`Simulator::set_shards`]). Results are bit-identical for every
+    /// shard count; more shards let batch delivery run on more cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics at [`build`](Self::build) time if `n` is zero.
+    pub fn shards(&mut self, n: usize) -> &mut Self {
+        self.shards = n;
+        self
     }
 
     /// Sets the protocol options for every node.
@@ -389,6 +428,9 @@ impl SimNetworkBuilder {
         }
 
         let mut sim = Simulator::new(actors, delay, seed);
+        // Repartitioning requires an idle simulator, so shard before any
+        // build-time injections land in the queues.
+        sim.set_shards(self.shards);
         if opts.failure_detector().is_some() {
             // Initial members are already in_system, so nothing would ever
             // arm their detectors; kick them off at time 0.
@@ -579,6 +621,11 @@ impl<D: DelayModel> SimNetwork<D> {
         self.sim.now()
     }
 
+    /// Number of event-queue shards driving this network.
+    pub fn shards(&self) -> usize {
+        self.sim.shards()
+    }
+
     /// Injects a fresh joiner into the *live* network: registers it in
     /// the shared [`Directory`], appends an actor to the running
     /// simulator, and schedules its `Start` through `gateway` at the
@@ -611,6 +658,44 @@ impl<D: DelayModel> SimNetwork<D> {
         let now = self.sim.now();
         self.sim.inject_at(now, idx, idx, SimMsg::Start { gateway });
         idx
+    }
+
+    /// Injects a whole wave of joiners at once, all starting through
+    /// `gateway` at the current virtual time. Equivalent to calling
+    /// [`add_joiner_live`](Self::add_joiner_live) for each id in order
+    /// (same actor indices, same event order, bit-identical runs), but the
+    /// shared [`Directory`] is grown in ONE copy-on-write step instead of
+    /// one per joiner — per-id inserts leave every intermediate map
+    /// version alive in some actor's snapshot, which is O(n²) peak memory
+    /// over a large bootstrap. Returns the first new actor index.
+    ///
+    /// # Panics
+    ///
+    /// As [`add_joiner_live`](Self::add_joiner_live).
+    pub fn add_joiners_live(&mut self, ids: &[NodeId], gateway: NodeId) -> usize {
+        assert!(
+            self.dir.resolve(&gateway).is_some(),
+            "gateway {gateway} unknown"
+        );
+        let base = self.sim.len();
+        for id in ids {
+            assert_ne!(*id, gateway, "node cannot join via itself");
+        }
+        self.dir.insert_batch(ids, base);
+        self.ids.extend_from_slice(ids);
+        self.joiner_count += ids.len();
+        let now = self.sim.now();
+        for (off, &id) in ids.iter().enumerate() {
+            let added = self.sim.add_actor(SimNode::new(
+                JoinEngine::new_joiner(self.space, self.opts, id),
+                &self.dir,
+                self.trace.clone(),
+            ));
+            debug_assert_eq!(added, base + off);
+            self.sim
+                .inject_at(now, base + off, base + off, SimMsg::Start { gateway });
+        }
+        base
     }
 }
 
@@ -650,6 +735,51 @@ pub fn bootstrap_sequential(
         net.add_joiner_live(*id, seed_node);
         net.run();
         assert!(net.all_in_system(), "sequential join failed to terminate");
+    }
+    net.tables()
+}
+
+/// Initializes a network like [`bootstrap_sequential`], but injects
+/// joiners in concurrent **waves** of up to `batch` nodes: every joiner
+/// of a wave starts at the same virtual instant (through the seed-node
+/// gateway, assumption (ii) of §3.1) and the wave runs to quiescence
+/// before the next begins. This is the scaling path for large `n`:
+///
+/// - one simulator lives for the whole bootstrap (no rebuilds), so peak
+///   queue memory is bounded by one wave's traffic rather than by `n`;
+/// - with `shards > 1` each wave's deliveries are processed by the
+///   sharded batch scheduler — results are bit-identical for every shard
+///   count, so a sharded bootstrap can be digest-checked against a
+///   sequential one.
+///
+/// Concurrent joins make the resulting tables differ from (while staying
+/// just as consistent as) the sequential bootstrap's: within a wave,
+/// which sharer a joiner copies from depends on message interleaving.
+///
+/// # Panics
+///
+/// Panics if `ids` is empty or contains duplicates, `batch` or `shards`
+/// is zero, or a wave fails to reach quiescence with all nodes in system.
+pub fn bootstrap_batched(
+    space: IdSpace,
+    opts: ProtocolOptions,
+    ids: &[NodeId],
+    batch: usize,
+    shards: usize,
+) -> Vec<NeighborTable> {
+    assert!(!ids.is_empty());
+    assert!(batch > 0, "batch size must be positive");
+    let seed_node = ids[0];
+    let mut b = SimNetworkBuilder::new(space);
+    let seed_table = JoinEngine::new_seed(space, opts, seed_node).table().clone();
+    b.options(opts)
+        .with_member_tables(vec![seed_table])
+        .shards(shards);
+    let mut net = b.build(hyperring_sim::ConstantDelay(1), 0);
+    for wave in ids[1..].chunks(batch) {
+        net.add_joiners_live(wave, seed_node);
+        net.run();
+        assert!(net.all_in_system(), "join wave failed to terminate");
     }
     net.tables()
 }
@@ -821,8 +951,8 @@ mod tests {
             for level in 0..sp.digit_count() {
                 for digit in 0..sp.base() as u8 {
                     assert_eq!(
-                        a.reverse_of(level, digit),
-                        b.reverse_of(level, digit),
+                        a.reverse_of(level, digit).collect::<Vec<_>>(),
+                        b.reverse_of(level, digit).collect::<Vec<_>>(),
                         "reverse sets of {} at ({level}, {digit}) differ",
                         a.owner()
                     );

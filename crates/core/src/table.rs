@@ -1,3 +1,4 @@
+use std::cmp::Ordering;
 use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::{Arc, Mutex};
@@ -23,12 +24,160 @@ pub struct Entry {
     pub state: NodeState,
 }
 
+/// Per-table interner for node identifiers.
+///
+/// Every distinct id a table ever references (entries and reverse
+/// neighbors) is stored exactly once as packed digits — nibble-packed when
+/// the base fits four bits, one byte per digit otherwise — and addressed
+/// by a dense `u32` index. A `NodeId` is 65 bytes and repeats across many
+/// slots of the same table (the owner alone occupies `d` self entries), so
+/// interning plus packing is what collapses the per-node footprint by an
+/// order of magnitude.
+///
+/// Digits are packed **most-significant first** (high nibble first), so
+/// comparing packed bytes lexicographically equals comparing ids
+/// numerically — the same order as `NodeId::Ord` for the equal-length ids
+/// of one space. Both the dedup index and the reverse-neighbor arena lean
+/// on that equivalence.
+#[derive(Debug, Clone)]
+struct IdArena {
+    /// Packed digit storage, `stride` bytes per interned id.
+    bytes: Vec<u8>,
+    /// Interned indices sorted by packed-byte (= numeric) order.
+    sorted: Vec<u32>,
+    stride: usize,
+    nibble: bool,
+    digits: usize,
+}
+
+impl IdArena {
+    fn new(space: IdSpace) -> Self {
+        let digits = space.digit_count();
+        let nibble = space.base() <= 16;
+        IdArena {
+            bytes: Vec::new(),
+            sorted: Vec::new(),
+            stride: if nibble { digits.div_ceil(2) } else { digits },
+            nibble,
+            digits,
+        }
+    }
+
+    /// Packs `id` into `buf`; returns the packed length (`stride`).
+    fn pack(&self, id: &NodeId, buf: &mut [u8; 64]) -> usize {
+        debug_assert_eq!(id.digit_count(), self.digits, "id from a foreign space");
+        if self.nibble {
+            let mut j = 0;
+            let mut pos = self.digits;
+            while pos > 0 {
+                let hi = id.digit(pos - 1);
+                let lo = if pos >= 2 { id.digit(pos - 2) } else { 0 };
+                buf[j] = (hi << 4) | lo;
+                j += 1;
+                pos = pos.saturating_sub(2);
+            }
+        } else {
+            for (j, byte) in buf.iter_mut().enumerate().take(self.digits) {
+                *byte = id.digit(self.digits - 1 - j);
+            }
+        }
+        self.stride
+    }
+
+    #[inline]
+    fn packed(&self, idx: u32) -> &[u8] {
+        let start = idx as usize * self.stride;
+        &self.bytes[start..start + self.stride]
+    }
+
+    fn resolve(&self, idx: u32) -> NodeId {
+        let b = self.packed(idx);
+        let mut lsd = [0u8; 64];
+        if self.nibble {
+            let mut j = 0;
+            let mut pos = self.digits;
+            while pos > 0 {
+                lsd[pos - 1] = b[j] >> 4;
+                if pos >= 2 {
+                    lsd[pos - 2] = b[j] & 0x0f;
+                }
+                j += 1;
+                pos = pos.saturating_sub(2);
+            }
+        } else {
+            for j in 0..self.digits {
+                lsd[self.digits - 1 - j] = b[j];
+            }
+        }
+        NodeId::from_digits_lsd(&lsd[..self.digits])
+    }
+
+    /// Interns `id`, returning its stable dense index.
+    fn intern(&mut self, id: &NodeId) -> u32 {
+        let mut buf = [0u8; 64];
+        let n = self.pack(id, &mut buf);
+        let key = &buf[..n];
+        match self.sorted.binary_search_by(|&i| self.packed(i).cmp(key)) {
+            Ok(pos) => self.sorted[pos],
+            Err(pos) => {
+                let idx = (self.bytes.len() / self.stride) as u32;
+                debug_assert!(idx < IDX_MASK, "id arena full");
+                self.bytes.extend_from_slice(key);
+                self.sorted.insert(pos, idx);
+                idx
+            }
+        }
+    }
+
+    /// Index of `id` if it was ever interned.
+    fn lookup(&self, id: &NodeId) -> Option<u32> {
+        let mut buf = [0u8; 64];
+        let n = self.pack(id, &mut buf);
+        let key = &buf[..n];
+        self.sorted
+            .binary_search_by(|&i| self.packed(i).cmp(key))
+            .ok()
+            .map(|pos| self.sorted[pos])
+    }
+
+    /// Numeric order of two interned ids.
+    #[inline]
+    fn cmp_ids(&self, a: u32, b: u32) -> Ordering {
+        self.packed(a).cmp(self.packed(b))
+    }
+}
+
+/// Empty-slot marker (also has [`S_BIT`] set, so it can never collide with
+/// a real encoded entry).
+const EMPTY: u32 = u32::MAX;
+/// Entry-state flag: set when the recorded state is `S`.
+const S_BIT: u32 = 1 << 31;
+/// Low bits of an encoded entry: the arena index of its node.
+const IDX_MASK: u32 = S_BIT - 1;
+
+/// One reverse-neighbor membership: `node ∈ R_x(slot)`. The full reverse
+/// structure is a single flat arena sorted by `(slot, numeric id)` —
+/// per-slot sets are contiguous runs found by binary search, replacing the
+/// per-slot `BTreeSet<NodeId>` allocations of the old layout.
+#[derive(Debug, Clone, Copy)]
+struct RevEntry {
+    slot: u16,
+    idx: u32,
+}
+
 /// A node's neighbor table: `d` levels × `b` entries.
 ///
 /// Entry `(i, j)` holds a node sharing the rightmost `i` digits with the
 /// owner and whose `i`-th digit is `j` (the paper's §2.1). The table also
 /// tracks reverse neighbors — `R_x(i, j)` in the paper — which the join
 /// protocol needs when a node switches to *in_system*.
+///
+/// Internally the table is a struct-of-arrays over an id-interning arena:
+/// a dense `u32` slab holds one `arena index | state bit` word per
+/// `(level, digit)` slot, and reverse neighbors live in one flat sorted
+/// arena of `(slot, id)` pairs instead of a `BTreeSet` per slot. At `d = 8`,
+/// `b = 16` this is roughly 1 KiB per table where the boxed layout took
+/// over 10 KiB — the difference between 4k-node and 100k-node simulations.
 ///
 /// # Examples
 ///
@@ -51,8 +200,15 @@ pub struct Entry {
 pub struct NeighborTable {
     space: IdSpace,
     owner: NodeId,
-    entries: Vec<Option<Entry>>,
-    reverse: Vec<BTreeSet<NodeId>>,
+    /// The owner's arena index (interned at construction), letting
+    /// self-entry checks compare indices instead of ids.
+    owner_idx: u32,
+    arena: IdArena,
+    /// One encoded entry per `(level, digit)` slot: [`EMPTY`], or
+    /// `arena index | S_BIT`.
+    slots: Box<[u32]>,
+    /// Reverse-neighbor memberships, sorted by `(slot, numeric id)`.
+    rev: Vec<RevEntry>,
     /// Memoized full-table snapshot; rebuilt lazily after any entry
     /// mutation so repeated big-message sends between mutations share one
     /// row allocation instead of re-collecting `d×b` slots each time.
@@ -64,8 +220,10 @@ impl Clone for NeighborTable {
         NeighborTable {
             space: self.space,
             owner: self.owner,
-            entries: self.entries.clone(),
-            reverse: self.reverse.clone(),
+            owner_idx: self.owner_idx,
+            arena: self.arena.clone(),
+            slots: self.slots.clone(),
+            rev: self.rev.clone(),
             snap: Mutex::new(self.snap.lock().unwrap().clone()),
         }
     }
@@ -80,13 +238,41 @@ impl NeighborTable {
     pub fn new(space: IdSpace, owner: NodeId) -> Self {
         assert!(space.contains(&owner), "owner id not in space");
         let slots = space.digit_count() * space.base() as usize;
+        let mut arena = IdArena::new(space);
+        let owner_idx = arena.intern(&owner);
         NeighborTable {
             space,
             owner,
-            entries: vec![None; slots],
-            reverse: vec![BTreeSet::new(); slots],
+            owner_idx,
+            arena,
+            slots: vec![EMPTY; slots].into_boxed_slice(),
+            rev: Vec::new(),
             snap: Mutex::new(None),
         }
+    }
+
+    /// Decodes one slot word back into an [`Entry`].
+    #[inline]
+    fn decode(&self, raw: u32) -> Option<Entry> {
+        if raw == EMPTY {
+            return None;
+        }
+        Some(Entry {
+            node: self.arena.resolve(raw & IDX_MASK),
+            state: if raw & S_BIT != 0 {
+                NodeState::S
+            } else {
+                NodeState::T
+            },
+        })
+    }
+
+    /// The contiguous run of `rev` belonging to `slot`.
+    #[inline]
+    fn rev_range(&self, s: u16) -> std::ops::Range<usize> {
+        let lo = self.rev.partition_point(|r| r.slot < s);
+        let hi = lo + self.rev[lo..].partition_point(|r| r.slot <= s);
+        lo..hi
     }
 
     /// Drops the memoized snapshot after an entry mutation.
@@ -121,7 +307,7 @@ impl NeighborTable {
     /// Panics (in debug builds) if `level` or `digit` are out of range.
     #[inline]
     pub fn get(&self, level: usize, digit: u8) -> Option<Entry> {
-        self.entries[self.slot(level, digit)]
+        self.decode(self.slots[self.slot(level, digit)])
     }
 
     /// Sets the `(level, digit)` entry.
@@ -138,7 +324,13 @@ impl NeighborTable {
             self.owner
         );
         let s = self.slot(level, digit);
-        self.entries[s] = Some(entry);
+        let idx = self.arena.intern(&entry.node);
+        self.slots[s] = idx
+            | if entry.state == NodeState::S {
+                S_BIT
+            } else {
+                0
+            };
         self.invalidate_snapshot();
     }
 
@@ -147,7 +339,7 @@ impl NeighborTable {
     /// detector's eviction pass, tests, and tooling.
     pub fn clear(&mut self, level: usize, digit: u8) {
         let s = self.slot(level, digit);
-        self.entries[s] = None;
+        self.slots[s] = EMPTY;
         self.invalidate_snapshot();
     }
 
@@ -161,13 +353,13 @@ impl NeighborTable {
         state: NodeState,
     ) -> bool {
         let s = self.slot(level, digit);
-        match &mut self.entries[s] {
-            Some(e) if e.node == *node => {
-                e.state = state;
-                self.invalidate_snapshot();
-                true
-            }
-            _ => false,
+        let raw = self.slots[s];
+        if raw != EMPTY && self.arena.lookup(node) == Some(raw & IDX_MASK) {
+            self.slots[s] = (raw & IDX_MASK) | if state == NodeState::S { S_BIT } else { 0 };
+            self.invalidate_snapshot();
+            true
+        } else {
+            false
         }
     }
 
@@ -195,30 +387,39 @@ impl NeighborTable {
     /// Iterates all non-empty entries as `(level, digit, entry)`.
     pub fn iter(&self) -> impl Iterator<Item = (usize, u8, Entry)> + '_ {
         let b = self.space.base() as usize;
-        self.entries
+        self.slots
             .iter()
             .enumerate()
-            .filter_map(move |(s, e)| e.map(|e| (s / b, (s % b) as u8, e)))
+            .filter_map(move |(s, &raw)| self.decode(raw).map(|e| (s / b, (s % b) as u8, e)))
     }
 
     /// Number of non-empty entries.
     pub fn filled(&self) -> usize {
-        self.entries.iter().filter(|e| e.is_some()).count()
+        self.slots.iter().filter(|&&raw| raw != EMPTY).count()
     }
 
     /// Adds `node` to the reverse-neighbor set `R_x(level, digit)`.
     pub fn add_reverse(&mut self, level: usize, digit: u8, node: NodeId) {
-        let s = self.slot(level, digit);
-        self.reverse[s].insert(node);
+        let s = self.slot(level, digit) as u16;
+        let idx = self.arena.intern(&node);
+        let arena = &self.arena;
+        if let Err(pos) = self
+            .rev
+            .binary_search_by(|r| r.slot.cmp(&s).then_with(|| arena.cmp_ids(r.idx, idx)))
+        {
+            self.rev.insert(pos, RevEntry { slot: s, idx });
+        }
     }
 
     /// Removes `node` from every reverse-neighbor set (the node is
     /// leaving). Returns how many sets contained it.
     pub fn remove_reverse(&mut self, node: &NodeId) -> usize {
-        self.reverse
-            .iter_mut()
-            .map(|set| usize::from(set.remove(node)))
-            .sum()
+        let Some(idx) = self.arena.lookup(node) else {
+            return 0;
+        };
+        let before = self.rev.len();
+        self.rev.retain(|r| r.idx != idx);
+        before - self.rev.len()
     }
 
     /// A replacement candidate sharing at least `min_csuf` digits with the
@@ -226,30 +427,22 @@ impl NeighborTable {
     /// by the leave extension — every node at level `i ≥ min_csuf` shares
     /// `≥ min_csuf` rightmost digits with the owner by the table invariant.
     pub fn find_sharer(&self, min_csuf: usize) -> Option<Entry> {
-        for level in min_csuf..self.space.digit_count() {
-            for digit in 0..self.space.base() as u8 {
-                if let Some(e) = self.get(level, digit) {
-                    if e.node != self.owner {
-                        return Some(e);
-                    }
-                }
-            }
-        }
-        None
+        let start = min_csuf * self.space.base() as usize;
+        self.slots[start..]
+            .iter()
+            .find(|&&raw| raw != EMPTY && raw & IDX_MASK != self.owner_idx)
+            .and_then(|&raw| self.decode(raw))
     }
 
     /// All reverse neighbors across all entries, deduplicated.
     pub fn reverse_neighbors(&self) -> BTreeSet<NodeId> {
-        let mut out = BTreeSet::new();
-        for set in &self.reverse {
-            out.extend(set.iter().copied());
-        }
-        out
+        self.rev.iter().map(|r| self.arena.resolve(r.idx)).collect()
     }
 
-    /// Reverse neighbors of one entry.
-    pub fn reverse_of(&self, level: usize, digit: u8) -> &BTreeSet<NodeId> {
-        &self.reverse[self.slot(level, digit)]
+    /// Reverse neighbors of one entry, in ascending id order.
+    pub fn reverse_of(&self, level: usize, digit: u8) -> impl Iterator<Item = NodeId> + '_ {
+        let range = self.rev_range(self.slot(level, digit) as u16);
+        self.rev[range].iter().map(|r| self.arena.resolve(r.idx))
     }
 
     /// Takes an immutable snapshot of all non-empty entries, for inclusion
@@ -299,7 +492,7 @@ impl NeighborTable {
     /// in `filled_bits`; from `noti_level` up, include everything.
     pub fn snapshot_bitvec(&self, noti_level: usize, filled_bits: &[u64]) -> TableSnapshot {
         let b = self.space.base() as usize;
-        let mut rows: Vec<SnapshotRow> = Vec::with_capacity(self.entries.len());
+        let mut rows: Vec<SnapshotRow> = Vec::with_capacity(self.slots.len());
         rows.extend(
             self.iter()
                 .filter(|&(i, j, _)| {
@@ -326,10 +519,10 @@ impl NeighborTable {
     /// The bit vector of filled entries (one bit per slot, level-major),
     /// as attached to a `JoinNotiMsg` in bit-vector mode.
     pub fn filled_bitvec(&self) -> Vec<u64> {
-        let slots = self.entries.len();
+        let slots = self.slots.len();
         let mut bits = vec![0u64; slots.div_ceil(64)];
-        for (s, e) in self.entries.iter().enumerate() {
-            if e.is_some() {
+        for (s, &raw) in self.slots.iter().enumerate() {
+            if raw != EMPTY {
                 bits[s / 64] |= 1u64 << (s % 64);
             }
         }
@@ -589,10 +782,78 @@ mod tests {
         t.add_reverse(1, 3, id("31033"));
         t.add_reverse(1, 3, id("31033")); // dedup
         t.add_reverse(0, 3, id("13113"));
-        assert_eq!(t.reverse_of(1, 3).len(), 1);
+        assert_eq!(t.reverse_of(1, 3).count(), 1);
         let all = t.reverse_neighbors();
         assert_eq!(all.len(), 2);
         assert!(all.contains(&id("31033")));
+        assert_eq!(t.remove_reverse(&id("31033")), 1);
+        assert_eq!(t.remove_reverse(&id("31033")), 0);
+        assert_eq!(t.reverse_of(1, 3).count(), 0);
+    }
+
+    #[test]
+    fn reverse_of_iterates_in_ascending_id_order() {
+        let mut t = NeighborTable::new(space(), id("21233"));
+        // Insert out of numeric order; iteration must come back sorted
+        // (the golden digests hash reverse neighbors in this order).
+        for s in ["31033", "01033", "21033", "11033"] {
+            t.add_reverse(2, 0, id(s));
+        }
+        let got: Vec<NodeId> = t.reverse_of(2, 0).collect();
+        let mut want = got.clone();
+        want.sort();
+        assert_eq!(got, want);
+        assert_eq!(got.len(), 4);
+        assert_eq!(got[0], id("01033"));
+        assert_eq!(got[3], id("31033"));
+    }
+
+    #[test]
+    fn interning_dedups_repeated_ids() {
+        let me = id("21233");
+        let mut t = NeighborTable::new(space(), me);
+        // b=4, d=5 → nibble packed, stride = 3 bytes; the owner is interned
+        // at construction.
+        assert_eq!(t.arena.bytes.len(), 3);
+        t.set_self_entries(NodeState::S);
+        // Five self entries, one interned id.
+        assert_eq!(t.arena.bytes.len(), 3);
+        t.set(
+            2,
+            0,
+            Entry {
+                node: id("31033"),
+                state: NodeState::T,
+            },
+        );
+        t.add_reverse(2, 0, id("31033"));
+        assert_eq!(t.arena.bytes.len(), 6);
+    }
+
+    #[test]
+    fn byte_packed_base_over_16_roundtrips() {
+        let wide = IdSpace::new(32, 3).unwrap();
+        let me = wide.parse_id("v0a").unwrap();
+        let mut t = NeighborTable::new(wide, me);
+        t.set_self_entries(NodeState::S);
+        for i in 0..3 {
+            assert_eq!(t.get(i, me.digit(i)).unwrap().node, me);
+        }
+        // Entry (1, 5): desired suffix 5 ∘ "a".
+        let y = wide.parse_id("75a").unwrap();
+        t.set(
+            1,
+            5,
+            Entry {
+                node: y,
+                state: NodeState::T,
+            },
+        );
+        assert_eq!(t.get(1, 5).unwrap().node, y);
+        t.add_reverse(1, 5, y);
+        let z = wide.parse_id("05a").unwrap();
+        t.add_reverse(1, 5, z);
+        assert_eq!(t.reverse_of(1, 5).collect::<Vec<_>>(), vec![z, y]);
     }
 
     #[test]

@@ -9,49 +9,13 @@
 //! re-recording.
 
 use hyperring_core::{
-    bootstrap_sequential, check_consistency, DigestTrace, NeighborTable, ProtocolOptions,
-    SharedSink, SimNetworkBuilder,
+    bootstrap_batched, bootstrap_sequential, check_consistency, tables_digest, DigestTrace,
+    ProtocolOptions, SharedSink, SimNetworkBuilder,
 };
 use hyperring_id::{IdSpace, NodeId};
 use hyperring_sim::UniformDelay;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-
-/// FNV-1a over a canonical rendering of every table: owner, all entries
-/// `(level, digit, node, state)`, and all reverse-neighbor sets. Spelled
-/// out here (instead of `DefaultHasher`) so the digest is stable across
-/// Rust releases.
-fn tables_digest(tables: &[NeighborTable]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut eat = |s: &str| {
-        for b in s.bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    };
-    for t in tables {
-        eat(&format!("T{}", t.owner()));
-        for (level, digit, e) in t.iter() {
-            eat(&format!(
-                "E{level}.{digit}.{}.{}",
-                e.node,
-                if e.state == hyperring_core::NodeState::S {
-                    'S'
-                } else {
-                    'T'
-                }
-            ));
-        }
-        for level in 0..t.space().digit_count() {
-            for digit in 0..t.space().base() as u8 {
-                for r in t.reverse_of(level, digit) {
-                    eat(&format!("R{level}.{digit}.{r}"));
-                }
-            }
-        }
-    }
-    h
-}
 
 fn distinct(space: IdSpace, n: usize, seed: u64) -> Vec<NodeId> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -192,4 +156,110 @@ fn golden_sequential_bootstrap() {
         observed,
         (24, 0, true, 0x171e_f58e_446d_553c),
     );
+}
+
+/// Runs the forty-node concurrent-join scenario on `shards` event-queue
+/// shards and fingerprints the result.
+fn forty_node_digest(shards: usize) -> (u64, u64, bool, u64) {
+    let space = IdSpace::new(4, 6).unwrap();
+    let ids = distinct(space, 40, 5);
+    let (v, w) = ids.split_at(25);
+    let mut b = SimNetworkBuilder::new(space);
+    for id in v {
+        b.add_member(*id);
+    }
+    for id in w {
+        b.add_joiner(*id, v[0], 0);
+    }
+    b.shards(shards);
+    let mut net = b.build(UniformDelay::new(100, 200_000), 99);
+    let report = net.run();
+    (
+        report.delivered,
+        report.finished_at,
+        net.check_consistency().is_consistent(),
+        tables_digest(&net.tables()),
+    )
+}
+
+/// Sharded execution is bit-identical to sequential: the forty-node
+/// scenario on 2, 4, and 8 shards reproduces the recorded sequential
+/// golden exactly (deliveries, finish time, and table digest).
+#[test]
+fn golden_forty_node_shard_parity() {
+    for shards in [2, 4, 8] {
+        let observed = forty_node_digest(shards);
+        assert_eq!(
+            observed,
+            (358, 1_495_051, true, 0x8b04_5360_ccdc_6dc7),
+            "{shards}-shard run drifted from the sequential golden"
+        );
+    }
+}
+
+/// Batched concurrent bootstrap at n=256: every shard count produces the
+/// same tables, pinned by digest against the 1-shard run.
+#[test]
+fn golden_batched_bootstrap_shard_parity_n256() {
+    let space = IdSpace::new(16, 8).unwrap();
+    let ids = distinct(space, 256, 7);
+    let base = tables_digest(&bootstrap_batched(
+        space,
+        ProtocolOptions::new(),
+        &ids,
+        32,
+        1,
+    ));
+    if std::env::var("GOLDEN_PRINT").is_ok() {
+        println!("batched_bootstrap_n256: 0x{base:016x}");
+    }
+    for shards in [2, 4, 8] {
+        let d = tables_digest(&bootstrap_batched(
+            space,
+            ProtocolOptions::new(),
+            &ids,
+            32,
+            shards,
+        ));
+        assert_eq!(d, base, "{shards}-shard bootstrap diverged from 1-shard");
+    }
+}
+
+/// Same parity at n=1024 — large enough that windowed batch scheduling
+/// spans many waves. Ignored by default (seconds of debug-mode work);
+/// exercised in CI's release-mode determinism step.
+#[test]
+#[ignore = "slow in debug builds; run with --ignored --release"]
+fn golden_batched_bootstrap_shard_parity_n1024() {
+    let space = IdSpace::new(16, 8).unwrap();
+    let ids = distinct(space, 1024, 11);
+    let base = tables_digest(&bootstrap_batched(
+        space,
+        ProtocolOptions::new(),
+        &ids,
+        128,
+        1,
+    ));
+    for shards in [2, 4, 8] {
+        let d = tables_digest(&bootstrap_batched(
+            space,
+            ProtocolOptions::new(),
+            &ids,
+            128,
+            shards,
+        ));
+        assert_eq!(d, base, "{shards}-shard bootstrap diverged from 1-shard");
+    }
+}
+
+/// 100k-scale smoke test: a 65 536-node batched concurrent bootstrap
+/// completes on the sharded core. Release-only (`--ignored`); the
+/// acceptance gate for the arena/sharding work.
+#[test]
+#[ignore = "large-n smoke test; run with --ignored --release"]
+fn batched_bootstrap_n65536_completes() {
+    let space = IdSpace::new(16, 8).unwrap();
+    let ids = distinct(space, 65_536, 13);
+    let tables = bootstrap_batched(space, ProtocolOptions::new(), &ids, 2048, 4);
+    assert_eq!(tables.len(), 65_536);
 }

@@ -1,0 +1,80 @@
+//! Large-n scaling of the sharded, arena-backed simulation core: batched
+//! concurrent bootstrap throughput (nodes/sec), peak RSS, and
+//! sequential-vs-sharded digest parity.
+//!
+//! Usage: `cargo run --release -p hyperring-harness --bin scale [n] [--batch B] [--shards "1,4"] [--smoke] [--parity]`
+//!
+//! * `n` — total nodes to bootstrap (default 4096; `--smoke` forces 512);
+//! * `--batch B` — joiners per concurrent wave (default 256);
+//! * `--shards LIST` — comma-separated shard counts, one row each
+//!   (default `1,4`);
+//! * `--parity` — after each sharded row, re-run on one shard and check
+//!   the table digests match (the determinism audit; doubles runtime);
+//! * `--smoke` — small fast configuration for CI.
+//!
+//! Shard speedups are bounded by the core count, which is printed with
+//! every row: on a single-core host the sharded scheduler degrades to
+//! ordered sequential delivery and the honest ratio is ≈1×.
+
+use std::path::Path;
+
+use hyperring_harness::experiments::{run_scale, ScaleConfig};
+use hyperring_harness::{report, Table, TrialOpts};
+
+fn main() {
+    let opts = TrialOpts::from_env();
+    let smoke = opts.has_flag("--smoke");
+    let n: usize = if smoke { 512 } else { opts.positional(0, 4096) };
+    let batch: usize = opts.named("--batch", if smoke { 64 } else { 256 });
+    let shards_arg: String = opts.named("--shards", "1,4".to_string());
+    let parity = opts.has_flag("--parity");
+    let shard_counts: Vec<usize> = shards_arg
+        .split(',')
+        .map(|s| s.trim().parse().expect("--shards takes integers"))
+        .collect();
+
+    let mut t = Table::new([
+        "shards",
+        "nodes",
+        "batch",
+        "wall (s)",
+        "nodes/sec",
+        "peak RSS (MiB)",
+        "cores",
+        "digest",
+        "consistent",
+        "parity",
+    ]);
+    let mut digests = Vec::new();
+    for &shards in &shard_counts {
+        eprintln!("bootstrapping {n} nodes on {shards} shard(s), waves of {batch} …");
+        let mut cfg = ScaleConfig::new(n, batch, shards);
+        cfg.parity = parity;
+        let r = run_scale(&cfg);
+        assert!(r.consistent, "{shards}-shard bootstrap inconsistent");
+        if let Some(ok) = r.parity_ok {
+            assert!(ok, "{shards}-shard digest diverged from 1-shard");
+        }
+        digests.push(r.digest);
+        t.row([
+            shards.to_string(),
+            r.nodes.to_string(),
+            batch.to_string(),
+            format!("{:.2}", r.wall_secs),
+            format!("{:.0}", r.nodes_per_sec),
+            format!("{:.1}", r.peak_rss_bytes as f64 / (1024.0 * 1024.0)),
+            r.cores.to_string(),
+            format!("0x{:016x}", r.digest),
+            r.consistent.to_string(),
+            r.parity_ok.map_or("-".to_string(), |ok| ok.to_string()),
+        ]);
+    }
+    assert!(
+        digests.windows(2).all(|w| w[0] == w[1]),
+        "shard counts disagree on the final tables"
+    );
+
+    println!("\nsharded-simulator scaling: batched concurrent bootstrap (b=16, d=8)");
+    println!("{}", t.render());
+    report::write_csv_or_warn(&t, Path::new("results/scale.csv"));
+}

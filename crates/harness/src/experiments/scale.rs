@@ -1,0 +1,135 @@
+//! Large-`n` scaling of the sharded, arena-backed simulation core: batched
+//! concurrent bootstrap throughput, peak memory, and sequential-vs-sharded
+//! digest parity.
+
+use std::time::Instant;
+
+use hyperring_core::{bootstrap_batched, check_consistency, tables_digest, ProtocolOptions};
+use hyperring_id::IdSpace;
+
+use crate::metrics::{cores, peak_rss_bytes};
+use crate::workload::distinct_ids;
+
+/// Configuration of one scaling run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaleConfig {
+    /// Identifier-space base.
+    pub b: u16,
+    /// Identifier-space digit count.
+    pub d: usize,
+    /// Total nodes (seed + joiners).
+    pub n: usize,
+    /// Joiners injected per concurrent wave.
+    pub batch: usize,
+    /// Event-queue shards driving the simulator.
+    pub shards: usize,
+    /// Workload seed for the id draw.
+    pub seed: u64,
+    /// Whether to re-run on one shard and compare table digests
+    /// (doubles the runtime; the determinism audit).
+    pub parity: bool,
+    /// Whether to run the full consistency checker on the result.
+    pub check: bool,
+}
+
+impl ScaleConfig {
+    /// A b=16, d=8 run of `n` nodes on `shards` shards, waves of `batch`.
+    pub fn new(n: usize, batch: usize, shards: usize) -> Self {
+        ScaleConfig {
+            b: 16,
+            d: 8,
+            n,
+            batch,
+            shards,
+            seed: 13,
+            parity: false,
+            check: true,
+        }
+    }
+}
+
+/// Result of one scaling run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleResult {
+    /// Nodes bootstrapped.
+    pub nodes: usize,
+    /// Shards used.
+    pub shards: usize,
+    /// Wall-clock duration of the bootstrap (seconds).
+    pub wall_secs: f64,
+    /// Bootstrap throughput in nodes per wall-clock second.
+    pub nodes_per_sec: f64,
+    /// Peak resident set size after the run (bytes; 0 off Linux). A
+    /// process-lifetime high-water mark, so an upper bound when several
+    /// runs share a process.
+    pub peak_rss_bytes: u64,
+    /// Cores available to the process (shard speedup is bounded by this).
+    pub cores: usize,
+    /// FNV-1a digest of the final tables ([`tables_digest`]).
+    pub digest: u64,
+    /// Whether the consistency checker passed (`true` when skipped).
+    pub consistent: bool,
+    /// Digest parity versus a 1-shard re-run (`None` when not requested).
+    pub parity_ok: Option<bool>,
+}
+
+/// Bootstraps `cfg.n` nodes in concurrent waves on the sharded core and
+/// measures throughput, memory, and (optionally) shard-parity.
+///
+/// # Panics
+///
+/// Panics if the space is invalid, a wave fails to quiesce, or the
+/// consistency check fails a structural precondition.
+pub fn run_scale(cfg: &ScaleConfig) -> ScaleResult {
+    let space = IdSpace::new(cfg.b, cfg.d).expect("valid space");
+    let ids = distinct_ids(space, cfg.n, cfg.seed);
+    let opts = ProtocolOptions::new();
+
+    let start = Instant::now();
+    let tables = bootstrap_batched(space, opts, &ids, cfg.batch, cfg.shards);
+    let wall_secs = start.elapsed().as_secs_f64();
+    let digest = tables_digest(&tables);
+
+    let consistent = !cfg.check || check_consistency(space, &tables).is_consistent();
+    drop(tables);
+
+    let parity_ok = cfg.parity.then(|| {
+        let seq = bootstrap_batched(space, opts, &ids, cfg.batch, 1);
+        tables_digest(&seq) == digest
+    });
+
+    ScaleResult {
+        nodes: cfg.n,
+        shards: cfg.shards,
+        wall_secs,
+        nodes_per_sec: cfg.n as f64 / wall_secs.max(f64::MIN_POSITIVE),
+        peak_rss_bytes: peak_rss_bytes().unwrap_or(0),
+        cores: cores(),
+        digest,
+        consistent,
+        parity_ok,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_scale_run_is_consistent_and_shard_stable() {
+        let mut cfg = ScaleConfig::new(48, 16, 4);
+        cfg.parity = true;
+        let r = run_scale(&cfg);
+        assert_eq!(r.nodes, 48);
+        assert!(r.consistent);
+        assert_eq!(r.parity_ok, Some(true));
+        assert!(r.nodes_per_sec > 0.0);
+    }
+
+    #[test]
+    fn shard_counts_agree_on_digest() {
+        let d1 = run_scale(&ScaleConfig::new(32, 8, 1));
+        let d4 = run_scale(&ScaleConfig::new(32, 8, 4));
+        assert_eq!(d1.digest, d4.digest);
+    }
+}

@@ -34,6 +34,7 @@
 pub mod baseline;
 pub mod cli;
 pub mod experiments;
+pub mod metrics;
 pub mod report;
 pub mod scenario;
 pub mod topo_delay;

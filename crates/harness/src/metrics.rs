@@ -1,0 +1,53 @@
+//! Process-level measurement helpers for the scaling experiments: peak
+//! resident set size and core count, reported alongside throughput so
+//! benchmark rows are interpretable on any machine.
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` off Linux. The high-water mark is
+/// monotone over the process lifetime, so measure a fresh process (or
+/// accept an upper bound) when comparing configurations.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_vmhwm(&status)
+}
+
+/// Extracts `VmHWM` (kB) from a `/proc/<pid>/status` rendering, in bytes.
+fn parse_vmhwm(status: &str) -> Option<u64> {
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Number of cores available to this process — recorded next to any
+/// sharded-vs-sequential comparison, since shard speedups are bounded by
+/// it (on a single-core host the sharded scheduler degrades to ordered
+/// sequential delivery and the honest ratio is ≈1×).
+pub fn cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vmhwm_parses_proc_format() {
+        let status = "Name:\tx\nVmPeak:\t  10 kB\nVmHWM:\t  2048 kB\nThreads:\t1\n";
+        assert_eq!(parse_vmhwm(status), Some(2 * 1024 * 1024));
+        assert_eq!(parse_vmhwm("Name:\tx\n"), None);
+    }
+
+    #[test]
+    fn cores_is_positive() {
+        assert!(cores() >= 1);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn peak_rss_reads_this_process() {
+        let rss = peak_rss_bytes().expect("linux exposes VmHWM");
+        assert!(rss > 0);
+    }
+}

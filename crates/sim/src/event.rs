@@ -3,16 +3,20 @@ pub type Time = u64;
 
 /// What a scheduled event carries: a message in flight or a pending timer.
 ///
-/// Timer events are validated against the simulator's armed-timer table at
-/// pop time; a canceled or superseded timer is skipped without touching
-/// virtual time or any counter, so arming-then-canceling perturbs nothing
-/// observable.
+/// Timer events carry the *generation* of the arming that scheduled them
+/// and are validated against the simulator's armed-timer table at pop
+/// time; a canceled or superseded timer's generation no longer matches,
+/// so the event is skipped without touching virtual time or any counter —
+/// arming-then-canceling perturbs nothing observable. Generations (rather
+/// than global event seqs) make staleness locally decidable inside one
+/// shard of the sharded scheduler.
 #[derive(Debug, Clone)]
 pub(crate) enum Payload<M, T> {
     /// A message from one actor to another.
     Msg(M),
-    /// A timer the destination actor armed for itself.
-    Timer(T),
+    /// A timer the destination actor armed for itself, plus the arming
+    /// generation it must still match to fire.
+    Timer(T, u64),
 }
 
 /// A scheduled delivery. Ordering (and equality) consider only the
