@@ -23,7 +23,7 @@ fn bench_leave(c: &mut Criterion) {
             let mut net = builder.build(UniformDelay::new(500, 20_000), 7);
             net.run();
             net.depart(&ids[64]);
-            black_box(net.tables().len())
+            black_box(net.tables_iter().count())
         })
     });
     g.finish();

@@ -30,11 +30,15 @@
 use std::fmt;
 
 use hyperring_id::{IdSpace, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 
+use crate::digest::{digest_entry, digest_reverse_sets, digest_table_prefix, Fnv};
 use crate::routing::route;
+use crate::suffix_compact::CompactSuffixIndex;
 use crate::suffix_index::SuffixIndex;
-use crate::table::{NeighborTable, NodeState};
+use crate::table::{Entry, NeighborTable, NodeState};
 
 /// One consistency violation found by [`check_consistency`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -140,6 +144,20 @@ pub struct ConsistencyReport {
 }
 
 impl ConsistencyReport {
+    /// Assembles a report (crate-internal: the incremental checker merges
+    /// cached and re-verified per-node results into one).
+    pub(crate) fn assemble(
+        violations: Vec<Violation>,
+        nodes: usize,
+        entries_checked: usize,
+    ) -> Self {
+        ConsistencyReport {
+            violations,
+            nodes,
+            entries_checked,
+        }
+    }
+
     /// Whether no violation was found.
     pub fn is_consistent(&self) -> bool {
         self.violations.is_empty()
@@ -295,6 +313,213 @@ pub fn check_consistency_with_index(
     }
 }
 
+/// Checks one node's table against a **sealed** [`CompactSuffixIndex`] by
+/// range descent, without constructing a single `Suffix` or `NodeId`
+/// witness on the happy path.
+///
+/// Invariant driving the walk: in suffix order, the carriers of the
+/// owner's length-`i` suffix `x[i-1..0]` form one contiguous range, and
+/// within that range the digit at position `i` ascends. So the per-digit
+/// carrier sub-ranges of level `i` fall out of `b` binary searches, and
+/// descending to level `i+1` just narrows to the owner's own digit's
+/// sub-range. Per entry the checks reduce to: sub-range emptiness (the
+/// witness-existence test), a membership binary search for the stored
+/// node, and the integer `fits` predicate — which equals
+/// `has_suffix(desired_suffix(i, j))` by definition. A witness `NodeId`
+/// is only materialized on the (rare) false-negative path, via the
+/// index's numeric-minimum query — the same "smallest carrier" the
+/// [`SuffixIndex`] checkers report.
+///
+/// `on_entry` is invoked for every **non-empty** entry in slot order
+/// (level-major, digit ascending) — the hook the combined digest+check
+/// pass uses to fold the digest out of the same traversal.
+pub(crate) fn check_table_compact(
+    space: IdSpace,
+    t: &NeighborTable,
+    index: &CompactSuffixIndex,
+    mut on_entry: impl FnMut(usize, u8, &Entry),
+) -> Vec<Violation> {
+    let x = t.owner();
+    let b = space.base() as usize;
+    let mut violations = Vec::new();
+    let mut bounds = vec![0usize; b + 1];
+    // Carriers of the empty suffix: everyone.
+    let (mut lo, mut hi) = (0usize, index.len());
+    for i in 0..space.digit_count() {
+        bounds[0] = lo; // every digit is >= 0
+        for (j, bound) in bounds.iter_mut().enumerate().skip(1).take(b - 1) {
+            *bound = index.lower_bound_digit(lo, hi, i, j as u8);
+        }
+        bounds[b] = hi; // every digit is < b
+        for j in 0..b {
+            let (sub_lo, sub_hi) = (bounds[j], bounds[j + 1]);
+            let j = j as u8;
+            match (t.get(i, j), sub_lo < sub_hi) {
+                (None, true) => {
+                    let w = index
+                        .min_in_range(sub_lo, sub_hi)
+                        .expect("non-empty carrier range has a minimum");
+                    violations.push(Violation::FalseNegative {
+                        node: x,
+                        level: i,
+                        digit: j,
+                        witness: index.resolve(w),
+                    });
+                }
+                (None, false) => {}
+                (Some(e), carried) => {
+                    on_entry(i, j, &e);
+                    if !index.contains(&e.node) {
+                        violations.push(Violation::UnknownNeighbor {
+                            node: x,
+                            level: i,
+                            digit: j,
+                            stored: e.node,
+                        });
+                    } else if !carried || !t.fits(i, j, &e.node) {
+                        violations.push(Violation::FalsePositive {
+                            node: x,
+                            level: i,
+                            digit: j,
+                            stored: e.node,
+                        });
+                    } else if e.state == NodeState::T {
+                        violations.push(Violation::StaleState {
+                            node: x,
+                            level: i,
+                            digit: j,
+                            stored: e.node,
+                        });
+                    }
+                }
+            }
+        }
+        let own = x.digit(i) as usize;
+        (lo, hi) = (bounds[own], bounds[own + 1]);
+    }
+    violations
+}
+
+/// Fans [`check_table_compact`] over borrowed tables in parallel; the
+/// shared tail of the streaming entry points. Deterministic: compat-rayon
+/// hands each worker a contiguous chunk and reassembles results in input
+/// order, so violations come back in table order for any thread count.
+pub(crate) fn check_refs_with_compact(
+    space: IdSpace,
+    tables: &[&NeighborTable],
+    index: &CompactSuffixIndex,
+) -> ConsistencyReport {
+    let per_node: Vec<Vec<Violation>> = tables
+        .par_iter()
+        .map(|t| check_table_compact(space, t, index, |_, _, _| {}))
+        .collect();
+    ConsistencyReport {
+        violations: per_node.into_iter().flatten().collect(),
+        nodes: tables.len(),
+        entries_checked: tables.len() * space.digit_count() * space.base() as usize,
+    }
+}
+
+/// [`check_consistency`] over **borrowed** tables: walks each engine's
+/// arena-backed table in place — no `Vec<NeighborTable>` clone, no
+/// snapshot — against a [`CompactSuffixIndex`] of `u32` arena ids instead
+/// of the `NodeId`-keyed [`SuffixIndex`]. Reports the identical
+/// [`Violation`] list (same order, same witnesses) at a small fraction of
+/// the memory: the check-phase overhead is the index (`≈ (d + 12) · n`
+/// bytes plus one `&NeighborTable` per node) rather than a full table-set
+/// clone plus `O(n · d)` hash/BTree nodes.
+///
+/// Feed it anything that yields `&NeighborTable` — typically
+/// [`SimNetwork::tables_iter`](crate::SimNetwork::tables_iter) or
+/// `tables.iter()` over an owned slice.
+///
+/// # Panics
+///
+/// Panics if `tables` is empty or contains duplicate owners.
+pub fn check_consistency_streaming<'a, I>(space: IdSpace, tables: I) -> ConsistencyReport
+where
+    I: IntoIterator<Item = &'a NeighborTable>,
+{
+    let refs: Vec<&NeighborTable> = tables.into_iter().collect();
+    assert!(!refs.is_empty(), "no tables to check");
+    let mut index = CompactSuffixIndex::new(space);
+    for t in &refs {
+        index.insert(t.owner());
+    }
+    assert_eq!(index.len(), refs.len(), "duplicate table owners");
+    index.seal();
+    check_refs_with_compact(space, &refs, &index)
+}
+
+/// [`check_consistency_streaming`] against a caller-maintained
+/// [`CompactSuffixIndex`] — the borrowed-table analog of
+/// [`check_consistency_with_index`]. The index defines the live
+/// membership (witnesses and the [`Violation::UnknownNeighbor`] test both
+/// come from it), so it must reflect exactly the owners of `tables`;
+/// churn loops apply joins/departures incrementally with
+/// [`CompactSuffixIndex::insert`] / [`CompactSuffixIndex::remove`]
+/// instead of re-indexing per wave. Takes `&mut` only to
+/// [`seal`](CompactSuffixIndex::seal) the witness structure; the check
+/// itself is read-only and parallel.
+pub fn check_consistency_with_compact<'a, I>(
+    space: IdSpace,
+    tables: I,
+    index: &mut CompactSuffixIndex,
+) -> ConsistencyReport
+where
+    I: IntoIterator<Item = &'a NeighborTable>,
+{
+    let refs: Vec<&NeighborTable> = tables.into_iter().collect();
+    index.seal();
+    check_refs_with_compact(space, &refs, index)
+}
+
+/// One pass, two answers: the canonical
+/// [`tables_digest`](crate::tables_digest) **and** the streaming
+/// Definition-3.8 report, folding the digest out of the checker's own
+/// slot walk so each table's arena is read once instead of twice. The
+/// digest is byte-identical to `tables_digest` over the same sequence
+/// (the golden values must never move); the report is identical to
+/// [`check_consistency_streaming`].
+///
+/// The digest threads sequentially across tables by construction, so this
+/// pass checks sequentially too; prefer it when the digest is wanted
+/// anyway (the scale harness), and the parallel
+/// [`check_consistency_streaming`] when it is not.
+///
+/// # Panics
+///
+/// Panics if `tables` is empty or contains duplicate owners.
+pub fn digest_and_check_streaming<'a, I>(space: IdSpace, tables: I) -> (u64, ConsistencyReport)
+where
+    I: IntoIterator<Item = &'a NeighborTable>,
+{
+    let refs: Vec<&NeighborTable> = tables.into_iter().collect();
+    assert!(!refs.is_empty(), "no tables to check");
+    let mut index = CompactSuffixIndex::new(space);
+    for t in &refs {
+        index.insert(t.owner());
+    }
+    assert_eq!(index.len(), refs.len(), "duplicate table owners");
+    index.seal();
+
+    let mut h = Fnv::new();
+    let mut violations = Vec::new();
+    for t in &refs {
+        digest_table_prefix(&mut h, t);
+        violations.extend(check_table_compact(space, t, &index, |level, digit, e| {
+            digest_entry(&mut h, level, digit, e);
+        }));
+        digest_reverse_sets(&mut h, t);
+    }
+    let report = ConsistencyReport {
+        violations,
+        nodes: refs.len(),
+        entries_checked: refs.len() * space.digit_count() * space.base() as usize,
+    };
+    (h.finish(), report)
+}
+
 /// Definition 3.8 transcribed literally: for every entry, scan all of `V`
 /// for carriers of the desired suffix. `O(n² · d · b)` — kept as the
 /// reference implementation that [`check_consistency`] is tested and
@@ -378,10 +603,18 @@ pub fn check_consistency_naive(space: IdSpace, tables: &[NeighborTable]) -> Cons
 /// networks; `check_consistency` is the linear-time proxy (the two agree by
 /// Lemma 3.1).
 pub fn check_reachability(tables: &[NeighborTable]) -> Vec<(NodeId, NodeId)> {
+    let refs: Vec<&NeighborTable> = tables.iter().collect();
+    check_reachability_refs(&refs)
+}
+
+/// [`check_reachability`] over borrowed tables (the form the scenario
+/// runner feeds straight from
+/// [`SimNetwork::tables_iter`](crate::SimNetwork::tables_iter)).
+pub fn check_reachability_refs(tables: &[&NeighborTable]) -> Vec<(NodeId, NodeId)> {
     // Sorted vec + binary search instead of a `HashMap<NodeId, _>`: the
     // per-hop lookup inside `route` is the hot path here, and digit
     // compares beat rehashing 65-byte ids n²·d times.
-    let mut by_id: Vec<(NodeId, &NeighborTable)> = tables.iter().map(|t| (t.owner(), t)).collect();
+    let mut by_id: Vec<(NodeId, &NeighborTable)> = tables.iter().map(|t| (t.owner(), *t)).collect();
     by_id.sort_unstable_by_key(|p| p.0);
     let mut failures = Vec::new();
     for s in tables {
@@ -400,6 +633,52 @@ pub fn check_reachability(tables: &[NeighborTable]) -> Vec<(NodeId, NodeId)> {
             }
         }
     }
+    failures
+}
+
+/// Lemma 3.1 spot-checked instead of proved exhaustively: routes
+/// `k_pairs` seeded-random ordered `(source, target)` pairs (drawn with
+/// replacement, `source ≠ target`) and returns the failing ones. The
+/// all-pairs [`check_reachability`] is `O(n² · d)` — unusable by
+/// n ≈ 4096 — while a sample keeps the assertion affordable at any `n`;
+/// the scale experiment runs it at every size it bootstraps.
+///
+/// Deterministic for a fixed `(tables, k_pairs, seed)`; failures are a
+/// subset of what `check_reachability` would report (each failing pair it
+/// returns is a genuine routing failure, duplicates removed). Networks
+/// with fewer than two nodes have no pairs to draw: the result is empty.
+pub fn check_reachability_sampled(
+    tables: &[&NeighborTable],
+    k_pairs: usize,
+    seed: u64,
+) -> Vec<(NodeId, NodeId)> {
+    let n = tables.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    let mut by_id: Vec<(NodeId, &NeighborTable)> = tables.iter().map(|t| (t.owner(), *t)).collect();
+    by_id.sort_unstable_by_key(|p| p.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut failures = Vec::new();
+    for _ in 0..k_pairs {
+        let s = rng.gen_range(0..n);
+        let mut t = rng.gen_range(0..n - 1);
+        if t >= s {
+            t += 1;
+        }
+        let (src, dst) = (by_id[s].0, by_id[t].0);
+        let outcome = route(src, dst, |id| {
+            by_id
+                .binary_search_by(|p| p.0.cmp(id))
+                .ok()
+                .map(|i| by_id[i].1)
+        });
+        if !outcome.is_delivered() {
+            failures.push((src, dst));
+        }
+    }
+    failures.sort_unstable();
+    failures.dedup();
     failures
 }
 

@@ -1,40 +1,92 @@
 //! Canonical table fingerprinting, shared by the golden determinism
 //! tests, the scale harness, and CI's sharded-determinism smoke check.
+//!
+//! The byte stream is factored into per-table pieces ([`Fnv`],
+//! [`digest_table_prefix`], [`digest_entry`], [`digest_reverse_sets`]) so
+//! that [`tables_digest`] and the combined
+//! [`digest_and_check_streaming`](crate::digest_and_check_streaming) pass
+//! fold the *same* bytes — the latter interleaves digesting with the
+//! Definition-3.8 check and reads each table's arena exactly once.
 
-use crate::table::{NeighborTable, NodeState};
+use crate::table::{Entry, NeighborTable, NodeState};
 
-/// FNV-1a over a canonical rendering of every table: owner, all entries
-/// `(level, digit, node, state)`, and all reverse-neighbor sets in
-/// ascending id order. Spelled out here (instead of `DefaultHasher`) so
-/// the digest is stable across Rust releases; two runs — e.g. a
-/// sequential and a sharded one — produced identical tables iff their
-/// digests match.
-pub fn tables_digest(tables: &[NeighborTable]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut eat = |s: &str| {
+/// Incremental FNV-1a over canonical table renderings. Spelled out here
+/// (instead of `DefaultHasher`) so the digest is stable across Rust
+/// releases; two runs — e.g. a sequential and a sharded one — produced
+/// identical tables iff their digests match.
+#[derive(Debug, Clone)]
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    /// The FNV-1a offset basis.
+    pub(crate) fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds a string's bytes into the running digest.
+    pub(crate) fn eat(&mut self, s: &str) {
         for b in s.bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
         }
-    };
-    for t in tables {
-        eat(&format!("T{}", t.owner()));
-        for (level, digit, e) in t.iter() {
-            eat(&format!(
-                "E{level}.{digit}.{}.{}",
-                e.node,
-                if e.state == NodeState::S { 'S' } else { 'T' }
-            ));
-        }
-        for level in 0..t.space().digit_count() {
-            for digit in 0..t.space().base() as u8 {
-                for r in t.reverse_of(level, digit) {
-                    eat(&format!("R{level}.{digit}.{r}"));
-                }
+    }
+
+    /// The digest so far.
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Digests a table's owner line (`T{owner}`) — the start of its canonical
+/// rendering.
+pub(crate) fn digest_table_prefix(h: &mut Fnv, t: &NeighborTable) {
+    h.eat(&format!("T{}", t.owner()));
+}
+
+/// Digests one non-empty entry (`E{level}.{digit}.{node}.{S|T}`). Must be
+/// fed every non-empty entry in slot order (level-major, digit ascending)
+/// to reproduce [`tables_digest`].
+pub(crate) fn digest_entry(h: &mut Fnv, level: usize, digit: u8, e: &Entry) {
+    h.eat(&format!(
+        "E{level}.{digit}.{}.{}",
+        e.node,
+        if e.state == NodeState::S { 'S' } else { 'T' }
+    ));
+}
+
+/// Digests a table's reverse-neighbor sets (`R{level}.{digit}.{r}` in
+/// ascending id order per slot) — the tail of its canonical rendering.
+pub(crate) fn digest_reverse_sets(h: &mut Fnv, t: &NeighborTable) {
+    for level in 0..t.space().digit_count() {
+        for digit in 0..t.space().base() as u8 {
+            for r in t.reverse_of(level, digit) {
+                h.eat(&format!("R{level}.{digit}.{r}"));
             }
         }
     }
-    h
+}
+
+/// FNV-1a over a canonical rendering of every table: owner, all entries
+/// `(level, digit, node, state)`, and all reverse-neighbor sets in
+/// ascending id order.
+pub fn tables_digest(tables: &[NeighborTable]) -> u64 {
+    tables_digest_iter(tables.iter())
+}
+
+/// [`tables_digest`] over borrowed tables — the streaming form the scale
+/// harness feeds from [`SimNetwork::tables_iter`](crate::SimNetwork::tables_iter)
+/// without cloning a `Vec<NeighborTable>` first. Byte-identical to
+/// [`tables_digest`] for the same table sequence.
+pub fn tables_digest_iter<'a>(tables: impl IntoIterator<Item = &'a NeighborTable>) -> u64 {
+    let mut h = Fnv::new();
+    for t in tables {
+        digest_table_prefix(&mut h, t);
+        for (level, digit, e) in t.iter() {
+            digest_entry(&mut h, level, digit, &e);
+        }
+        digest_reverse_sets(&mut h, t);
+    }
+    h.finish()
 }
 
 #[cfg(test)]
@@ -64,5 +116,19 @@ mod tests {
             },
         );
         assert_ne!(d1, tables_digest(&[ta, tb]));
+    }
+
+    #[test]
+    fn iter_digest_matches_slice_digest() {
+        let space = IdSpace::new(4, 5).unwrap();
+        let a = space.parse_id("21233").unwrap();
+        let b = space.parse_id("31033").unwrap();
+        let mut ta = NeighborTable::new(space, a);
+        ta.set_self_entries(NodeState::S);
+        let mut tb = NeighborTable::new(space, b);
+        tb.set_self_entries(NodeState::T);
+        tb.add_reverse(0, 3, a);
+        let tables = vec![ta, tb];
+        assert_eq!(tables_digest(&tables), tables_digest_iter(tables.iter()));
     }
 }

@@ -67,6 +67,7 @@ mod dispatch;
 mod effect;
 mod engine;
 mod failure;
+mod incremental;
 mod messages;
 mod optimize;
 mod options;
@@ -75,28 +76,33 @@ mod repair;
 mod routing;
 mod simnet;
 mod stats;
+mod suffix_compact;
 mod suffix_index;
 mod table;
 mod trace;
 
 pub use consistency::{
-    check_consistency, check_consistency_naive, check_consistency_with_index, check_reachability,
+    check_consistency, check_consistency_naive, check_consistency_streaming,
+    check_consistency_with_compact, check_consistency_with_index, check_reachability,
+    check_reachability_refs, check_reachability_sampled, digest_and_check_streaming,
     ConsistencyReport, Violation,
 };
-pub use digest::tables_digest;
+pub use digest::{tables_digest, tables_digest_iter};
 pub use dispatch::{dispatch_effects, EffectHandler};
 pub use effect::{Effect, Effects, Event, TimerId};
 pub use engine::{JoinEngine, Status};
+pub use incremental::IncrementalChecker;
 pub use messages::{packed_id_bytes, BitVec, Message, MessageKind};
 pub use optimize::{optimize_tables, OptimizeReport};
 pub use options::{FailureDetector, PayloadMode, ProtocolOptions, RetryPolicy};
 pub use oracle::build_consistent_tables;
 pub use routing::{next_hop, route, RouteOutcome};
 pub use simnet::{
-    bootstrap_batched, bootstrap_sequential, bootstrap_sequential_rebuild, Directory, SimMsg,
-    SimNetwork, SimNetworkBuilder, SimNode,
+    bootstrap_batched, bootstrap_batched_net, bootstrap_sequential, bootstrap_sequential_rebuild,
+    Directory, SimMsg, SimNetwork, SimNetworkBuilder, SimNode,
 };
 pub use stats::MessageStats;
+pub use suffix_compact::CompactSuffixIndex;
 pub use suffix_index::SuffixIndex;
 pub use table::{Entry, NeighborTable, NodeState, SnapshotRow, TableSnapshot};
 pub use trace::{

@@ -33,7 +33,7 @@ use std::sync::{Arc, Mutex, RwLock};
 use hyperring_id::{IdSpace, NodeId};
 use hyperring_sim::{Actor, Context, DelayModel, RunReport, Simulator, Time};
 
-use crate::consistency::{check_consistency, ConsistencyReport};
+use crate::consistency::{check_consistency_streaming, ConsistencyReport};
 use crate::dispatch::{dispatch_effects, EffectHandler};
 use crate::effect::{Effects, Event, TimerId};
 use crate::engine::{JoinEngine, Status};
@@ -544,17 +544,40 @@ impl<D: DelayModel> SimNetwork<D> {
     }
 
     /// Checks Definition 3.8 over the tables of *live* (neither departed
-    /// nor crashed) nodes — the survivor-restricted checker.
+    /// nor crashed) nodes — the survivor-restricted checker. Streams over
+    /// the engines' arena-backed tables in place
+    /// ([`tables_iter`](Self::tables_iter)); no table is cloned.
     pub fn check_consistency(&self) -> ConsistencyReport {
-        check_consistency(self.space, &self.tables())
+        check_consistency_streaming(self.space, self.tables_iter())
+    }
+
+    /// Borrows the tables of live (neither departed nor crashed) nodes in
+    /// engine order — the zero-copy view every digest/consistency path
+    /// feeds from. Each item is the engine's arena-backed table in place.
+    pub fn tables_iter(&self) -> impl Iterator<Item = &NeighborTable> {
+        self.engines()
+            .filter(|e| !matches!(e.status(), Status::Departed | Status::Crashed))
+            .map(|e| e.table())
+    }
+
+    /// Visits each live node's table in engine order — the closure form of
+    /// [`tables_iter`](Self::tables_iter) for callers that only need a
+    /// single pass (e.g. folding a digest).
+    pub fn for_each_table(&self, mut f: impl FnMut(&NeighborTable)) {
+        for t in self.tables_iter() {
+            f(t);
+        }
     }
 
     /// Clones out the tables of live (neither departed nor crashed) nodes.
+    ///
+    /// **Tests and table hand-off only**: this materializes `O(n · d · b)`
+    /// memory (every entry and reverse set of every live node). Checking,
+    /// digesting, and counting should borrow via
+    /// [`tables_iter`](Self::tables_iter) /
+    /// [`for_each_table`](Self::for_each_table) instead.
     pub fn tables(&self) -> Vec<NeighborTable> {
-        self.engines()
-            .filter(|e| !matches!(e.status(), Status::Departed | Status::Crashed))
-            .map(|e| e.table().clone())
-            .collect()
+        self.tables_iter().cloned().collect()
     }
 
     /// Schedules a graceful leave of `id` at the current virtual time,
@@ -767,6 +790,26 @@ pub fn bootstrap_batched(
     batch: usize,
     shards: usize,
 ) -> Vec<NeighborTable> {
+    bootstrap_batched_net(space, opts, ids, batch, shards).tables()
+}
+
+/// [`bootstrap_batched`], returning the live network instead of cloning
+/// its tables out. This is the memory-lean endpoint for large `n`: the
+/// caller streams digests and Definition-3.8 checks straight off the
+/// engines' arena-backed tables via [`SimNetwork::tables_iter`] — the
+/// `Vec<NeighborTable>` materialization that used to double peak RSS at
+/// the check never happens.
+///
+/// # Panics
+///
+/// As [`bootstrap_batched`].
+pub fn bootstrap_batched_net(
+    space: IdSpace,
+    opts: ProtocolOptions,
+    ids: &[NodeId],
+    batch: usize,
+    shards: usize,
+) -> SimNetwork<hyperring_sim::ConstantDelay> {
     assert!(!ids.is_empty());
     assert!(batch > 0, "batch size must be positive");
     let seed_node = ids[0];
@@ -781,7 +824,7 @@ pub fn bootstrap_batched(
         net.run();
         assert!(net.all_in_system(), "join wave failed to terminate");
     }
-    net.tables()
+    net
 }
 
 /// The original rebuild-per-join implementation of
@@ -820,6 +863,7 @@ pub fn bootstrap_sequential_rebuild(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::consistency::check_consistency;
     use hyperring_sim::{ConstantDelay, UniformDelay};
     use rand::rngs::StdRng;
     use rand::SeedableRng;

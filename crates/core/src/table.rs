@@ -1,6 +1,7 @@
 use std::cmp::Ordering;
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::{Arc, Mutex};
 
 use hyperring_id::{IdSpace, NodeId, Suffix};
@@ -147,6 +148,19 @@ impl IdArena {
     }
 }
 
+/// Process-wide entry-version clock. Every table mutation draws a fresh
+/// value, so two `NeighborTable`s share a version **iff** one is an
+/// unmutated clone of the other — which guarantees identical entries. The
+/// incremental checker leans on exactly that implication to skip clean
+/// tables; version values themselves are not deterministic across runs
+/// and must never feed a digest.
+static VERSION_CLOCK: AtomicU64 = AtomicU64::new(1);
+
+/// A fresh, process-unique version stamp.
+fn next_version() -> u64 {
+    VERSION_CLOCK.fetch_add(1, AtomicOrdering::Relaxed)
+}
+
 /// Empty-slot marker (also has [`S_BIT`] set, so it can never collide with
 /// a real encoded entry).
 const EMPTY: u32 = u32::MAX;
@@ -209,6 +223,10 @@ pub struct NeighborTable {
     slots: Box<[u32]>,
     /// Reverse-neighbor memberships, sorted by `(slot, numeric id)`.
     rev: Vec<RevEntry>,
+    /// Entry-version stamp from [`VERSION_CLOCK`]: refreshed on every
+    /// entry mutation, copied verbatim by `clone`. Reverse-neighbor edits
+    /// do not touch it — they are invisible to Definition 3.8.
+    version: u64,
     /// Memoized full-table snapshot; rebuilt lazily after any entry
     /// mutation so repeated big-message sends between mutations share one
     /// row allocation instead of re-collecting `d×b` slots each time.
@@ -224,6 +242,7 @@ impl Clone for NeighborTable {
             arena: self.arena.clone(),
             slots: self.slots.clone(),
             rev: self.rev.clone(),
+            version: self.version,
             snap: Mutex::new(self.snap.lock().unwrap().clone()),
         }
     }
@@ -247,6 +266,7 @@ impl NeighborTable {
             arena,
             slots: vec![EMPTY; slots].into_boxed_slice(),
             rev: Vec::new(),
+            version: next_version(),
             snap: Mutex::new(None),
         }
     }
@@ -275,9 +295,11 @@ impl NeighborTable {
         lo..hi
     }
 
-    /// Drops the memoized snapshot after an entry mutation.
+    /// Drops the memoized snapshot and refreshes the version stamp after
+    /// an entry mutation.
     #[inline]
     fn invalidate_snapshot(&mut self) {
+        self.version = next_version();
         *self.snap.get_mut().unwrap() = None;
     }
 
@@ -381,6 +403,33 @@ impl NeighborTable {
         let owner = self.owner;
         for i in 0..self.space.digit_count() {
             self.set(i, owner.digit(i), Entry { node: owner, state });
+        }
+    }
+
+    /// The table's entry-version stamp: refreshed (to a process-unique
+    /// value) by every entry mutation — `set`, `clear`, and a state change
+    /// through `set_state_if` — and copied verbatim by `clone`. Equal
+    /// versions therefore imply identical entries, which is what the
+    /// incremental consistency checker uses to skip unchanged tables.
+    /// Reverse-neighbor edits do not refresh it (Definition 3.8 never
+    /// reads reverse sets). Not deterministic across runs.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Whether any entry of this table stores `node`. One interner lookup
+    /// (binary search over the ids this table ever referenced) prunes the
+    /// common miss; a hit costs a `d · b` word scan. The incremental
+    /// checker uses this to find the storers of a joined/departed node
+    /// without resolving any `NodeId`s.
+    pub fn stores(&self, node: &NodeId) -> bool {
+        match self.arena.lookup(node) {
+            None => false,
+            Some(idx) => self
+                .slots
+                .iter()
+                .any(|&raw| raw != EMPTY && raw & IDX_MASK == idx),
         }
     }
 
@@ -863,6 +912,52 @@ mod tests {
         let s = t.render();
         assert!(s.contains("21233"));
         assert!(s.contains("b=4, d=5"));
+    }
+
+    #[test]
+    fn version_changes_on_entry_mutation_only() {
+        let mut t = NeighborTable::new(space(), id("21233"));
+        let v0 = t.version();
+        let c = t.clone();
+        assert_eq!(c.version(), v0, "clone shares the version");
+        t.set_self_entries(NodeState::S);
+        let v1 = t.version();
+        assert_ne!(v1, v0);
+        assert_eq!(c.version(), v0, "clone unaffected by the original");
+        // Reverse edits are invisible to Definition 3.8: no refresh.
+        t.add_reverse(1, 3, id("31033"));
+        assert_eq!(t.version(), v1);
+        t.clear(0, 3);
+        assert_ne!(t.version(), v1);
+        let v2 = t.version();
+        // A no-op set_state_if does not refresh; a real change does.
+        assert!(!t.set_state_if(1, 3, &id("21033"), NodeState::T));
+        assert_eq!(t.version(), v2);
+        assert!(t.set_state_if(1, 3, &id("21233"), NodeState::T));
+        assert_ne!(t.version(), v2);
+    }
+
+    #[test]
+    fn stores_matches_entry_scan() {
+        let mut t = NeighborTable::new(space(), id("21233"));
+        t.set_self_entries(NodeState::S);
+        assert!(t.stores(&id("21233")));
+        let y = id("31033");
+        assert!(!t.stores(&y));
+        // Interned via a reverse set but not stored in any entry.
+        t.add_reverse(2, 0, y);
+        assert!(!t.stores(&y));
+        t.set(
+            2,
+            0,
+            Entry {
+                node: y,
+                state: NodeState::S,
+            },
+        );
+        assert!(t.stores(&y));
+        t.clear(2, 0);
+        assert!(!t.stores(&y));
     }
 
     #[test]

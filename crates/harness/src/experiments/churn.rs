@@ -3,9 +3,7 @@
 //! protocol is the paper's; the leave protocol is this repository's
 //! extension of it (see `DESIGN.md`).
 
-use hyperring_core::{
-    check_consistency_with_index, MessageKind, SimNetworkBuilder, Status, SuffixIndex,
-};
+use hyperring_core::{IncrementalChecker, MessageKind, SimNetworkBuilder, Status};
 use hyperring_id::IdSpace;
 use hyperring_sim::UniformDelay;
 use rand::rngs::StdRng;
@@ -64,9 +62,11 @@ pub fn run_churn(
     let mut rng = StdRng::seed_from_u64(seed ^ 0xc4u64);
 
     let mut tables = hyperring_core::build_consistent_tables(space, &ids[..n0]);
-    // One suffix index lives across the whole run; each wave applies its
-    // joins/departures incrementally instead of re-indexing the population.
-    let mut index = SuffixIndex::build(space, ids[..n0].iter().copied());
+    // One dirty-set checker lives across the whole run: each wave
+    // re-verifies only the tables the churn touched (it infers
+    // joins/departures from the owner set itself), with every 4th call a
+    // scheduled full pass cross-checking the incremental logic.
+    let mut checker = IncrementalChecker::new(space).with_full_every(4);
     let mut next_id = n0;
     let mut waves = Vec::new();
     let mut always_consistent = true;
@@ -81,18 +81,17 @@ pub fn run_churn(
         for k in 0..joins_per_round {
             let gw = members[rng.gen_range(0..members.len())];
             builder.add_joiner(ids[next_id + k], gw, 0);
-            index.insert(ids[next_id + k]);
         }
         next_id += joins_per_round;
         let mut net = builder.build(UniformDelay::new(500, 60_000), seed ^ wave_no as u64);
         let report = net.run();
         assert!(net.all_in_system(), "wave {wave_no}: join did not settle");
-        let consistent = check_consistency_with_index(space, &net.tables(), &index).is_consistent();
+        let consistent = checker.check(net.tables_iter()).is_consistent();
         debug_assert_eq!(consistent, net.check_consistency().is_consistent());
         always_consistent &= consistent;
         waves.push(WaveStats {
             wave: wave_no,
-            population: net.tables().len(),
+            population: net.tables_iter().count(),
             consistent,
             messages: report.delivered,
             leave_cost: 0.0,
@@ -111,7 +110,6 @@ pub fn run_churn(
         let mut messages = 0;
         for v in &victims {
             let r = net.depart(v);
-            index.remove(v);
             messages = r.delivered;
         }
         let leave_cost: u64 = victims
@@ -121,7 +119,7 @@ pub fn run_churn(
                 s.sent(MessageKind::LeaveNoti) + s.sent(MessageKind::RvNghForget)
             })
             .sum();
-        let consistent = check_consistency_with_index(space, &net.tables(), &index).is_consistent();
+        let consistent = checker.check(net.tables_iter()).is_consistent();
         debug_assert_eq!(consistent, net.check_consistency().is_consistent());
         always_consistent &= consistent;
         debug_assert!(net
@@ -129,11 +127,13 @@ pub fn run_churn(
             .all(|e| matches!(e.status(), Status::InSystem | Status::Departed)));
         waves.push(WaveStats {
             wave: wave_no,
-            population: net.tables().len(),
+            population: net.tables_iter().count(),
             consistent,
             messages,
             leave_cost: leave_cost as f64 / victims.len() as f64,
         });
+        // Ownership hand-off to the next round's builder — the one place a
+        // materialized clone is the point, not overhead.
         tables = net.tables();
     }
 

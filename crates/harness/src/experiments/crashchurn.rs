@@ -142,13 +142,14 @@ pub fn run_crashchurn(cfg: &CrashChurnConfig, seed: u64, repair: bool) -> CrashC
     }
     let report = net.run_until(cfg.horizon);
 
-    let tables = net.tables();
     let dead: std::collections::BTreeSet<NodeId> = victims.into_iter().collect();
-    let dead_refs = tables
-        .iter()
+    // Borrowed sweep over the survivors' arena-backed tables — no clone.
+    let dead_refs = net
+        .tables_iter()
         .flat_map(|t| t.iter())
         .filter(|(_, _, e)| dead.contains(&e.node))
         .count();
+    let survivors = net.tables_iter().count();
     let consistency = net.check_consistency();
     let false_negatives = consistency
         .violations()
@@ -158,7 +159,7 @@ pub fn run_crashchurn(cfg: &CrashChurnConfig, seed: u64, repair: bool) -> CrashC
     let trace_digest = digest.lock().digest();
     CrashChurnResult {
         crashed: crashes,
-        survivors: tables.len(),
+        survivors,
         violations: consistency.violations().len(),
         false_negatives,
         consistent: consistency.is_consistent(),

@@ -1,13 +1,19 @@
 //! Large-`n` scaling of the sharded, arena-backed simulation core: batched
-//! concurrent bootstrap throughput, peak memory, and sequential-vs-sharded
-//! digest parity.
+//! concurrent bootstrap throughput, peak memory, sequential-vs-sharded
+//! digest parity — and, since the streaming checker landed, a
+//! Definition-3.8 verification phase that borrows the engines' tables in
+//! place instead of cloning them out, with its own wall-clock and
+//! peak-RSS attribution.
 
 use std::time::Instant;
 
-use hyperring_core::{bootstrap_batched, check_consistency, tables_digest, ProtocolOptions};
+use hyperring_core::{
+    bootstrap_batched_net, check_consistency, check_reachability_sampled,
+    digest_and_check_streaming, tables_digest, tables_digest_iter, NeighborTable, ProtocolOptions,
+};
 use hyperring_id::IdSpace;
 
-use crate::metrics::{cores, peak_rss_bytes};
+use crate::metrics::{cores, current_rss_bytes, peak_rss_bytes, reset_peak_rss};
 use crate::workload::distinct_ids;
 
 /// Configuration of one scaling run.
@@ -28,8 +34,18 @@ pub struct ScaleConfig {
     /// Whether to re-run on one shard and compare table digests
     /// (doubles the runtime; the determinism audit).
     pub parity: bool,
-    /// Whether to run the full consistency checker on the result.
+    /// Whether to run the streaming consistency checker on the result.
     pub check: bool,
+    /// Seeded random routing pairs for the sampled Lemma-3.1 reachability
+    /// check (0 disables; the all-pairs check is quadratic and unusable
+    /// past a few thousand nodes).
+    pub sample_pairs: usize,
+    /// Whether to additionally run the *materialized* pipeline (table
+    /// clone + `SuffixIndex` checker + slice digest) and compare digest
+    /// and violations against the streaming pass — the
+    /// streaming-vs-materialized parity audit. Costs the very memory the
+    /// streaming path avoids; keep to moderate `n`.
+    pub materialized_audit: bool,
 }
 
 impl ScaleConfig {
@@ -44,6 +60,8 @@ impl ScaleConfig {
             seed: 13,
             parity: false,
             check: true,
+            sample_pairs: 256,
+            materialized_audit: false,
         }
     }
 }
@@ -59,22 +77,43 @@ pub struct ScaleResult {
     pub wall_secs: f64,
     /// Bootstrap throughput in nodes per wall-clock second.
     pub nodes_per_sec: f64,
-    /// Peak resident set size after the run (bytes; 0 off Linux). A
-    /// process-lifetime high-water mark, so an upper bound when several
-    /// runs share a process.
+    /// Peak resident set size over the bootstrap phase (bytes; 0 off
+    /// Linux). The watermark is reset at run start, so when several runs
+    /// share a process each row reports its own bootstrap peak (plus
+    /// whatever baseline the process retains).
     pub peak_rss_bytes: u64,
+    /// Peak-RSS *delta* attributed to the digest+check phase: high-water
+    /// mark after the check minus current RSS before it, after a
+    /// watermark reset. 0 when the kernel refuses the reset (non-Linux)
+    /// or when checking is disabled.
+    pub check_rss_delta_bytes: u64,
+    /// Wall-clock duration of the digest+check phase (seconds).
+    pub check_wall_secs: f64,
     /// Cores available to the process (shard speedup is bounded by this).
     pub cores: usize,
     /// FNV-1a digest of the final tables ([`tables_digest`]).
     pub digest: u64,
     /// Whether the consistency checker passed (`true` when skipped).
     pub consistent: bool,
+    /// Sampled routing pairs attempted (0 when sampling is disabled).
+    pub sampled_pairs: usize,
+    /// Sampled source→target routes that failed (Lemma 3.1 says 0 for a
+    /// consistent network).
+    pub unreachable_sampled: usize,
     /// Digest parity versus a 1-shard re-run (`None` when not requested).
     pub parity_ok: Option<bool>,
+    /// Streaming-vs-materialized parity (`None` when not requested):
+    /// identical digest and identical violation list from the old
+    /// clone-based pipeline.
+    pub audit_ok: Option<bool>,
 }
 
-/// Bootstraps `cfg.n` nodes in concurrent waves on the sharded core and
-/// measures throughput, memory, and (optionally) shard-parity.
+/// Bootstraps `cfg.n` nodes in concurrent waves on the sharded core,
+/// then digests and Definition-3.8-checks the result **in place** over
+/// the engines' arena-backed tables (one combined traversal, no
+/// `Vec<NeighborTable>` clone), spot-checks Lemma-3.1 reachability on
+/// seeded sampled pairs, and measures throughput plus phase-attributed
+/// peak memory.
 ///
 /// # Panics
 ///
@@ -85,17 +124,58 @@ pub fn run_scale(cfg: &ScaleConfig) -> ScaleResult {
     let ids = distinct_ids(space, cfg.n, cfg.seed);
     let opts = ProtocolOptions::new();
 
+    // Scope the bootstrap peak to this run, not the process lifetime.
+    reset_peak_rss();
     let start = Instant::now();
-    let tables = bootstrap_batched(space, opts, &ids, cfg.batch, cfg.shards);
+    let net = bootstrap_batched_net(space, opts, &ids, cfg.batch, cfg.shards);
     let wall_secs = start.elapsed().as_secs_f64();
-    let digest = tables_digest(&tables);
+    let boot_peak = peak_rss_bytes().unwrap_or(0);
 
-    let consistent = !cfg.check || check_consistency(space, &tables).is_consistent();
-    drop(tables);
+    // Digest + check phase, streamed off the live engines. Reset the
+    // watermark so its peak is attributable to the check alone.
+    let reset_ok = reset_peak_rss();
+    let rss_before = current_rss_bytes().unwrap_or(0);
+    let check_start = Instant::now();
+    let (digest, streaming_report) = if cfg.check {
+        let (digest, report) = digest_and_check_streaming(space, net.tables_iter());
+        (digest, Some(report))
+    } else {
+        (tables_digest_iter(net.tables_iter()), None)
+    };
+    let check_wall_secs = check_start.elapsed().as_secs_f64();
+    let check_rss_delta_bytes = if reset_ok {
+        peak_rss_bytes().unwrap_or(0).saturating_sub(rss_before)
+    } else {
+        0
+    };
+    let consistent = streaming_report.as_ref().is_none_or(|r| r.is_consistent());
+
+    let (sampled_pairs, unreachable_sampled) = if cfg.sample_pairs > 0 {
+        let refs: Vec<&NeighborTable> = net.tables_iter().collect();
+        let failures = check_reachability_sampled(&refs, cfg.sample_pairs, cfg.seed ^ 0x5eed);
+        (cfg.sample_pairs, failures.len())
+    } else {
+        (0, 0)
+    };
+
+    // The audit deliberately pays for the old pipeline: full table clone,
+    // NodeId-keyed SuffixIndex, separate digest pass.
+    let audit_ok = cfg.materialized_audit.then(|| {
+        let tables = net.tables();
+        let digest_parity = tables_digest(&tables) == digest;
+        let check_parity = match &streaming_report {
+            Some(streaming) => {
+                check_consistency(space, &tables).violations() == streaming.violations()
+            }
+            None => true,
+        };
+        digest_parity && check_parity
+    });
+    drop(net);
 
     let parity_ok = cfg.parity.then(|| {
-        let seq = bootstrap_batched(space, opts, &ids, cfg.batch, 1);
-        tables_digest(&seq) == digest
+        let seq = bootstrap_batched_net(space, opts, &ids, cfg.batch, 1);
+        tables_digest_iter(seq.tables_iter()) == digest
     });
 
     ScaleResult {
@@ -103,11 +183,16 @@ pub fn run_scale(cfg: &ScaleConfig) -> ScaleResult {
         shards: cfg.shards,
         wall_secs,
         nodes_per_sec: cfg.n as f64 / wall_secs.max(f64::MIN_POSITIVE),
-        peak_rss_bytes: peak_rss_bytes().unwrap_or(0),
+        peak_rss_bytes: boot_peak,
+        check_rss_delta_bytes,
+        check_wall_secs,
         cores: cores(),
         digest,
         consistent,
+        sampled_pairs,
+        unreachable_sampled,
         parity_ok,
+        audit_ok,
     }
 }
 
@@ -124,6 +209,8 @@ mod tests {
         assert!(r.consistent);
         assert_eq!(r.parity_ok, Some(true));
         assert!(r.nodes_per_sec > 0.0);
+        assert_eq!(r.sampled_pairs, 256);
+        assert_eq!(r.unreachable_sampled, 0, "consistent ⇒ reachable");
     }
 
     #[test]
@@ -131,5 +218,39 @@ mod tests {
         let d1 = run_scale(&ScaleConfig::new(32, 8, 1));
         let d4 = run_scale(&ScaleConfig::new(32, 8, 4));
         assert_eq!(d1.digest, d4.digest);
+    }
+
+    #[test]
+    #[ignore = "minutes-scale run; the ≥262144 row of the EXPERIMENTS.md scaling sweep"]
+    fn scale_n262144_streaming_check_completes() {
+        let mut cfg = ScaleConfig::new(262_144, 4096, 1);
+        cfg.sample_pairs = 64;
+        let r = run_scale(&cfg);
+        assert!(r.consistent);
+        assert_eq!(r.unreachable_sampled, 0);
+        assert!(r.nodes_per_sec > 0.0);
+    }
+
+    #[test]
+    #[ignore = "hour-scale run; the million-node smoke the streaming checker exists for"]
+    fn scale_n1048576_smoke() {
+        let mut cfg = ScaleConfig::new(1_048_576, 8192, 1);
+        cfg.sample_pairs = 32;
+        let r = run_scale(&cfg);
+        assert!(r.consistent);
+        assert_eq!(r.unreachable_sampled, 0);
+    }
+
+    #[test]
+    fn materialized_audit_matches_streaming_pass() {
+        let mut cfg = ScaleConfig::new(40, 8, 2);
+        cfg.materialized_audit = true;
+        let r = run_scale(&cfg);
+        assert_eq!(r.audit_ok, Some(true));
+        // And with checking disabled the audit still compares digests.
+        cfg.check = false;
+        let r = run_scale(&cfg);
+        assert_eq!(r.audit_ok, Some(true));
+        assert!(r.consistent, "skipped check reports consistent");
     }
 }

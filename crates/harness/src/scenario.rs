@@ -29,8 +29,8 @@
 use std::time::Duration;
 
 use hyperring_core::{
-    build_consistent_tables, check_consistency, check_reachability, ConsistencyReport,
-    NeighborTable, ProtocolOptions, SimNetworkBuilder, TraceSink, Violation,
+    build_consistent_tables, check_consistency_streaming, check_reachability_refs,
+    ConsistencyReport, NeighborTable, ProtocolOptions, SimNetworkBuilder, TraceSink, Violation,
 };
 use hyperring_id::{IdSpace, NodeId};
 use hyperring_net::{NetError, ThreadedNetwork};
@@ -79,21 +79,23 @@ impl RunReport {
 pub type BaselineResult = RunReport;
 
 /// Summarizes a set of final tables into a [`RunReport`] — the shared
-/// tail of every backend.
+/// tail of every backend. Takes borrowed tables so simulator runs feed it
+/// straight from [`SimNetwork::tables_iter`](hyperring_core::SimNetwork::tables_iter)
+/// without cloning the table set.
 pub(crate) fn summarize(
     space: IdSpace,
-    tables: &[NeighborTable],
+    tables: &[&NeighborTable],
     joiners: usize,
     crashed: usize,
     finished_at: u64,
 ) -> RunReport {
-    let report = check_consistency(space, tables);
+    let report = check_consistency_streaming(space, tables.iter().copied());
     let false_negatives = report
         .violations()
         .iter()
         .filter(|v| matches!(v, Violation::FalseNegative { .. }))
         .count();
-    let unreachable = check_reachability(tables);
+    let unreachable = check_reachability_refs(tables);
     let n = tables.len();
     RunReport {
         joiners,
@@ -303,7 +305,8 @@ impl Scenario {
                 "the optimistic baseline has no crash handling"
             );
             let tables = run_optimistic_tables(&w, self.seed, self.gap_us, self.delay_bounds);
-            return summarize(w.space, &tables, w.joiners.len(), 0, 0);
+            let refs: Vec<&NeighborTable> = tables.iter().collect();
+            return summarize(w.space, &refs, w.joiners.len(), 0, 0);
         }
         let mut b = SimNetworkBuilder::new(w.space);
         b.options(self.opts);
@@ -337,13 +340,8 @@ impl Scenario {
             assert!(net.all_in_system(), "a joiner failed to finish");
             (0, report)
         };
-        summarize(
-            w.space,
-            &net.tables(),
-            w.joiners.len(),
-            crashed,
-            report.finished_at,
-        )
+        let refs: Vec<&NeighborTable> = net.tables_iter().collect();
+        summarize(w.space, &refs, w.joiners.len(), crashed, report.finished_at)
     }
 
     /// Runs the scenario on real threads ([`ThreadedNetwork`]) and
@@ -388,13 +386,8 @@ impl Scenario {
         } else {
             net.run_joins(&w.joiners)?
         };
-        Ok(summarize(
-            w.space,
-            &tables,
-            w.joiners.len(),
-            self.crashes,
-            0,
-        ))
+        let refs: Vec<&NeighborTable> = tables.iter().collect();
+        Ok(summarize(w.space, &refs, w.joiners.len(), self.crashes, 0))
     }
 }
 
