@@ -115,6 +115,10 @@ pub struct JoinEngine {
     /// Crash-churn extension: vacated slots awaiting repair and the set of
     /// condemned nodes.
     repair: RepairState,
+    /// The gateway `start_join` was called with — the fallback contact of
+    /// last resort when [`RetryPolicy::join_fallback`](crate::RetryPolicy)
+    /// restarts a join whose peer died. `None` for members.
+    g0: Option<NodeId>,
     stats: MessageStats,
 }
 
@@ -146,6 +150,7 @@ impl JoinEngine {
             retries: BTreeMap::new(),
             fd: FailureState::default(),
             repair: RepairState::default(),
+            g0: None,
             stats: MessageStats::new(),
         }
     }
@@ -183,6 +188,7 @@ impl JoinEngine {
             retries: BTreeMap::new(),
             fd: FailureState::default(),
             repair: RepairState::default(),
+            g0: None,
             stats: MessageStats::new(),
         }
     }
@@ -256,6 +262,7 @@ impl JoinEngine {
         }
         self.fd.hash_state(h);
         self.repair.hash_state(h);
+        self.g0.hash(h);
     }
 
     /// Begins the join, given a node `g0` of the existing network
@@ -270,6 +277,7 @@ impl JoinEngine {
         assert_ne!(g0, self.id, "cannot join via self");
         self.trace(out, ProtocolEvent::JoinStarted { gateway: g0 });
         self.copy_target = Some(g0);
+        self.g0 = Some(g0);
         self.post(out, g0, Message::CpRst { level: 0 });
         self.arm(out, TimerId::CpRst { peer: g0 });
     }
@@ -437,10 +445,16 @@ impl JoinEngine {
         self.ql.remove(&peer);
     }
 
-    /// (Re-)sends `RepairQryMsg`s for every still-vacant slot under
-    /// repair, and gives up on slots that exhausted their budget.
+    /// (Re-)sends `RepairQryMsg`s for the still-vacant slots under
+    /// repair the detector's pacing makes due this tick, and gives up on
+    /// slots that exhausted their budget.
     fn drive_repairs(&mut self, out: &mut Effects) {
-        let due = self.repair.due(&self.table);
+        let (cap, backoff) = self
+            .opts
+            .failure_detector
+            .map(|fd| (fd.max_repairs_in_flight, fd.repair_backoff))
+            .unwrap_or((0, false));
+        let due = self.repair.due(&self.table, cap, backoff);
         for (level, digit) in due.exhausted {
             self.trace(out, ProtocolEvent::RepairFailed { level, digit });
         }
@@ -849,6 +863,9 @@ impl JoinEngine {
         if attempt >= limit {
             self.retries.remove(&id);
             self.trace(out, ProtocolEvent::RetriesExhausted { timer: id });
+            if rp.join_fallback {
+                self.join_exhausted_fallback(id, attempt, out);
+            }
             return;
         }
         match id {
@@ -896,10 +913,15 @@ impl JoinEngine {
             TimerId::FdProbe { .. } => unreachable!("dispatched before the retry gate"),
         }
         self.retries.insert(id, attempt + 1);
-        out.push(Effect::SetTimer {
-            id,
-            delay_hint: rp.timeout_us,
-        });
+        // Reply-awaiting requests back off (a silent peer will not answer
+        // a faster drumbeat); blind notification repeats keep their fixed
+        // spacing so a lossless run's schedule never depends on the
+        // backoff knobs.
+        let delay_hint = match id {
+            TimerId::RvNgh { .. } | TimerId::InSys { .. } => rp.timeout_us,
+            _ => rp.retry_delay(self.timer_salt(id), attempt + 1),
+        };
+        out.push(Effect::SetTimer { id, delay_hint });
         self.trace(
             out,
             ProtocolEvent::RetrySent {
@@ -907,6 +929,135 @@ impl JoinEngine {
                 attempt: attempt + 1,
             },
         );
+    }
+
+    /// Deterministic per-`(node, timer)` jitter salt: FNV-1a over our
+    /// digits, the timer kind, and the peer's digits. Stable across runs,
+    /// platforms, and compiler versions (unlike [`std::hash`]'s default
+    /// hasher), so jittered schedules can be pinned by goldens.
+    fn timer_salt(&self, id: TimerId) -> u64 {
+        const PRIME: u64 = 0x0100_0000_01b3;
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in self.id.digits_lsd() {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+        for b in id.kind_name().bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+        for &b in id.peer().digits_lsd() {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+        h
+    }
+
+    /// Retries on a join-critical request ran out with
+    /// [`RetryPolicy::join_fallback`](crate::RetryPolicy) on: the silent
+    /// peer is as good as dead for this join. Without a fallback the
+    /// joiner strands forever — it never reaches *in_system*, so the
+    /// failure detector never arms and nothing ever re-drives it. Condemn
+    /// the peer and either restart the copy through an alternate contact
+    /// (the peer was load-bearing: our copy target or awaited storer) or
+    /// drop it from the notification wait sets so the switch to S-node
+    /// can still happen (it was only owed an acknowledgement).
+    ///
+    /// `still_wanted` was already checked by the caller, so the timer's
+    /// subject really is outstanding.
+    fn join_exhausted_fallback(&mut self, id: TimerId, attempt: u32, out: &mut Effects) {
+        // Condemnation here mirrors the failure detector's `declare_dead`
+        // — including evicting the peer's table entries, so a rerouted
+        // join does not carry a stale reference to the dead node into
+        // *in_system* (repair refills the slots once the detector arms).
+        let repair_on = self
+            .opts
+            .failure_detector()
+            .map(|fd| fd.repair)
+            .unwrap_or(false);
+        match id {
+            TimerId::CpRst { peer } => {
+                self.declare_dead(peer, attempt, repair_on, out);
+                self.restart_join(peer, out);
+            }
+            TimerId::JoinWait { peer } => {
+                self.declare_dead(peer, attempt, repair_on, out);
+                if self.status == Status::Waiting {
+                    self.restart_join(peer, out);
+                } else {
+                    self.try_switch(out);
+                }
+            }
+            TimerId::JoinNoti { peer } => {
+                self.declare_dead(peer, attempt, repair_on, out);
+                self.try_switch(out);
+            }
+            TimerId::SpeNoti { subject } => {
+                // The chain's current holder is unreachable; stop waiting
+                // on the subject (the holder, not the subject, is the
+                // silent party, so nobody is condemned here).
+                self.qsr.remove(&subject);
+                self.try_switch(out);
+            }
+            TimerId::RvNgh { .. } | TimerId::InSys { .. } | TimerId::FdProbe { .. } => {}
+        }
+    }
+
+    /// Restarts the join from level 0 through a fallback contact after
+    /// `dead` (condemned by the caller) stopped answering: the first
+    /// live node our table already stores, else the original gateway.
+    /// With no live contact left the joiner is stranded and says so in
+    /// the trace; outstanding state is kept so a late reply can still
+    /// resume it.
+    fn restart_join(&mut self, dead: NodeId, out: &mut Effects) {
+        let via = self
+            .table
+            .iter()
+            .map(|(_, _, e)| e.node)
+            .find(|n| *n != self.id && !self.repair.is_condemned(n))
+            .or_else(|| {
+                self.g0
+                    .filter(|g| *g != dead && !self.repair.is_condemned(g))
+            });
+        let Some(via) = via else {
+            self.trace(out, ProtocolEvent::JoinStranded { dead });
+            return;
+        };
+        // Forget every reply we were waiting on and cancel the timers
+        // guarding them; `qn` is kept so already-notified nodes are not
+        // re-notified, and RvNgh/InSys repeats for entries already
+        // installed stay valid.
+        let stale: Vec<TimerId> = self
+            .retries
+            .keys()
+            .copied()
+            .filter(|t| {
+                matches!(
+                    t,
+                    TimerId::CpRst { .. }
+                        | TimerId::JoinWait { .. }
+                        | TimerId::JoinNoti { .. }
+                        | TimerId::SpeNoti { .. }
+                )
+            })
+            .collect();
+        for t in stale {
+            self.disarm(out, t);
+        }
+        self.qr.clear();
+        self.qsr.clear();
+        self.trace(out, ProtocolEvent::JoinRerouted { dead, via });
+        self.set_status(Status::Copying, out);
+        self.noti_level = 0;
+        self.copy_level = 0;
+        self.copy_target = Some(via);
+        self.post(out, via, Message::CpRst { level: 0 });
+        self.arm(out, TimerId::CpRst { peer: via });
+    }
+
+    /// Switches to S-node if nothing is outstanding any more (the same
+    /// check the reply handlers run).
+    fn try_switch(&mut self, out: &mut Effects) {
+        if self.qr.is_empty() && self.qsr.is_empty() && self.status == Status::Notifying {
+            self.switch_to_s_node(out);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -932,15 +1083,26 @@ impl JoinEngine {
         }
         self.disarm(out, TimerId::CpRst { peer: from });
         let i = self.copy_level;
-        // Copy level i of g's table into level i of our own.
+        // Copy level i of g's table into level i of our own. Entries
+        // naming the joiner itself are possible after a join_fallback
+        // restart (the aborted first attempt already planted us in other
+        // tables); they are skipped, not copied.
         for row in table.rows().iter().filter(|r| r.level as usize == i) {
-            debug_assert_ne!(row.entry.node, self.id, "joiner already stored in V");
-            if self.table.get(i, row.digit).is_none() && row.entry.node != self.id {
+            if self.table.get(i, row.digit).is_none()
+                && row.entry.node != self.id
+                && !self.repair.is_condemned(&row.entry.node)
+            {
                 self.install(i, row.digit, row.entry, true, out);
             }
         }
-        // g = N_p(i, x[i]); s = its recorded state.
-        let next = table.get(i, self.id.digit(i));
+        // g = N_p(i, x[i]); s = its recorded state. A condemned g (only
+        // possible after a join_fallback restart) is treated as absent, so
+        // a fallback join cannot be routed back onto a node it already
+        // found dead — and so is an entry naming the joiner itself, which
+        // would otherwise make the restarted join wait on *us*.
+        let next = table
+            .get(i, self.id.digit(i))
+            .filter(|e| e.node != self.id && !self.repair.is_condemned(&e.node));
         self.copy_level += 1;
         match next {
             Some(e) if e.state == NodeState::S => {
@@ -1084,7 +1246,7 @@ impl JoinEngine {
     fn check_ngh_table(&mut self, table: &TableSnapshot, out: &mut Effects) {
         for &row in table.rows() {
             let u = row.entry.node;
-            if u == self.id {
+            if u == self.id || self.repair.is_condemned(&u) {
                 continue;
             }
             let k = self.id.csuf_len(&u);
@@ -1632,6 +1794,7 @@ mod tests {
             timeout_us: 777,
             max_retries: 3,
             noti_repeats: 2,
+            ..Default::default()
         });
         let mut e = JoinEngine::new_joiner(space, opts, b);
         let mut out = Effects::new();
@@ -1653,6 +1816,7 @@ mod tests {
                 timeout_us: 100,
                 max_retries: 2,
                 noti_repeats: 1,
+                ..Default::default()
             })
             .with_trace();
         let mut e = JoinEngine::new_joiner(space, opts, b);

@@ -33,6 +33,29 @@ pub struct RetryPolicy {
     pub max_retries: u32,
     /// Bounded blind repeats of the unacknowledged notifications.
     pub noti_repeats: u32,
+    /// Per-retransmission growth of the reply-awaiting timeout, in
+    /// percent: 100 (the default) keeps the classic fixed spacing, 200
+    /// doubles the wait after every unanswered retransmission. Blind
+    /// notification repeats keep their fixed [`timeout_us`](Self::timeout_us) spacing —
+    /// they are pacing, not a congestion response — so a lossless run is
+    /// bit-identical whatever this is set to.
+    pub backoff_pct: u32,
+    /// Upper bound on a backed-off timeout (ignored at the default
+    /// `backoff_pct = 100`).
+    pub max_timeout_us: u64,
+    /// Deterministic jitter amplitude in percent of the backed-off
+    /// delay: each retransmission's wait is shifted by up to ±this
+    /// fraction, derived purely from `(node, timer, attempt)` so every
+    /// rerun of a seed jitters identically. 0 (the default) disables it.
+    pub jitter_pct: u32,
+    /// Sustained-churn hardening: when a *join-critical* request
+    /// (`CpRstMsg`, `JoinWaitMsg`, `JoinNotiMsg`, `SpeNotiMsg`) exhausts
+    /// its retries, treat the silent peer as dead and fall back instead
+    /// of stranding the joiner forever — restart the copy through an
+    /// alternate contact, or drop the dead peer from the notification
+    /// wait set so the switch to S-node can still happen. Off by
+    /// default (the paper's model has no crashes mid-join).
+    pub join_fallback: bool,
 }
 
 impl Default for RetryPolicy {
@@ -41,7 +64,48 @@ impl Default for RetryPolicy {
             timeout_us: 1_000_000,
             max_retries: 16,
             noti_repeats: 4,
+            backoff_pct: 100,
+            max_timeout_us: 16_000_000,
+            jitter_pct: 0,
+            join_fallback: false,
         }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retransmission `attempt` of a reply-awaiting
+    /// request fires (`attempt` 0 is the initial arm). With the default
+    /// `backoff_pct = 100` this is always [`timeout_us`](Self::timeout_us);
+    /// otherwise the delay grows `backoff_pct`% per attempt, saturating
+    /// at [`max_timeout_us`](Self::max_timeout_us), and is then shifted
+    /// by a deterministic jitter of up to ±[`jitter_pct`](Self::jitter_pct)%
+    /// derived from `salt` (a pure function of the node and timer, so
+    /// reruns of a seed are bit-identical).
+    pub fn retry_delay(&self, salt: u64, attempt: u32) -> u64 {
+        let mut d = self.timeout_us;
+        if self.backoff_pct > 100 {
+            for _ in 0..attempt {
+                d = d.saturating_mul(u64::from(self.backoff_pct)) / 100;
+                if d >= self.max_timeout_us {
+                    d = self.max_timeout_us;
+                    break;
+                }
+            }
+        }
+        if self.jitter_pct > 0 && attempt > 0 {
+            let amp = d.saturating_mul(u64::from(self.jitter_pct)) / 100;
+            if amp > 0 {
+                // SplitMix64 over (salt, attempt): cheap, stateless, and
+                // identical on every rerun and shard count.
+                let mut z = salt ^ (u64::from(attempt)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^= z >> 31;
+                let span = 2 * amp + 1;
+                d = d - amp + z % span;
+            }
+        }
+        d.max(1)
     }
 }
 
@@ -66,6 +130,18 @@ pub struct FailureDetector {
     /// with repair off the detector only evicts (the control arm of the
     /// `crashchurn` experiment).
     pub repair: bool,
+    /// Upper bound on vacated slots queried per probe tick. 0 (the
+    /// default) keeps the legacy behavior of re-querying every pending
+    /// slot on every tick; a bound spreads a mass-eviction's repair
+    /// fan-out over successive ticks so a node under sustained churn
+    /// does not flood the network with redundant `RepairQryMsg`s.
+    pub max_repairs_in_flight: u32,
+    /// When set, a pending slot that stayed vacant after a query waits
+    /// `2^attempts` probe ticks before being re-queried (capped at 32
+    /// ticks) instead of being re-queried every tick. Off by default;
+    /// turning it on changes message schedules, so goldens pin the
+    /// default.
+    pub repair_backoff: bool,
 }
 
 impl Default for FailureDetector {
@@ -74,6 +150,8 @@ impl Default for FailureDetector {
             probe_interval_us: 2_000_000,
             suspicion_threshold: 3,
             repair: true,
+            max_repairs_in_flight: 0,
+            repair_backoff: false,
         }
     }
 }

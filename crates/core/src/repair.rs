@@ -36,15 +36,27 @@ use crate::table::NeighborTable;
 /// up and declares the slot unrepairable.
 pub(crate) const MAX_REPAIR_ATTEMPTS: u32 = 8;
 
+/// Per-slot repair bookkeeping.
+#[derive(Debug, Clone, Copy, Default)]
+struct SlotState {
+    /// Queries issued for this slot so far.
+    attempts: u32,
+    /// Earliest detector tick the slot may be re-queried on (only
+    /// consulted when `repair_backoff` is on).
+    next_due: u64,
+}
+
 /// Repair bookkeeping of one node: vacated slots awaiting replacements,
 /// plus the set of condemned (declared-dead) nodes that must never be
 /// re-installed from a stale reply.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct RepairState {
-    /// Vacated `(level, digit)` slot → queries issued so far.
-    pending: BTreeMap<(usize, u8), u32>,
+    /// Vacated `(level, digit)` slot → query bookkeeping.
+    pending: BTreeMap<(usize, u8), SlotState>,
     /// Nodes this node declared dead.
     condemned: BTreeSet<NodeId>,
+    /// Detector ticks seen (drives the per-slot backoff clock).
+    tick: u64,
 }
 
 /// The slots one detector tick re-drives.
@@ -59,7 +71,7 @@ pub(crate) struct DueSlots {
 impl RepairState {
     /// Marks `(level, digit)` vacated and awaiting repair.
     pub(crate) fn enqueue(&mut self, level: usize, digit: u8) {
-        self.pending.entry((level, digit)).or_insert(0);
+        self.pending.entry((level, digit)).or_default();
     }
 
     /// Whether `(level, digit)` still awaits a replacement.
@@ -86,19 +98,48 @@ impl RepairState {
     /// the ordinary protocol are dropped silently, slots out of budget
     /// move to `exhausted`, and the rest are charged one attempt and
     /// returned for re-querying.
-    pub(crate) fn due(&mut self, table: &NeighborTable) -> DueSlots {
+    ///
+    /// Pacing (both off by default, keeping the legacy every-tick
+    /// schedule): `max_in_flight > 0` caps the queries issued this tick
+    /// — surplus slots simply stay pending for a later tick, uncharged;
+    /// `backoff` makes a queried slot wait `2^attempts` ticks (capped at
+    /// 32) before its next re-query instead of being re-driven every
+    /// tick. Slot order is the `BTreeMap` key order, so the schedule is
+    /// deterministic either way.
+    pub(crate) fn due(
+        &mut self,
+        table: &NeighborTable,
+        max_in_flight: u32,
+        backoff: bool,
+    ) -> DueSlots {
+        self.tick += 1;
         let mut out = DueSlots::default();
         let slots: Vec<(usize, u8)> = self.pending.keys().copied().collect();
+        let mut issued = 0u32;
         for (level, digit) in slots {
             if table.get(level, digit).is_some() {
                 self.pending.remove(&(level, digit));
-            } else if self.pending[&(level, digit)] >= MAX_REPAIR_ATTEMPTS {
+                continue;
+            }
+            let st = self.pending[&(level, digit)];
+            if st.attempts >= MAX_REPAIR_ATTEMPTS {
                 self.pending.remove(&(level, digit));
                 out.exhausted.push((level, digit));
-            } else {
-                *self.pending.get_mut(&(level, digit)).unwrap() += 1;
-                out.query.push((level, digit));
+                continue;
             }
+            if backoff && st.next_due > self.tick {
+                continue;
+            }
+            if max_in_flight > 0 && issued >= max_in_flight {
+                continue;
+            }
+            let st = self.pending.get_mut(&(level, digit)).unwrap();
+            st.attempts += 1;
+            if backoff {
+                st.next_due = self.tick + (1u64 << st.attempts.min(5));
+            }
+            issued += 1;
+            out.query.push((level, digit));
         }
         out
     }
@@ -132,13 +173,15 @@ impl RepairState {
     /// (crate::JoinEngine::hash_state)).
     pub(crate) fn hash_state<H: std::hash::Hasher>(&self, h: &mut H) {
         use std::hash::Hash;
-        for (slot, n) in &self.pending {
+        for (slot, st) in &self.pending {
             slot.hash(h);
-            n.hash(h);
+            st.attempts.hash(h);
+            st.next_due.hash(h);
         }
         for node in &self.condemned {
             node.hash(h);
         }
+        self.tick.hash(h);
     }
 }
 
@@ -177,14 +220,54 @@ mod tests {
         let mut r = RepairState::default();
         r.enqueue(1, 2);
         for _ in 0..MAX_REPAIR_ATTEMPTS {
-            let due = r.due(&table);
+            let due = r.due(&table, 0, false);
             assert_eq!(due.query, vec![(1, 2)]);
             assert!(due.exhausted.is_empty());
         }
-        let due = r.due(&table);
+        let due = r.due(&table, 0, false);
         assert!(due.query.is_empty());
         assert_eq!(due.exhausted, vec![(1, 2)]);
         assert!(!r.is_pending(1, 2));
+    }
+
+    #[test]
+    fn in_flight_cap_spreads_queries_over_ticks() {
+        let space = IdSpace::new(4, 3).unwrap();
+        let me = space.parse_id("000").unwrap();
+        let table = NeighborTable::new(space, me);
+        let mut r = RepairState::default();
+        for d in 1..4 {
+            r.enqueue(0, d);
+        }
+        // Cap 2: first tick queries the two lowest slots, the third stays
+        // pending without being charged an attempt.
+        let due = r.due(&table, 2, false);
+        assert_eq!(due.query, vec![(0, 1), (0, 2)]);
+        assert!(r.is_pending(0, 3));
+        // Deferred slots are still driven to exhaustion eventually.
+        let mut exhausted = Vec::new();
+        for _ in 0..(3 * (MAX_REPAIR_ATTEMPTS + 1)) {
+            exhausted.extend(r.due(&table, 2, false).exhausted);
+        }
+        exhausted.sort_unstable();
+        assert_eq!(exhausted, vec![(0, 1), (0, 2), (0, 3)]);
+    }
+
+    #[test]
+    fn backoff_waits_exponentially_between_queries() {
+        let space = IdSpace::new(4, 3).unwrap();
+        let me = space.parse_id("000").unwrap();
+        let table = NeighborTable::new(space, me);
+        let mut r = RepairState::default();
+        r.enqueue(1, 2);
+        let mut query_ticks = Vec::new();
+        for tick in 1..=40u64 {
+            if !r.due(&table, 0, true).query.is_empty() {
+                query_ticks.push(tick);
+            }
+        }
+        // Queried on tick 1, then after 2, 4, 8, 16 ticks (2^attempts).
+        assert_eq!(query_ticks, vec![1, 3, 7, 15, 31]);
     }
 
     #[test]
@@ -203,7 +286,7 @@ mod tests {
                 state: NodeState::T,
             },
         );
-        let due = r.due(&table);
+        let due = r.due(&table, 0, false);
         assert!(due.query.is_empty() && due.exhausted.is_empty());
         assert!(!r.is_pending(1, 2));
     }

@@ -1089,6 +1089,7 @@ mod tests {
                 probe_interval_us: 100_000,
                 suspicion_threshold: 3,
                 repair,
+                ..FailureDetector::default()
             };
             let mut b = SimNetworkBuilder::new(sp);
             b.options(ProtocolOptions::new().with_failure_detector(fd));
@@ -1141,6 +1142,7 @@ mod tests {
                 probe_interval_us: 100_000,
                 suspicion_threshold: 3,
                 repair: true,
+                ..FailureDetector::default()
             }),
         );
         for id in &ids {

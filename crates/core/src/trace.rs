@@ -112,6 +112,21 @@ pub enum ProtocolEvent {
         /// Digit of the unrepairable slot.
         digit: u8,
     },
+    /// A join-critical peer stopped answering and
+    /// [`RetryPolicy::join_fallback`](crate::RetryPolicy) restarted the
+    /// join through an alternate contact.
+    JoinRerouted {
+        /// The peer given up on.
+        dead: NodeId,
+        /// The contact the join restarted through.
+        via: NodeId,
+    },
+    /// A join ran out of live contacts to fall back to; the joiner is
+    /// stranded unless a late reply arrives.
+    JoinStranded {
+        /// The last peer given up on.
+        dead: NodeId,
+    },
 }
 
 fn status_name(s: Status) -> &'static str {
@@ -228,6 +243,14 @@ impl TraceRecord {
                 s.push_str(&format!(
                     ",\"event\":\"repair_failed\",\"level\":{level},\"digit\":{digit}"
                 ));
+            }
+            ProtocolEvent::JoinRerouted { dead, via } => {
+                s.push_str(&format!(
+                    ",\"event\":\"join_rerouted\",\"dead\":\"{dead}\",\"via\":\"{via}\""
+                ));
+            }
+            ProtocolEvent::JoinStranded { dead } => {
+                s.push_str(&format!(",\"event\":\"join_stranded\",\"dead\":\"{dead}\""));
             }
         }
         s.push('}');

@@ -45,6 +45,7 @@ proptest! {
             probe_interval_us: 100_000,
             suspicion_threshold: 3,
             repair: true,
+            ..FailureDetector::default()
         };
         let mut b = SimNetworkBuilder::new(space);
         b.options(ProtocolOptions::new().with_failure_detector(fd));

@@ -46,6 +46,7 @@ fn sixty_four_nodes_join_through_ten_percent_drop() {
         timeout_us: 300_000,
         max_retries: 30,
         noti_repeats: 6,
+        ..RetryPolicy::default()
     }));
     let delay = FaultyDelay::new(UniformDelay::new(1_000, 50_000), 0.10, 0.02);
     let mut net = b.build(delay, 4242);
@@ -124,6 +125,7 @@ proptest! {
             timeout_us: 200_000,
             max_retries: 40,
             noti_repeats: 8,
+            ..RetryPolicy::default()
         }));
         let delay = FaultyDelay::new(
             UniformDelay::new(1_000, 40_000),

@@ -1,0 +1,190 @@
+//! Mid-run dynamics regressions: failure-detector arming for nodes that
+//! enter the system *after* t = 0, and the join-fallback path for
+//! joiners whose contact crashes mid-handshake.
+//!
+//! Both close the same gap from opposite ends. A node only arms its
+//! probe timers when it reaches *in_system*, so (a) a node injected into
+//! a live network must still end up probing — and evicting — crashed
+//! neighbors, and (b) a joiner whose gateway or awaited peer dies
+//! mid-join must not strand forever in a pre-`in_system` status where no
+//! detector will ever rescue it.
+
+use std::sync::{Arc, Mutex};
+
+use hyperring_core::{
+    FailureDetector, ProtocolEvent, ProtocolOptions, RetryPolicy, SimNetworkBuilder, Status,
+    TraceRecord, TraceSink,
+};
+use hyperring_id::{IdSpace, NodeId};
+use hyperring_sim::{ConstantDelay, UniformDelay};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn distinct(space: IdSpace, n: usize, seed: u64) -> Vec<NodeId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::with_capacity(n);
+    let mut ids = Vec::with_capacity(n);
+    while ids.len() < n {
+        let id = space.random_id(&mut rng);
+        if seen.insert(id) {
+            ids.push(id);
+        }
+    }
+    ids
+}
+
+/// Counts the fallback trace events of a run.
+#[derive(Debug, Default, Clone)]
+struct FallbackCounter(Arc<Mutex<(u32, u32)>>);
+
+impl TraceSink for FallbackCounter {
+    fn record(&mut self, rec: &TraceRecord) {
+        let mut c = self.0.lock().unwrap();
+        match rec.event {
+            ProtocolEvent::JoinRerouted { .. } => c.0 += 1,
+            ProtocolEvent::JoinStranded { .. } => c.1 += 1,
+            _ => {}
+        }
+    }
+}
+
+/// A node injected into an already-running network must arm its failure
+/// detector on reaching *in_system*: when one of its neighbors later
+/// crashes, the late joiner has to notice and evict it on its own.
+#[test]
+fn live_injected_joiner_detects_crashes() {
+    let space = IdSpace::new(4, 6).unwrap();
+    let ids = distinct(space, 12, 11);
+    let fd = FailureDetector {
+        probe_interval_us: 100_000,
+        suspicion_threshold: 3,
+        repair: true,
+        ..FailureDetector::default()
+    };
+    let mut b = SimNetworkBuilder::new(space);
+    b.options(ProtocolOptions::new().with_failure_detector(fd));
+    for id in &ids[..10] {
+        b.add_member(*id);
+    }
+    let mut net = b.build(ConstantDelay(500), 7);
+    net.crash_at(&ids[0], 50_000);
+    net.run_until(2_000_000);
+
+    // Inject a joiner into the live network after the crash wave settled.
+    net.add_joiner_live(ids[10], ids[1]);
+    net.run_until(5_000_000);
+    assert_eq!(net.engine(&ids[10]).status(), Status::InSystem);
+
+    // Now crash a neighbor the late joiner stores; only the joiner's own
+    // detector can evict it from the joiner's table.
+    let victim = net
+        .engine(&ids[10])
+        .table()
+        .iter()
+        .map(|(_, _, e)| e.node)
+        .find(|n| *n != ids[10] && *n != ids[0])
+        .unwrap();
+    net.crash_at(&victim, 5_500_000);
+    net.run_until(12_000_000);
+    let still = net
+        .engine(&ids[10])
+        .table()
+        .iter()
+        .any(|(_, _, e)| e.node == victim);
+    assert!(
+        !still,
+        "live-injected joiner never evicted crashed neighbor {victim} (FdProbe not armed?)"
+    );
+}
+
+/// Runs the join-after-crash schedule: a joiner starts at t = 0 and its
+/// gateway crashes `crash_at` in. The gateway is the only member sharing
+/// the joiner's suffix digit, so it stays load-bearing for the whole
+/// handshake (copy source *and* wait target) — a crash after the first
+/// copy round leaves the joiner holding live contacts but depending on a
+/// dead peer. Returns the joiner's final status and the (rerouted,
+/// stranded) trace counts.
+fn mid_join_crash(seed: u64, crash_at: u64, fallback: bool) -> (Status, u32, u32) {
+    let space = IdSpace::new(4, 6).unwrap();
+    let ids = distinct(space, 13, 77);
+    let (members, joiner) = (&ids[..12], ids[12]);
+    // members[1] = 031220 is the only member with digit(0) == 0, the
+    // joiner's (113100) suffix digit — see the doc comment above.
+    let gateway = members[1];
+    let fd = FailureDetector {
+        probe_interval_us: 100_000,
+        suspicion_threshold: 3,
+        repair: true,
+        ..FailureDetector::default()
+    };
+    // A short retry budget so exhaustion (and with it the fallback)
+    // happens well inside the horizon.
+    let retry = RetryPolicy {
+        timeout_us: 300_000,
+        max_retries: 2,
+        backoff_pct: 200,
+        join_fallback: fallback,
+        ..RetryPolicy::default()
+    };
+    let mut b = SimNetworkBuilder::new(space);
+    b.options(
+        ProtocolOptions::new()
+            .with_failure_detector(fd)
+            .with_retry(retry),
+    );
+    for id in members {
+        b.add_member(*id);
+    }
+    b.add_joiner(joiner, gateway, 0);
+    let counter = FallbackCounter::default();
+    b.trace(Box::new(counter.clone()));
+    let mut net = b.build(UniformDelay::new(1_000, 50_000), seed);
+    net.crash_at(&gateway, crash_at);
+    net.run_until(20_000_000);
+    let (rerouted, stranded) = *counter.0.lock().unwrap();
+    (net.engine(&joiner).status(), rerouted, stranded)
+}
+
+/// The regression this file exists for: without the fallback, a joiner
+/// whose gateway crashes mid-handshake is stuck in a pre-`in_system`
+/// status forever (no detector ever arms for it); with
+/// [`RetryPolicy::join_fallback`] it reroutes through a contact learned
+/// before the crash and completes the join.
+#[test]
+fn gateway_crash_mid_join_reroutes_with_fallback() {
+    // Seeds where the crash verifiably lands while the gateway is still
+    // load-bearing: the fallback-off arm strands (pinned below), so the
+    // fallback-on arm completing is not vacuous.
+    const CRASH_AT: u64 = 60_000;
+    let mut rescued = 0;
+    for seed in 0..12u64 {
+        let (off_status, _, _) = mid_join_crash(seed, CRASH_AT, false);
+        let (on_status, rerouted, stranded) = mid_join_crash(seed, CRASH_AT, true);
+        if on_status == Status::InSystem {
+            if off_status != Status::InSystem {
+                // The interesting case: fallback-off strands, fallback-on
+                // recovers — and says how in the trace.
+                rescued += 1;
+                assert!(
+                    rerouted > 0,
+                    "seed {seed}: fallback-on run recovered without tracing a reroute"
+                );
+            }
+        } else {
+            // The only legitimate way to stay stuck with the fallback on
+            // is the documented dead end: the gateway died before the
+            // joiner learned a single live contact, and the trace must
+            // say so. Anything else is a silent strand — the regression.
+            assert!(
+                stranded > 0,
+                "seed {seed}: joiner stuck in {on_status:?} with fallback on \
+                 and no JoinStranded trace"
+            );
+        }
+    }
+    assert!(
+        rescued >= 3,
+        "only {rescued}/12 seeds were rescued by the fallback — the crash no longer lands \
+         mid-join; retune the schedule so this regression keeps teeth"
+    );
+}

@@ -194,6 +194,7 @@ fn incremental_matches_full_pass_across_crash_repair_wave() {
             probe_interval_us: 100_000,
             suspicion_threshold: 3,
             repair,
+            ..FailureDetector::default()
         };
         let mut b = SimNetworkBuilder::new(space);
         b.options(ProtocolOptions::new().with_failure_detector(fd));

@@ -16,14 +16,11 @@
 //! metric — including the FNV-1a digest of the full protocol trace — is
 //! bit-for-bit reproducible.
 
-use hyperring_core::{
-    DigestTrace, FailureDetector, ProtocolOptions, SharedSink, SimNetworkBuilder, Violation,
-};
-use hyperring_id::{IdSpace, NodeId};
-use hyperring_sim::{Time, UniformDelay};
+use hyperring_core::{FailureDetector, ProtocolOptions};
+use hyperring_id::IdSpace;
+use hyperring_sim::Time;
 
-use crate::scenario::pick_victims;
-use crate::workload::JoinWorkload;
+use crate::timeline::{Timeline, TimelineScenario};
 
 /// Shape of a crash-churn run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,6 +60,7 @@ impl Default for CrashChurnConfig {
                 probe_interval_us: 200_000,
                 suspicion_threshold: 3,
                 repair: true,
+                ..FailureDetector::default()
             },
             horizon: 30_000_000,
         }
@@ -109,66 +107,48 @@ pub struct CrashChurnResult {
 /// `true` enables slot refill after eviction, `false` is the control
 /// (detection and eviction only).
 ///
+/// The one-shot schedule is expressed on the [`Timeline`] DSL — joins at
+/// t = 0, one crash wave at `crash_at` — and runs through
+/// [`TimelineScenario`]. The timeline compiler draws the same workload
+/// and the same victims as the bespoke scheduler this experiment
+/// originally used, so every metric (including the trace digest) is
+/// bit-identical to the pinned pre-DSL results.
+///
 /// # Panics
 ///
 /// Panics if the configuration is degenerate (no members, or a crash
 /// fraction that kills everyone).
 pub fn run_crashchurn(cfg: &CrashChurnConfig, seed: u64, repair: bool) -> CrashChurnResult {
     let space = IdSpace::new(cfg.base, cfg.digits).expect("valid space");
-    let crashes = cfg.crashes();
     assert!(
-        crashes < cfg.members,
+        cfg.crashes() < cfg.members,
         "crash fraction {} kills all {} members",
         cfg.crash_fraction,
         cfg.members
     );
-    let w = JoinWorkload::generate(space, cfg.members, cfg.joiners, seed);
-    let victims = pick_victims(&w.members, crashes, seed);
-
-    let mut b = SimNetworkBuilder::new(space);
-    for id in &w.members {
-        b.add_member(*id);
-    }
-    for (id, gw) in &w.joiners {
-        b.add_joiner(*id, *gw, 0);
-    }
-    let fd = FailureDetector { repair, ..cfg.fd };
-    b.options(ProtocolOptions::new().with_failure_detector(fd));
-    let digest = SharedSink::new(DigestTrace::new());
-    b.trace(Box::new(digest.clone()));
-    let mut net = b.build(UniformDelay::new(1_000, 50_000), seed);
-    for id in &victims {
-        net.crash_at(id, cfg.crash_at);
-    }
-    let report = net.run_until(cfg.horizon);
-
-    let dead: std::collections::BTreeSet<NodeId> = victims.into_iter().collect();
-    // Borrowed sweep over the survivors' arena-backed tables — no clone.
-    let dead_refs = net
-        .tables_iter()
-        .flat_map(|t| t.iter())
-        .filter(|(_, _, e)| dead.contains(&e.node))
-        .count();
-    let survivors = net.tables_iter().count();
-    let consistency = net.check_consistency();
-    let false_negatives = consistency
-        .violations()
-        .iter()
-        .filter(|v| matches!(v, Violation::FalseNegative { .. }))
-        .count();
-    let trace_digest = digest.lock().digest();
+    let tl = Timeline::new()
+        .at(0)
+        .join(cfg.joiners)
+        .at(cfg.crash_at)
+        .crash(cfg.crash_fraction)
+        .horizon(cfg.horizon);
+    let r = TimelineScenario::new(space)
+        .members(cfg.members)
+        .seed(seed)
+        .options(ProtocolOptions::new().with_failure_detector(FailureDetector { repair, ..cfg.fd }))
+        .run(tl);
     CrashChurnResult {
-        crashed: crashes,
-        survivors,
-        violations: consistency.violations().len(),
-        false_negatives,
-        consistent: consistency.is_consistent(),
-        dead_refs,
-        delivered: report.delivered,
-        timers_fired: report.timers_fired,
-        finished_at: report.finished_at,
-        traced: report.traced,
-        trace_digest,
+        crashed: r.crashed,
+        survivors: r.survivors,
+        violations: r.violations,
+        false_negatives: r.false_negatives,
+        consistent: r.consistent,
+        dead_refs: r.dead_refs,
+        delivered: r.delivered,
+        timers_fired: r.timers_fired,
+        finished_at: r.finished_at,
+        traced: r.traced,
+        trace_digest: r.trace_digest,
     }
 }
 
@@ -184,6 +164,7 @@ mod tests {
                 probe_interval_us: 100_000,
                 suspicion_threshold: 3,
                 repair: true,
+                ..FailureDetector::default()
             },
             horizon: 5_000_000,
             ..CrashChurnConfig::default()

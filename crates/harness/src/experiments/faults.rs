@@ -47,6 +47,7 @@ impl Default for FaultsConfig {
                 timeout_us: 300_000,
                 max_retries: 30,
                 noti_repeats: 6,
+                ..RetryPolicy::default()
             },
         }
     }

@@ -10,6 +10,7 @@ mod fig15a;
 mod fig15b;
 mod msgsize;
 mod occupancy;
+mod poisson;
 mod scale;
 mod stretch;
 mod theorem4;
@@ -22,6 +23,7 @@ pub use fig15a::{fig15a_series, Fig15aPoint};
 pub use fig15b::{run_fig15b, run_fig15b_trials, DelayKind, Fig15bConfig, Fig15bResult};
 pub use msgsize::{run_msgsize_ablation, MsgSizeResult};
 pub use occupancy::{run_occupancy, OccupancyPoint};
+pub use poisson::{poisson_timeline, run_poisson_churn, PoissonChurnConfig, PoissonChurnResult};
 pub use scale::{run_scale, ScaleConfig, ScaleResult};
 pub use stretch::{run_stretch, StretchResult, StretchStats};
 pub use theorem4::{run_theorem4, Theorem4Point};

@@ -37,11 +37,16 @@ pub mod experiments;
 pub mod metrics;
 pub mod report;
 pub mod scenario;
+pub mod timeline;
 pub mod topo_delay;
 pub mod workload;
 
 pub use cli::TrialOpts;
 pub use report::Table;
 pub use scenario::{RunReport, Scenario};
+pub use timeline::{
+    Action, At, CheckpointReport, CompiledTimeline, StormReport, Timeline, TimelineReport,
+    TimelineScenario,
+};
 pub use topo_delay::{CachedTopologyDelay, SharedTopology, TopologyDelay};
 pub use workload::{distinct_ids, run_trials, run_trials_sequential, trial_seed, JoinWorkload};

@@ -2,6 +2,20 @@
 //! resident set size and core count, reported alongside throughput so
 //! benchmark rows are interpretable on any machine.
 
+/// The `p`-th percentile of `samples` (nearest-rank over a sorted copy),
+/// or `None` when empty. `p` is clamped to `[0, 100]`; `p = 50` is the
+/// median, `p = 100` the maximum.
+pub fn percentile(samples: &[u64], p: f64) -> Option<u64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let p = p.clamp(0.0, 100.0);
+    let rank = ((p / 100.0) * (sorted.len() as f64)).ceil() as usize;
+    Some(sorted[rank.max(1) - 1])
+}
+
 /// Peak resident set size of this process in bytes (`VmHWM` from
 /// `/proc/self/status`), or `None` off Linux. The high-water mark is
 /// monotone over the process lifetime, so measure a fresh process (or

@@ -447,6 +447,7 @@ mod tests {
             probe_interval_us: 100_000,
             suspicion_threshold: 3,
             repair: true,
+            ..FailureDetector::default()
         };
         let r = Scenario::new(space())
             .nodes(14)

@@ -653,6 +653,7 @@ mod tests {
             probe_interval_us: 20_000,
             suspicion_threshold: 3,
             repair: true,
+            ..FailureDetector::default()
         });
         // Kill two members after all joins quiesce; give the survivors
         // plenty of detection cycles (wall-clock timing is best-effort,
@@ -704,6 +705,7 @@ mod tests {
             timeout_us: 200,
             max_retries: 8,
             noti_repeats: 2,
+            ..RetryPolicy::default()
         });
         let sink = SharedSink::new(RingTrace::new(1 << 16));
         let tables = ThreadedNetwork::new(space, opts, members)
