@@ -64,6 +64,7 @@
 mod consistency;
 mod digest;
 mod dispatch;
+mod driver;
 mod effect;
 mod engine;
 mod failure;
@@ -89,6 +90,7 @@ pub use consistency::{
 };
 pub use digest::{tables_digest, tables_digest_iter};
 pub use dispatch::{dispatch_effects, EffectHandler};
+pub use driver::{EngineDriver, NodeInput, RuntimeDriver, StepReport};
 pub use effect::{Effect, Effects, Event, TimerId};
 pub use engine::{JoinEngine, Status};
 pub use incremental::IncrementalChecker;

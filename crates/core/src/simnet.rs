@@ -34,8 +34,9 @@ use hyperring_id::{IdSpace, NodeId};
 use hyperring_sim::{Actor, Context, DelayModel, RunReport, Simulator, Time};
 
 use crate::consistency::{check_consistency_streaming, ConsistencyReport};
-use crate::dispatch::{dispatch_effects, EffectHandler};
-use crate::effect::{Effects, Event, TimerId};
+use crate::dispatch::EffectHandler;
+use crate::driver::{EngineDriver, NodeInput, RuntimeDriver};
+use crate::effect::TimerId;
 use crate::engine::{JoinEngine, Status};
 use crate::messages::Message;
 use crate::options::ProtocolOptions;
@@ -162,18 +163,18 @@ impl Directory {
     }
 }
 
-/// One simulated overlay node: an engine plus the shared address directory.
+/// One simulated overlay node: a driven engine plus the shared address
+/// directory.
 #[derive(Debug)]
 pub struct SimNode {
-    engine: JoinEngine,
+    node: EngineDriver,
     dir: Arc<Directory>,
     /// The directory snapshot this node resolves against, probed
     /// lock-free on every send and refreshed only when a lookup misses
     /// (i.e. after the network grew).
     dir_map: Arc<HashMap<NodeId, usize>>,
-    effects: Effects,
     /// The run-global trace stream, shared by every node of a traced
-    /// network; locked only while a node actually has effects to flush.
+    /// network; locked only while a node drives an input.
     trace: Option<Arc<Mutex<TraceStream>>>,
 }
 
@@ -184,34 +185,29 @@ impl SimNode {
         trace: Option<Arc<Mutex<TraceStream>>>,
     ) -> Self {
         SimNode {
-            engine,
+            node: EngineDriver::new(engine),
             dir: Arc::clone(dir),
             dir_map: dir.snapshot(),
-            effects: Effects::new(),
             trace,
         }
     }
 
     /// The wrapped protocol engine.
     pub fn engine(&self) -> &JoinEngine {
-        &self.engine
+        self.node.engine()
     }
 
-    /// Drains the engine's queued effects into the simulator through the
-    /// shared dispatch path.
-    fn flush(
+    /// Feeds one input through the shared runtime driver, with this
+    /// actor's simulator context as the transport.
+    fn dispatch(
         &mut self,
         ctx: &mut Context<'_, SimMsg, TimerId>,
         from_idx: usize,
         reply_to: Option<NodeId>,
+        input: NodeInput,
     ) {
-        if self.effects.is_empty() {
-            return;
-        }
-        let me = self.engine.id();
-        let now = ctx.now();
-        let mut effects = std::mem::take(&mut self.effects);
-        let mut handler = SimHandler {
+        let me = self.node.engine().id();
+        let mut rt = SimHandler {
             ctx,
             me,
             reply_to,
@@ -222,11 +218,12 @@ impl SimNode {
         match &self.trace {
             Some(stream) => {
                 let mut stream = stream.lock().unwrap();
-                dispatch_effects(me, now, &mut effects, &mut handler, Some(&mut stream));
+                self.node.drive(input, &mut rt, Some(&mut stream));
             }
-            None => dispatch_effects(me, now, &mut effects, &mut handler, None),
+            None => {
+                self.node.drive(input, &mut rt, None);
+            }
         }
-        self.effects = effects;
     }
 }
 
@@ -241,6 +238,12 @@ struct SimHandler<'a, 'c> {
     from_idx: usize,
     dir: &'a Directory,
     dir_map: &'a mut Arc<HashMap<NodeId, usize>>,
+}
+
+impl RuntimeDriver for SimHandler<'_, '_> {
+    fn now_us(&self) -> u64 {
+        self.ctx.now()
+    }
 }
 
 impl EffectHandler for SimHandler<'_, '_> {
@@ -282,20 +285,21 @@ impl Actor for SimNode {
             SimMsg::Proto { from, .. } => Some(*from),
             _ => None,
         };
-        match msg {
-            SimMsg::Start { gateway } => self.engine.start_join(gateway, &mut self.effects),
-            SimMsg::Leave => self.engine.begin_leave(&mut self.effects),
-            SimMsg::Crash => self.engine.crash(),
-            SimMsg::StartFd => self.engine.start_failure_detector(&mut self.effects),
-            SimMsg::Proto { from, msg } => self.engine.handle(from, msg, &mut self.effects),
-        }
-        self.flush(ctx, from_idx, reply_to);
+        let input = match msg {
+            SimMsg::Start { gateway } => NodeInput::StartJoin { gateway },
+            SimMsg::Leave => NodeInput::BeginLeave,
+            SimMsg::Crash => {
+                self.node.crash();
+                return;
+            }
+            SimMsg::StartFd => NodeInput::StartFailureDetector,
+            SimMsg::Proto { from, msg } => NodeInput::Deliver { from, msg },
+        };
+        self.dispatch(ctx, from_idx, reply_to, input);
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, SimMsg, TimerId>, timer: TimerId) {
-        self.engine
-            .on_event(Event::TimerFired { id: timer }, &mut self.effects);
-        self.flush(ctx, usize::MAX, None);
+        self.dispatch(ctx, usize::MAX, None, NodeInput::TimerFired(timer));
     }
 }
 

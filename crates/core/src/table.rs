@@ -647,6 +647,16 @@ pub struct TableSnapshot {
 }
 
 impl TableSnapshot {
+    /// Reassembles a snapshot from decoded rows (the wire codec's inverse
+    /// of [`rows`](Self::rows)). Row validity — levels within `d`, digits
+    /// within `b` — is the decoder's responsibility.
+    pub fn from_rows(owner: NodeId, rows: Vec<SnapshotRow>) -> Self {
+        TableSnapshot {
+            owner,
+            rows: Arc::new(rows),
+        }
+    }
+
     /// The node whose table was photographed.
     #[inline]
     pub fn owner(&self) -> NodeId {

@@ -1,22 +1,27 @@
-//! A threaded, in-memory network runtime for the join protocol.
+//! Network runtimes for the join protocol: the protocol, out of the
+//! simulator.
 //!
-//! The deterministic simulator (`hyperring-sim`) is the primary evaluation
-//! substrate, but the protocol engine is sans-io and runs unchanged on real
-//! concurrency. This crate gives every node its own OS thread and delivers
-//! messages over crossbeam channels — true parallelism, real races, no
-//! seeded schedule — which makes it a useful stress test: Theorem 1 promises
-//! consistency under *any* message interleaving, and integration tests
-//! assert exactly that here.
+//! The deterministic simulator (`hyperring-sim`) is the primary
+//! evaluation substrate, but the protocol engine is sans-io and runs
+//! unchanged on real concurrency and real sockets. This crate hosts it on
+//! three runtimes, all driven through the same
+//! [`EngineDriver`](hyperring_core::EngineDriver) /
+//! [`RuntimeDriver`](hyperring_core::RuntimeDriver) glue, so engine
+//! behavior is identical by construction:
 //!
-//! Engine effects are drained through the same [`dispatch_effects`] path
-//! as the simulators: sends become channel messages, timer effects are
-//! served by a per-thread wall-clock timer wheel (so a
-//! [`RetryPolicy`](hyperring_core::RetryPolicy) works here too), and trace
-//! events go to an optional shared [`TraceSink`].
+//! | runtime | transport | threads | clock | delivery |
+//! |---|---|---|---|---|
+//! | [`ThreadedNetwork`] | crossbeam channels | one per node | wall | reliable, racy |
+//! | [`UdpNetwork`] | loopback UDP | few event loops | wall | lossy (injected + backpressure) |
+//! | [`LockstepNet`] | loopback UDP | one | virtual | reliable, deterministic |
 //!
-//! Quiescence is detected with an in-flight message counter (incremented
-//! before a send, decremented after the receiver finishes processing), the
-//! standard termination-detection trick for diffusing computations.
+//! Messages on the UDP runtimes travel as `hyperring-wire` frames (see
+//! the [`transport`] module for the datagram layout); timers on every
+//! runtime are served by a hierarchical [`TimerWheel`], so a
+//! [`RetryPolicy`](hyperring_core::RetryPolicy) works against the wall
+//! clock too. [`LockstepNet`] reproduces the simulator's event ordering
+//! exactly and yields byte-identical trace digests for lossless runs —
+//! the proof that the codec and socket plumbing are transparent.
 //!
 //! # Examples
 //!
@@ -42,682 +47,13 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // one exception: the poll(2) binding in transport::sys
 #![warn(missing_docs)]
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
-use std::fmt;
-use std::sync::atomic::{AtomicI64, Ordering};
-use std::sync::{Arc, Mutex};
-use std::thread;
-use std::time::{Duration, Instant};
+pub mod timer;
+pub mod transport;
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use hyperring_core::{
-    dispatch_effects, EffectHandler, Effects, Event, JoinEngine, Message, NeighborTable,
-    ProtocolOptions, Status, TimerId, TraceSink, TraceStream,
-};
-use hyperring_id::{IdSpace, NodeId};
+mod runtime;
 
-/// Failure of a threaded run. The runtime reports problems instead of
-/// panicking: configuration mistakes surface before any thread spawns,
-/// liveness failures after an orderly shutdown.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum NetError {
-    /// A joiner duplicates an existing node identifier.
-    DuplicateNode(NodeId),
-    /// A joiner's gateway is neither a member nor a joiner.
-    UnknownGateway(NodeId),
-    /// The engine addressed a message to a node the network doesn't know
-    /// (an engine bug; recorded rather than unwinding a worker thread).
-    UnknownDestination(NodeId),
-    /// The network failed to quiesce within the deadline.
-    QuiesceTimeout {
-        /// Messages still in flight when the deadline passed.
-        in_flight: i64,
-        /// Joiners still not `in_system` when the deadline passed.
-        joining: i64,
-    },
-    /// A node thread panicked (its engine state is lost).
-    NodePanicked,
-}
-
-impl fmt::Display for NetError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            NetError::DuplicateNode(id) => write!(f, "duplicate node identifier {id}"),
-            NetError::UnknownGateway(id) => write!(f, "unknown gateway {id}"),
-            NetError::UnknownDestination(id) => {
-                write!(f, "message addressed to unknown node {id}")
-            }
-            NetError::QuiesceTimeout { in_flight, joining } => write!(
-                f,
-                "network failed to quiesce: {in_flight} in flight, {joining} joining"
-            ),
-            NetError::NodePanicked => write!(f, "a node thread panicked"),
-        }
-    }
-}
-
-impl std::error::Error for NetError {}
-
-/// A message envelope on the thread network.
-#[derive(Debug)]
-enum Envelope {
-    Proto {
-        from: NodeId,
-        msg: Message,
-    },
-    Start {
-        gateway: NodeId,
-    },
-    /// Crash-fail the node: the thread exits on the spot, with no goodbye
-    /// traffic (crash-churn extension). Queued and future messages to it
-    /// die with its channel.
-    Kill,
-    Shutdown,
-}
-
-/// Shared state for quiescence detection.
-#[derive(Debug, Default)]
-struct Flight {
-    /// Protocol messages sent but not yet fully processed.
-    in_flight: AtomicI64,
-    /// Joins that have not reached `in_system` yet.
-    joining: AtomicI64,
-}
-
-/// Per-thread wall-clock timer wheel: deadlines in a min-heap, liveness in
-/// an armed-generation map (re-arming or canceling invalidates the heap
-/// entry in place; stale entries are skipped when they surface).
-#[derive(Debug, Default)]
-struct Timers {
-    heap: BinaryHeap<Reverse<(Instant, u64, TimerId)>>,
-    armed: HashMap<TimerId, u64>,
-    seq: u64,
-}
-
-impl Timers {
-    fn arm(&mut self, id: TimerId, delay: Duration) {
-        self.seq += 1;
-        self.armed.insert(id, self.seq);
-        self.heap
-            .push(Reverse((Instant::now() + delay, self.seq, id)));
-    }
-
-    fn cancel(&mut self, id: TimerId) {
-        self.armed.remove(&id);
-    }
-
-    /// Earliest live deadline, discarding stale heap heads.
-    fn next_deadline(&mut self) -> Option<Instant> {
-        while let Some(&Reverse((at, seq, id))) = self.heap.peek() {
-            if self.armed.get(&id) == Some(&seq) {
-                return Some(at);
-            }
-            self.heap.pop();
-        }
-        None
-    }
-
-    /// Pops every live timer due at `now` (disarming it — the engine
-    /// re-arms explicitly if it retries).
-    fn pop_due(&mut self, now: Instant) -> Vec<TimerId> {
-        let mut due = Vec::new();
-        while let Some(&Reverse((at, seq, id))) = self.heap.peek() {
-            if at > now {
-                break;
-            }
-            self.heap.pop();
-            if self.armed.get(&id) == Some(&seq) {
-                self.armed.remove(&id);
-                due.push(id);
-            }
-        }
-        due
-    }
-}
-
-/// [`EffectHandler`] adapter for one node thread: sends go over channels
-/// (counted for quiescence detection), timers into the thread's wheel.
-struct ThreadHandler<'a> {
-    me: NodeId,
-    senders: &'a HashMap<NodeId, Sender<Envelope>>,
-    flight: &'a Flight,
-    timers: &'a mut Timers,
-    error: &'a mut Option<NetError>,
-}
-
-impl EffectHandler for ThreadHandler<'_> {
-    fn send(&mut self, to: NodeId, msg: Message) {
-        let Some(tx) = self.senders.get(&to) else {
-            self.error.get_or_insert(NetError::UnknownDestination(to));
-            return;
-        };
-        self.flight.in_flight.fetch_add(1, Ordering::SeqCst);
-        if tx.send(Envelope::Proto { from: self.me, msg }).is_err() {
-            // The receiver is gone, which only happens once shutdown has
-            // begun; undo the count so quiescence bookkeeping stays exact.
-            self.flight.in_flight.fetch_sub(1, Ordering::SeqCst);
-        }
-    }
-
-    fn set_timer(&mut self, id: TimerId, delay_hint: u64) {
-        self.timers.arm(id, Duration::from_micros(delay_hint));
-    }
-
-    fn cancel_timer(&mut self, id: TimerId) {
-        self.timers.cancel(id);
-    }
-}
-
-/// A network of per-thread protocol engines connected by channels.
-///
-/// Construct with the initial members' tables, then call
-/// [`run_joins`](Self::run_joins) with the joiners; the call blocks until
-/// the whole network is quiescent and every joiner is an S-node, and
-/// returns all final tables (members first, in construction order, then
-/// joiners in the given order).
-#[derive(Debug)]
-pub struct ThreadedNetwork {
-    space: IdSpace,
-    opts: ProtocolOptions,
-    members: Vec<NeighborTable>,
-    trace: Option<Arc<Mutex<TraceStream>>>,
-}
-
-impl ThreadedNetwork {
-    /// Creates a network over `space` whose initial members own `members`
-    /// (consistent) tables.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `members` is empty.
-    pub fn new(space: IdSpace, opts: ProtocolOptions, members: Vec<NeighborTable>) -> Self {
-        assert!(!members.is_empty(), "network needs at least one member");
-        ThreadedNetwork {
-            space,
-            opts,
-            members,
-            trace: None,
-        }
-    }
-
-    /// Attaches a [`TraceSink`] shared by every node thread. Timestamps
-    /// are wall-clock microseconds since the run started (monotone but —
-    /// unlike the simulators' virtual time — not deterministic). Implies
-    /// [`ProtocolOptions::trace`].
-    pub fn with_trace(mut self, sink: Box<dyn TraceSink + Send>) -> Self {
-        self.opts = self.opts.with_trace();
-        self.trace = Some(Arc::new(Mutex::new(TraceStream::new(sink))));
-        self
-    }
-
-    /// Runs all `(joiner, gateway)` joins concurrently on real threads and
-    /// returns every node's final table.
-    ///
-    /// # Errors
-    ///
-    /// [`NetError::DuplicateNode`] / [`NetError::UnknownGateway`] for
-    /// configuration mistakes (reported before any thread spawns);
-    /// [`NetError::QuiesceTimeout`] if the run fails to quiesce within a
-    /// generous deadline (60 s), which Theorem 2 rules out absent bugs;
-    /// [`NetError::NodePanicked`] / [`NetError::UnknownDestination`] for
-    /// internal failures. On every error path all node threads are shut
-    /// down and joined before returning.
-    pub fn run_joins(self, joiners: &[(NodeId, NodeId)]) -> Result<Vec<NeighborTable>, NetError> {
-        let engines = self.run_inner(joiners, &[], Duration::ZERO)?;
-        Ok(engines.iter().map(|e| e.table().clone()).collect())
-    }
-
-    /// Runs all joins to quiescence, then **kills** the `kills` nodes —
-    /// their threads exit on the spot with no goodbye traffic — and lets
-    /// the survivors run for `grace` wall-clock time so their failure
-    /// detectors (configure one via
-    /// [`ProtocolOptions::with_failure_detector`](hyperring_core::ProtocolOptions::with_failure_detector))
-    /// can evict the dead and repair their tables. Returns the survivors'
-    /// final tables (crash-churn extension).
-    ///
-    /// # Errors
-    ///
-    /// Everything [`run_joins`](Self::run_joins) reports, plus
-    /// [`NetError::UnknownDestination`] when a kill target is neither a
-    /// member nor a joiner.
-    pub fn run_crash_scenario(
-        self,
-        joiners: &[(NodeId, NodeId)],
-        kills: &[NodeId],
-        grace: Duration,
-    ) -> Result<Vec<NeighborTable>, NetError> {
-        let engines = self.run_inner(joiners, kills, grace)?;
-        Ok(engines
-            .iter()
-            .filter(|e| e.status() != Status::Crashed)
-            .map(|e| e.table().clone())
-            .collect())
-    }
-
-    fn run_inner(
-        self,
-        joiners: &[(NodeId, NodeId)],
-        kills: &[NodeId],
-        grace: Duration,
-    ) -> Result<Vec<JoinEngine>, NetError> {
-        let flight = Arc::new(Flight {
-            in_flight: AtomicI64::new(0),
-            joining: AtomicI64::new(joiners.len() as i64),
-        });
-
-        // Channels for every node.
-        let mut senders: HashMap<NodeId, Sender<Envelope>> = HashMap::new();
-        let mut receivers: Vec<Receiver<Envelope>> = Vec::new();
-        let member_ids: Vec<NodeId> = self.members.iter().map(|t| t.owner()).collect();
-        for id in member_ids.iter().chain(joiners.iter().map(|(id, _)| id)) {
-            let (tx, rx) = unbounded();
-            if senders.insert(*id, tx).is_some() {
-                return Err(NetError::DuplicateNode(*id));
-            }
-            receivers.push(rx);
-        }
-        let senders = Arc::new(senders);
-        for (_, gateway) in joiners {
-            if !senders.contains_key(gateway) {
-                return Err(NetError::UnknownGateway(*gateway));
-            }
-        }
-        for id in kills {
-            if !senders.contains_key(id) {
-                return Err(NetError::UnknownDestination(*id));
-            }
-        }
-
-        // Spawn one thread per node.
-        let epoch = Instant::now();
-        let mut handles = Vec::new();
-        let mut rx_iter = receivers.into_iter();
-        for table in self.members {
-            let rx = rx_iter.next().expect("receiver per node");
-            let engine = JoinEngine::new_member(self.space, self.opts, table);
-            handles.push(spawn_node(
-                engine,
-                rx,
-                Arc::clone(&senders),
-                Arc::clone(&flight),
-                self.trace.clone(),
-                epoch,
-            ));
-        }
-        for (id, _) in joiners {
-            let rx = rx_iter.next().expect("receiver per node");
-            let engine = JoinEngine::new_joiner(self.space, self.opts, *id);
-            handles.push(spawn_node(
-                engine,
-                rx,
-                Arc::clone(&senders),
-                Arc::clone(&flight),
-                self.trace.clone(),
-                epoch,
-            ));
-        }
-
-        let shutdown_all = |handles: Vec<thread::JoinHandle<(JoinEngine, Option<NetError>)>>| {
-            for s in senders.values() {
-                let _ = s.send(Envelope::Shutdown);
-            }
-            let mut engines = Vec::with_capacity(handles.len());
-            let mut first_error = None;
-            for h in handles {
-                match h.join() {
-                    Ok((engine, err)) => {
-                        if let Some(e) = err {
-                            first_error.get_or_insert(e);
-                        }
-                        engines.push(engine);
-                    }
-                    Err(_) => {
-                        first_error.get_or_insert(NetError::NodePanicked);
-                    }
-                }
-            }
-            if let Some(stream) = &self.trace {
-                if let Ok(mut stream) = stream.lock() {
-                    stream.flush();
-                }
-            }
-            (engines, first_error)
-        };
-
-        // Fire all starts "at the same time" (the paper starts all joins at
-        // t = 0).
-        for (id, gateway) in joiners {
-            flight.in_flight.fetch_add(1, Ordering::SeqCst);
-            if senders[id]
-                .send(Envelope::Start { gateway: *gateway })
-                .is_err()
-            {
-                let (_, err) = shutdown_all(handles);
-                return Err(err.unwrap_or(NetError::NodePanicked));
-            }
-        }
-
-        // Wait for quiescence: no in-flight messages and no joining nodes.
-        let deadline = Instant::now() + Duration::from_secs(60);
-        loop {
-            let in_flight = flight.in_flight.load(Ordering::SeqCst);
-            let joining = flight.joining.load(Ordering::SeqCst);
-            if in_flight == 0 && joining == 0 {
-                break;
-            }
-            if Instant::now() >= deadline {
-                let (_, err) = shutdown_all(handles);
-                return Err(err.unwrap_or(NetError::QuiesceTimeout { in_flight, joining }));
-            }
-            thread::sleep(Duration::from_micros(200));
-        }
-
-        // Crash phase: kill the victims (their threads exit immediately,
-        // dropping their receive channels, so traffic addressed to them
-        // simply dies) and give the survivors a wall-clock grace period to
-        // detect, evict, and repair. The in-flight counter is no longer
-        // exact once channels die mid-message, so this phase is bounded by
-        // time rather than by quiescence.
-        if !kills.is_empty() {
-            for id in kills {
-                let _ = senders[id].send(Envelope::Kill);
-            }
-            thread::sleep(grace);
-        }
-
-        let (engines, err) = shutdown_all(handles);
-        if let Some(e) = err {
-            return Err(e);
-        }
-        Ok(engines)
-    }
-}
-
-fn spawn_node(
-    mut engine: JoinEngine,
-    rx: Receiver<Envelope>,
-    senders: Arc<HashMap<NodeId, Sender<Envelope>>>,
-    flight: Arc<Flight>,
-    trace: Option<Arc<Mutex<TraceStream>>>,
-    epoch: Instant,
-) -> thread::JoinHandle<(JoinEngine, Option<NetError>)> {
-    thread::spawn(move || {
-        let mut effects = Effects::new();
-        let mut timers = Timers::default();
-        let mut error: Option<NetError> = None;
-        let mut still_joining = !engine.is_in_system();
-        // Initial members never pass through the joiner's S-node switch,
-        // so arm their failure detector here (a no-op unless configured);
-        // the probe timer must be in the wheel before the first blocking
-        // receive, or the thread would sleep through its own ticks.
-        engine.start_failure_detector(&mut effects);
-        if !effects.is_empty() {
-            let me = engine.id();
-            let now_us = epoch.elapsed().as_micros() as u64;
-            let mut handler = ThreadHandler {
-                me,
-                senders: &senders,
-                flight: &flight,
-                timers: &mut timers,
-                error: &mut error,
-            };
-            match trace.as_ref().map(|t| t.lock()) {
-                Some(Ok(mut stream)) => {
-                    dispatch_effects(me, now_us, &mut effects, &mut handler, Some(&mut stream));
-                }
-                _ => dispatch_effects(me, now_us, &mut effects, &mut handler, None),
-            }
-        }
-        loop {
-            // Block for the next envelope, but only until the nearest live
-            // timer deadline.
-            let wake = match timers.next_deadline() {
-                Some(at) => match rx.recv_timeout(at.saturating_duration_since(Instant::now())) {
-                    Ok(env) => Some(env),
-                    Err(RecvTimeoutError::Timeout) => None,
-                    Err(RecvTimeoutError::Disconnected) => break,
-                },
-                None => match rx.recv() {
-                    Ok(env) => Some(env),
-                    Err(_) => break,
-                },
-            };
-            let counted = match wake {
-                Some(Envelope::Shutdown) => break,
-                Some(Envelope::Kill) => {
-                    // Crash failure: no goodbye, no flush — the thread
-                    // just stops. Dropping `rx` kills queued traffic.
-                    engine.crash();
-                    break;
-                }
-                Some(Envelope::Start { gateway }) => {
-                    engine.start_join(gateway, &mut effects);
-                    true
-                }
-                Some(Envelope::Proto { from, msg }) => {
-                    engine.handle(from, msg, &mut effects);
-                    true
-                }
-                None => {
-                    for id in timers.pop_due(Instant::now()) {
-                        engine.on_event(Event::TimerFired { id }, &mut effects);
-                    }
-                    false
-                }
-            };
-            if !effects.is_empty() {
-                let me = engine.id();
-                let now_us = epoch.elapsed().as_micros() as u64;
-                let mut handler = ThreadHandler {
-                    me,
-                    senders: &senders,
-                    flight: &flight,
-                    timers: &mut timers,
-                    error: &mut error,
-                };
-                match trace.as_ref().map(|t| t.lock()) {
-                    Some(Ok(mut stream)) => {
-                        dispatch_effects(me, now_us, &mut effects, &mut handler, Some(&mut stream));
-                    }
-                    // A poisoned trace lock loses trace records, never
-                    // protocol traffic.
-                    _ => dispatch_effects(me, now_us, &mut effects, &mut handler, None),
-                }
-            }
-            if still_joining && engine.status() == Status::InSystem {
-                still_joining = false;
-                flight.joining.fetch_sub(1, Ordering::SeqCst);
-            }
-            if counted {
-                // Decrement only now: new sends were counted before our own
-                // decrement, so in_flight == 0 really means quiescent.
-                flight.in_flight.fetch_sub(1, Ordering::SeqCst);
-            }
-        }
-        (engine, error)
-    })
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use hyperring_core::{
-        build_consistent_tables, check_consistency, RetryPolicy, RingTrace, SharedSink,
-    };
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-
-    fn distinct_ids(space: IdSpace, n: usize, seed: u64) -> Vec<NodeId> {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut set = std::collections::BTreeSet::new();
-        while set.len() < n {
-            set.insert(space.random_id(&mut rng));
-        }
-        let mut v: Vec<NodeId> = set.into_iter().collect();
-        for i in (1..v.len()).rev() {
-            let j = rng.gen_range(0..=i);
-            v.swap(i, j);
-        }
-        v
-    }
-
-    #[test]
-    fn threaded_concurrent_joins_are_consistent() {
-        let space = IdSpace::new(4, 5).unwrap();
-        let ids = distinct_ids(space, 30, 11);
-        let members = build_consistent_tables(space, &ids[..20]);
-        let gateway = ids[0];
-        let joiners: Vec<(NodeId, NodeId)> = ids[20..].iter().map(|&id| (id, gateway)).collect();
-        let tables = ThreadedNetwork::new(space, ProtocolOptions::new(), members)
-            .run_joins(&joiners)
-            .expect("run quiesces");
-        assert_eq!(tables.len(), 30);
-        let report = check_consistency(space, &tables);
-        assert!(report.is_consistent(), "{report}");
-    }
-
-    #[test]
-    fn threaded_repeated_runs_always_consistent() {
-        // Real thread scheduling differs run to run; Theorem 1 must hold
-        // every time.
-        let space = IdSpace::new(8, 4).unwrap();
-        for round in 0..5 {
-            let ids = distinct_ids(space, 24, 100 + round);
-            let members = build_consistent_tables(space, &ids[..16]);
-            let joiners: Vec<(NodeId, NodeId)> = ids[16..]
-                .iter()
-                .enumerate()
-                .map(|(i, &id)| (id, ids[i % 16]))
-                .collect();
-            let tables = ThreadedNetwork::new(space, ProtocolOptions::new(), members)
-                .run_joins(&joiners)
-                .expect("run quiesces");
-            let report = check_consistency(space, &tables);
-            assert!(report.is_consistent(), "round {round}: {report}");
-        }
-    }
-
-    #[test]
-    fn no_joiners_is_a_noop() {
-        let space = IdSpace::new(4, 3).unwrap();
-        let ids = distinct_ids(space, 5, 7);
-        let members = build_consistent_tables(space, &ids);
-        let tables = ThreadedNetwork::new(space, ProtocolOptions::new(), members.clone())
-            .run_joins(&[])
-            .expect("empty run quiesces");
-        assert_eq!(tables.len(), members.len());
-        assert!(check_consistency(space, &tables).is_consistent());
-    }
-
-    #[test]
-    fn unknown_gateway_is_an_error() {
-        let space = IdSpace::new(4, 3).unwrap();
-        let ids = distinct_ids(space, 4, 9);
-        let members = build_consistent_tables(space, &ids[..3]);
-        // Find an identifier that is neither a member nor the joiner.
-        let ghost = (0..space.capacity().unwrap())
-            .map(|v| space.id_from_value(v).unwrap())
-            .find(|id| !ids.contains(id))
-            .expect("space has spare ids");
-        let err = ThreadedNetwork::new(space, ProtocolOptions::new(), members)
-            .run_joins(&[(ids[3], ghost)])
-            .unwrap_err();
-        assert_eq!(err, NetError::UnknownGateway(ghost));
-        assert!(err.to_string().contains("unknown gateway"));
-    }
-
-    #[test]
-    fn duplicate_joiner_is_an_error() {
-        let space = IdSpace::new(4, 3).unwrap();
-        let ids = distinct_ids(space, 4, 13);
-        let members = build_consistent_tables(space, &ids[..3]);
-        let err = ThreadedNetwork::new(space, ProtocolOptions::new(), members)
-            .run_joins(&[(ids[0], ids[1])])
-            .unwrap_err();
-        assert_eq!(err, NetError::DuplicateNode(ids[0]));
-    }
-
-    #[test]
-    fn killed_threads_are_detected_and_survivor_tables_repaired() {
-        use hyperring_core::FailureDetector;
-
-        let space = IdSpace::new(4, 4).unwrap();
-        let ids = distinct_ids(space, 14, 31);
-        let members = build_consistent_tables(space, &ids[..10]);
-        let joiners: Vec<(NodeId, NodeId)> = ids[10..].iter().map(|&id| (id, ids[0])).collect();
-        let opts = ProtocolOptions::new().with_failure_detector(FailureDetector {
-            probe_interval_us: 20_000,
-            suspicion_threshold: 3,
-            repair: true,
-            ..FailureDetector::default()
-        });
-        // Kill two members after all joins quiesce; give the survivors
-        // plenty of detection cycles (wall-clock timing is best-effort,
-        // so the grace period is generous relative to the probe interval).
-        let kills = [ids[1], ids[2]];
-        let tables = ThreadedNetwork::new(space, opts, members)
-            .run_crash_scenario(&joiners, &kills, Duration::from_millis(2_000))
-            .expect("crash scenario quiesces");
-        assert_eq!(tables.len(), 12, "both victims excluded from the result");
-        for t in &tables {
-            for dead in &kills {
-                assert!(
-                    !t.iter().any(|(_, _, e)| e.node == *dead),
-                    "{} still stores killed {dead}",
-                    t.owner()
-                );
-            }
-        }
-        let report = check_consistency(space, &tables);
-        assert!(report.is_consistent(), "{report}");
-    }
-
-    #[test]
-    fn unknown_kill_target_is_an_error() {
-        let space = IdSpace::new(4, 3).unwrap();
-        let ids = distinct_ids(space, 4, 17);
-        let members = build_consistent_tables(space, &ids[..3]);
-        let ghost = (0..space.capacity().unwrap())
-            .map(|v| space.id_from_value(v).unwrap())
-            .find(|id| !ids.contains(id))
-            .expect("space has spare ids");
-        let err = ThreadedNetwork::new(space, ProtocolOptions::new(), members)
-            .run_crash_scenario(&[], &[ghost], Duration::from_millis(10))
-            .unwrap_err();
-        assert_eq!(err, NetError::UnknownDestination(ghost));
-    }
-
-    #[test]
-    fn retry_policy_and_trace_run_on_real_threads() {
-        // An aggressive timeout forces real retransmissions (the channels
-        // are reliable, so every retry produces a duplicate); the engine's
-        // duplicate-reply guards must keep the result consistent, and the
-        // shared trace stream must observe every joiner reach in_system.
-        let space = IdSpace::new(4, 4).unwrap();
-        let ids = distinct_ids(space, 16, 21);
-        let members = build_consistent_tables(space, &ids[..10]);
-        let joiners: Vec<(NodeId, NodeId)> = ids[10..].iter().map(|&id| (id, ids[0])).collect();
-        let opts = ProtocolOptions::new().with_retry(RetryPolicy {
-            timeout_us: 200,
-            max_retries: 8,
-            noti_repeats: 2,
-            ..RetryPolicy::default()
-        });
-        let sink = SharedSink::new(RingTrace::new(1 << 16));
-        let tables = ThreadedNetwork::new(space, opts, members)
-            .with_trace(Box::new(sink.clone()))
-            .run_joins(&joiners)
-            .expect("run quiesces under retransmission");
-        assert!(check_consistency(space, &tables).is_consistent());
-        let ring = sink.lock();
-        let in_system = ring
-            .records()
-            .filter(|r| r.to_jsonl().contains("\"to\":\"in_system\""))
-            .count();
-        assert_eq!(in_system, joiners.len(), "every joiner traced in_system");
-    }
-}
+pub use runtime::{LockstepNet, NetError, ThreadedNetwork, UdpConfig, UdpNetwork, UdpRunStats};
+pub use timer::TimerWheel;

@@ -1,0 +1,382 @@
+//! Lockstep UDP: the simulator's deterministic schedule over real
+//! sockets.
+//!
+//! [`LockstepNet`] runs every engine on one thread under a **virtual**
+//! clock, but routes every protocol message through an actual loopback
+//! UDP socket. Each datagram carries its virtual delivery time and the
+//! global event sequence number (see
+//! [`encode_scheduled`](crate::transport::encode_scheduled)); arrivals go
+//! into a priority queue ordered by `(time, seq)` — exactly the order the
+//! deterministic simulator (`hyperring-sim`) processes events in, with
+//! sequence numbers consumed at the same points (every send, every timer
+//! arm, every initial injection).
+//!
+//! The payoff: with a constant delay model, a seeded
+//! [`SimNetworkBuilder`](hyperring_core::SimNetworkBuilder) run and a
+//! [`LockstepNet`] run produce **identical trace digests**, even though
+//! one delivers messages through a `BinaryHeap` and the other through the
+//! kernel's UDP stack. That parity is the proof that the wire codec and
+//! the socket plumbing are transparent: same engine steps, same
+//! timestamps, same bytes, different transport. The parity test in
+//! `tests/parity.rs` pins it.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::{BinaryHeap, HashMap};
+use std::time::{Duration, Instant};
+
+use hyperring_core::{
+    EffectHandler, EngineDriver, JoinEngine, Message, NeighborTable, NodeInput, ProtocolOptions,
+    RuntimeDriver, TimerId, TraceSink, TraceStream,
+};
+use hyperring_id::{IdSpace, NodeId};
+
+use crate::runtime::NetError;
+use crate::transport::{decode_scheduled, encode_scheduled, UdpEndpoint, WAIT_READ};
+
+/// Hard cap on processed events; a run that exceeds it is reported as a
+/// quiescence failure rather than spinning forever (a configured failure
+/// detector re-arms probes indefinitely, which this runtime — built to
+/// terminate when the queue drains — does not support).
+const MAX_STEPS: u64 = 50_000_000;
+
+/// How long to wait for a datagram the runtime itself just sent to its
+/// own socket before declaring the transport broken.
+const RECV_DEADLINE: Duration = Duration::from_secs(5);
+
+/// A scheduled event. Ordering (and equality) consider only `(at, seq)`;
+/// `seq` is unique, so the order is total and deterministic.
+struct Ev {
+    at: u64,
+    seq: u64,
+    slot: usize,
+    kind: EvKind,
+}
+
+enum EvKind {
+    StartJoin { gateway: NodeId },
+    StartFd,
+    Timer { id: TimerId, gen: u64 },
+    Deliver { from: NodeId, msg: Message },
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    /// Reversed, so the max-heap [`BinaryHeap`] pops the earliest event.
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// [`EffectHandler`] adapter: sends become scheduled datagrams (stamped
+/// with virtual delivery time and a fresh sequence number, then written to
+/// the socket), timers become heap events, and the clock reads virtual
+/// time.
+struct LockstepHandler<'a> {
+    space: IdSpace,
+    me: NodeId,
+    slot: usize,
+    now_us: u64,
+    delay_us: u64,
+    next_seq: &'a mut u64,
+    next_gen: &'a mut u64,
+    armed: &'a mut HashMap<(usize, TimerId), u64>,
+    heap: &'a mut BinaryHeap<Ev>,
+    index: &'a HashMap<NodeId, usize>,
+    outbox: &'a mut Vec<Vec<u8>>,
+    error: &'a mut Option<NetError>,
+}
+
+impl EffectHandler for LockstepHandler<'_> {
+    fn send(&mut self, to: NodeId, msg: Message) {
+        if !self.index.contains_key(&to) {
+            self.error.get_or_insert(NetError::UnknownDestination(to));
+            return;
+        }
+        let seq = *self.next_seq;
+        *self.next_seq += 1;
+        let mut dgram = Vec::with_capacity(64);
+        encode_scheduled(
+            &self.space,
+            to,
+            self.now_us + self.delay_us,
+            seq,
+            self.me,
+            &msg,
+            &mut dgram,
+        );
+        self.outbox.push(dgram);
+    }
+
+    fn set_timer(&mut self, id: TimerId, delay_hint: u64) {
+        let gen = *self.next_gen;
+        *self.next_gen += 1;
+        let seq = *self.next_seq;
+        *self.next_seq += 1;
+        self.armed.insert((self.slot, id), gen);
+        self.heap.push(Ev {
+            at: self.now_us + delay_hint,
+            seq,
+            slot: self.slot,
+            kind: EvKind::Timer { id, gen },
+        });
+    }
+
+    fn cancel_timer(&mut self, id: TimerId) {
+        self.armed.remove(&(self.slot, id));
+    }
+}
+
+impl RuntimeDriver for LockstepHandler<'_> {
+    fn now_us(&self) -> u64 {
+        self.now_us
+    }
+}
+
+/// Single-threaded, virtual-time UDP runtime reproducing the simulator's
+/// event order exactly.
+///
+/// Build with the members' tables, add joiners with
+/// [`add_joiner`](Self::add_joiner) (virtual start times, like the
+/// simulator's), then [`run`](Self::run). Message delay is a constant
+/// [`delay_us`](Self::delay_us), matching the simulator's
+/// `ConstantDelay` — constant delay draws nothing from the simulator's
+/// RNG, which is what makes byte-identical traces possible.
+pub struct LockstepNet {
+    space: IdSpace,
+    opts: ProtocolOptions,
+    members: Vec<NeighborTable>,
+    joiners: Vec<(NodeId, NodeId, u64)>,
+    delay_us: u64,
+    trace: Option<Box<dyn TraceSink + Send>>,
+}
+
+impl LockstepNet {
+    /// Creates a lockstep network whose initial members own `members`
+    /// (consistent) tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty.
+    pub fn new(space: IdSpace, opts: ProtocolOptions, members: Vec<NeighborTable>) -> Self {
+        assert!(!members.is_empty(), "network needs at least one member");
+        LockstepNet {
+            space,
+            opts,
+            members,
+            joiners: Vec::new(),
+            delay_us: 1_000,
+            trace: None,
+        }
+    }
+
+    /// Sets the constant per-message delay in virtual microseconds
+    /// (default 1000). For trace parity, pass the same constant to the
+    /// simulator's delay model.
+    pub fn delay_us(mut self, delay_us: u64) -> Self {
+        self.delay_us = delay_us;
+        self
+    }
+
+    /// Schedules `joiner` to start joining through `gateway` at virtual
+    /// time `at_us`. Order matters: it determines the sequence numbers of
+    /// the start events, just as injection order does in the simulator.
+    pub fn add_joiner(mut self, joiner: NodeId, gateway: NodeId, at_us: u64) -> Self {
+        self.joiners.push((joiner, gateway, at_us));
+        self
+    }
+
+    /// Attaches a [`TraceSink`]. Records are stamped with **virtual**
+    /// time, so a lossless run's digest matches the simulator's. Implies
+    /// [`ProtocolOptions::trace`].
+    pub fn with_trace(mut self, sink: Box<dyn TraceSink + Send>) -> Self {
+        self.opts = self.opts.with_trace();
+        self.trace = Some(sink);
+        self
+    }
+
+    /// Runs to quiescence (an empty event queue) and returns every node's
+    /// final table, members first, then joiners in insertion order.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::DuplicateNode`] / [`NetError::UnknownGateway`] for
+    /// roster mistakes, [`NetError::Socket`] if the loopback transport
+    /// fails (including losing one of this runtime's own datagrams), and
+    /// [`NetError::QuiesceTimeout`] past an event-count safety cap.
+    pub fn run(self) -> Result<Vec<NeighborTable>, NetError> {
+        let mut index: HashMap<NodeId, usize> = HashMap::new();
+        let ids: Vec<NodeId> = self
+            .members
+            .iter()
+            .map(|t| t.owner())
+            .chain(self.joiners.iter().map(|&(id, _, _)| id))
+            .collect();
+        for (i, id) in ids.iter().enumerate() {
+            if index.insert(*id, i).is_some() {
+                return Err(NetError::DuplicateNode(*id));
+            }
+        }
+        for (_, gateway, _) in &self.joiners {
+            if !index.contains_key(gateway) {
+                return Err(NetError::UnknownGateway(*gateway));
+            }
+        }
+
+        let n_members = self.members.len();
+        let mut drivers: Vec<EngineDriver> = self
+            .members
+            .into_iter()
+            .map(|t| EngineDriver::new(JoinEngine::new_member(self.space, self.opts, t)))
+            .chain(self.joiners.iter().map(|&(id, _, _)| {
+                EngineDriver::new(JoinEngine::new_joiner(self.space, self.opts, id))
+            }))
+            .collect();
+        let mut trace = self.trace.map(TraceStream::new);
+
+        // Initial injections, in the simulator's order (each consumes a
+        // sequence number): failure-detector starts for the members first
+        // (only when configured — the simulator injects nothing
+        // otherwise), then the joiners' starts in insertion order.
+        let mut heap: BinaryHeap<Ev> = BinaryHeap::new();
+        let mut next_seq: u64 = 0;
+        let mut next_gen: u64 = 0;
+        let mut armed: HashMap<(usize, TimerId), u64> = HashMap::new();
+        if self.opts.failure_detector().is_some() {
+            for slot in 0..n_members {
+                heap.push(Ev {
+                    at: 0,
+                    seq: next_seq,
+                    slot,
+                    kind: EvKind::StartFd,
+                });
+                next_seq += 1;
+            }
+        }
+        for (j, &(_, gateway, at_us)) in self.joiners.iter().enumerate() {
+            heap.push(Ev {
+                at: at_us,
+                seq: next_seq,
+                slot: n_members + j,
+                kind: EvKind::StartJoin { gateway },
+            });
+            next_seq += 1;
+        }
+
+        // One self-addressed socket carries every message.
+        let endpoint = UdpEndpoint::bind()?;
+        let me_addr = endpoint.local_addr()?;
+        let mut buf = vec![0u8; 64 * 1024];
+        let mut outbox: Vec<Vec<u8>> = Vec::new();
+        let mut steps: u64 = 0;
+        let mut joining = self.joiners.len() as i64;
+
+        while let Some(ev) = heap.pop() {
+            steps += 1;
+            if steps > MAX_STEPS {
+                return Err(NetError::QuiesceTimeout {
+                    in_flight: heap.len() as i64,
+                    joining,
+                });
+            }
+            // Stale timers are skipped without touching the clock, exactly
+            // as the simulator does.
+            let input = match ev.kind {
+                EvKind::Timer { id, gen } => {
+                    if armed.get(&(ev.slot, id)) != Some(&gen) {
+                        continue;
+                    }
+                    armed.remove(&(ev.slot, id));
+                    NodeInput::TimerFired(id)
+                }
+                EvKind::StartJoin { gateway } => NodeInput::StartJoin { gateway },
+                EvKind::StartFd => NodeInput::StartFailureDetector,
+                EvKind::Deliver { from, msg } => NodeInput::Deliver { from, msg },
+            };
+            let now_us = ev.at;
+            let mut error: Option<NetError> = None;
+            let driver = &mut drivers[ev.slot];
+            let mut handler = LockstepHandler {
+                space: self.space,
+                me: driver.engine().id(),
+                slot: ev.slot,
+                now_us,
+                delay_us: self.delay_us,
+                next_seq: &mut next_seq,
+                next_gen: &mut next_gen,
+                armed: &mut armed,
+                heap: &mut heap,
+                index: &index,
+                outbox: &mut outbox,
+                error: &mut error,
+            };
+            let report = driver.drive(input, &mut handler, trace.as_mut());
+            if report.entered_system {
+                joining -= 1;
+            }
+            if let Some(e) = error {
+                return Err(e);
+            }
+
+            // Round-trip this step's sends through the kernel: write them
+            // all, then block until each comes back and lands in the heap
+            // with the (time, seq) stamp it was sent with.
+            let expected = outbox.len();
+            for dgram in outbox.drain(..) {
+                let mut tries = 0;
+                while !endpoint.try_send(&dgram, me_addr)? {
+                    endpoint.wait(crate::transport::WAIT_WRITE, Duration::from_millis(10))?;
+                    tries += 1;
+                    if tries > 1_000 {
+                        return Err(NetError::Socket("loopback send stalled".into()));
+                    }
+                }
+            }
+            let deadline = Instant::now() + RECV_DEADLINE;
+            let mut got = 0;
+            while got < expected {
+                match endpoint.try_recv(&mut buf)? {
+                    Some((n, _)) => {
+                        let (to, at, seq, from, msg) = decode_scheduled(&self.space, &buf[..n])
+                            .map_err(|e| NetError::Socket(format!("scheduled decode: {e}")))?;
+                        let slot = *index.get(&to).ok_or_else(|| {
+                            NetError::Socket(format!("misrouted datagram to {to}"))
+                        })?;
+                        heap.push(Ev {
+                            at,
+                            seq,
+                            slot,
+                            kind: EvKind::Deliver { from, msg },
+                        });
+                        got += 1;
+                    }
+                    None => {
+                        if Instant::now() >= deadline {
+                            return Err(NetError::Socket(format!(
+                                "lockstep datagram lost: {got}/{expected} returned"
+                            )));
+                        }
+                        endpoint.wait(WAIT_READ, Duration::from_millis(10))?;
+                    }
+                }
+            }
+        }
+
+        if let Some(trace) = trace.as_mut() {
+            trace.flush();
+        }
+        Ok(drivers
+            .into_iter()
+            .map(|d| d.into_engine().table().clone())
+            .collect())
+    }
+}

@@ -1,0 +1,90 @@
+//! The runtimes: real-concurrency hosts for the sans-io protocol engine.
+//!
+//! Three live here, all built on the same
+//! [`EngineDriver`](hyperring_core::EngineDriver) /
+//! [`RuntimeDriver`](hyperring_core::RuntimeDriver) pair, so engine
+//! behavior is identical by construction:
+//!
+//! * [`ThreadedNetwork`] — one OS thread per node, crossbeam channels as
+//!   the transport (reliable, real races);
+//! * [`UdpNetwork`] — a few event-loop threads driving many engines each
+//!   over non-blocking loopback UDP sockets, with injected packet loss
+//!   and per-engine outbound backpressure;
+//! * [`LockstepNet`] — single-threaded UDP under a virtual clock that
+//!   reproduces the deterministic simulator's event ordering exactly
+//!   (same `DigestTrace` for lossless runs).
+
+mod lockstep;
+mod threaded;
+mod udp;
+
+pub use lockstep::LockstepNet;
+pub use threaded::ThreadedNetwork;
+pub use udp::{UdpConfig, UdpNetwork, UdpRunStats};
+
+use std::fmt;
+use std::sync::atomic::AtomicI64;
+
+use hyperring_id::NodeId;
+
+/// Failure of a runtime run. The runtimes report problems instead of
+/// panicking: configuration mistakes surface before any thread spawns,
+/// liveness failures after an orderly shutdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// A joiner duplicates an existing node identifier.
+    DuplicateNode(NodeId),
+    /// A joiner's gateway is neither a member nor a joiner.
+    UnknownGateway(NodeId),
+    /// The engine addressed a message to a node the network doesn't know
+    /// (an engine bug; recorded rather than unwinding a worker thread).
+    UnknownDestination(NodeId),
+    /// The network failed to quiesce within the deadline.
+    QuiesceTimeout {
+        /// Messages still in flight when the deadline passed.
+        in_flight: i64,
+        /// Joiners still not `in_system` when the deadline passed.
+        joining: i64,
+    },
+    /// A node thread panicked (its engine state is lost).
+    NodePanicked,
+    /// The socket layer failed (bind, send, or receive).
+    Socket(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::DuplicateNode(id) => write!(f, "duplicate node identifier {id}"),
+            NetError::UnknownGateway(id) => write!(f, "unknown gateway {id}"),
+            NetError::UnknownDestination(id) => {
+                write!(f, "message addressed to unknown node {id}")
+            }
+            NetError::QuiesceTimeout { in_flight, joining } => write!(
+                f,
+                "network failed to quiesce: {in_flight} in flight, {joining} joining"
+            ),
+            NetError::NodePanicked => write!(f, "a node thread panicked"),
+            NetError::Socket(what) => write!(f, "socket failure: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Socket(e.to_string())
+    }
+}
+
+/// Shared state for quiescence detection (the termination-detection trick
+/// for diffusing computations: count sends before receipt processing
+/// completes).
+#[derive(Debug, Default)]
+pub(crate) struct Flight {
+    /// Protocol messages sent but not yet fully processed.
+    pub(crate) in_flight: AtomicI64,
+    /// Joins that have not reached `in_system` yet.
+    pub(crate) joining: AtomicI64,
+}

@@ -1,0 +1,624 @@
+//! One OS thread per node, crossbeam channels as the transport.
+//!
+//! The deterministic simulator (`hyperring-sim`) is the primary evaluation
+//! substrate, but the protocol engine is sans-io and runs unchanged on
+//! real concurrency. This runtime gives every node its own thread — true
+//! parallelism, real races, no seeded schedule — which makes it a useful
+//! stress test: Theorem 1 promises consistency under *any* message
+//! interleaving, and the tests assert exactly that.
+//!
+//! Every node is an [`EngineDriver`] behind the shared
+//! [`RuntimeDriver`](hyperring_core::RuntimeDriver) glue: sends become
+//! channel messages, timers land in the thread's [`TimerWheel`] (so a
+//! [`RetryPolicy`](hyperring_core::RetryPolicy) works here too), and trace
+//! events go to an optional shared [`TraceSink`].
+//!
+//! Quiescence is detected with an in-flight message counter (incremented
+//! before a send, decremented after the receiver finishes processing), the
+//! standard termination-detection trick for diffusing computations.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use hyperring_core::{
+    EffectHandler, EngineDriver, JoinEngine, Message, NeighborTable, NodeInput, ProtocolOptions,
+    RuntimeDriver, Status, TimerId, TraceSink, TraceStream,
+};
+use hyperring_id::{IdSpace, NodeId};
+
+use crate::runtime::{Flight, NetError};
+use crate::timer::TimerWheel;
+
+/// Wheel granularity: fine enough for the aggressive sub-millisecond
+/// retry timeouts the stress tests configure.
+const TICK_US: u64 = 50;
+
+/// A message envelope on the thread network.
+#[derive(Debug)]
+enum Envelope {
+    Proto {
+        from: NodeId,
+        msg: Message,
+    },
+    Start {
+        gateway: NodeId,
+    },
+    /// Crash-fail the node: the thread exits on the spot, with no goodbye
+    /// traffic (crash-churn extension). Queued and future messages to it
+    /// die with its channel.
+    Kill,
+    Shutdown,
+}
+
+/// [`EffectHandler`] adapter for one node thread: sends go over channels
+/// (counted for quiescence detection), timers into the thread's wheel.
+struct ThreadHandler<'a> {
+    me: NodeId,
+    now_us: u64,
+    senders: &'a HashMap<NodeId, Sender<Envelope>>,
+    flight: &'a Flight,
+    wheel: &'a mut TimerWheel<TimerId>,
+    error: &'a mut Option<NetError>,
+}
+
+impl EffectHandler for ThreadHandler<'_> {
+    fn send(&mut self, to: NodeId, msg: Message) {
+        let Some(tx) = self.senders.get(&to) else {
+            self.error.get_or_insert(NetError::UnknownDestination(to));
+            return;
+        };
+        self.flight.in_flight.fetch_add(1, Ordering::SeqCst);
+        if tx.send(Envelope::Proto { from: self.me, msg }).is_err() {
+            // The receiver is gone, which only happens once shutdown has
+            // begun; undo the count so quiescence bookkeeping stays exact.
+            self.flight.in_flight.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    fn set_timer(&mut self, id: TimerId, delay_hint: u64) {
+        self.wheel.arm(id, self.now_us + delay_hint);
+    }
+
+    fn cancel_timer(&mut self, id: TimerId) {
+        self.wheel.cancel(&id);
+    }
+}
+
+impl RuntimeDriver for ThreadHandler<'_> {
+    fn now_us(&self) -> u64 {
+        self.now_us
+    }
+}
+
+/// A network of per-thread protocol engines connected by channels.
+///
+/// Construct with the initial members' tables, then call
+/// [`run_joins`](Self::run_joins) with the joiners; the call blocks until
+/// the whole network is quiescent and every joiner is an S-node, and
+/// returns all final tables (members first, in construction order, then
+/// joiners in the given order).
+#[derive(Debug)]
+pub struct ThreadedNetwork {
+    space: IdSpace,
+    opts: ProtocolOptions,
+    members: Vec<NeighborTable>,
+    trace: Option<Arc<Mutex<TraceStream>>>,
+}
+
+impl ThreadedNetwork {
+    /// Creates a network over `space` whose initial members own `members`
+    /// (consistent) tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty.
+    pub fn new(space: IdSpace, opts: ProtocolOptions, members: Vec<NeighborTable>) -> Self {
+        assert!(!members.is_empty(), "network needs at least one member");
+        ThreadedNetwork {
+            space,
+            opts,
+            members,
+            trace: None,
+        }
+    }
+
+    /// Attaches a [`TraceSink`] shared by every node thread. Timestamps
+    /// are wall-clock microseconds since the run started (monotone but —
+    /// unlike the simulators' virtual time — not deterministic). Implies
+    /// [`ProtocolOptions::trace`].
+    pub fn with_trace(mut self, sink: Box<dyn TraceSink + Send>) -> Self {
+        self.opts = self.opts.with_trace();
+        self.trace = Some(Arc::new(Mutex::new(TraceStream::new(sink))));
+        self
+    }
+
+    /// Runs all `(joiner, gateway)` joins concurrently on real threads and
+    /// returns every node's final table.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::DuplicateNode`] / [`NetError::UnknownGateway`] for
+    /// configuration mistakes (reported before any thread spawns);
+    /// [`NetError::QuiesceTimeout`] if the run fails to quiesce within a
+    /// generous deadline (60 s), which Theorem 2 rules out absent bugs;
+    /// [`NetError::NodePanicked`] / [`NetError::UnknownDestination`] for
+    /// internal failures. On every error path all node threads are shut
+    /// down and joined before returning.
+    pub fn run_joins(self, joiners: &[(NodeId, NodeId)]) -> Result<Vec<NeighborTable>, NetError> {
+        let engines = self.run_inner(joiners, &[], Duration::ZERO)?;
+        Ok(engines.iter().map(|e| e.table().clone()).collect())
+    }
+
+    /// Runs all joins to quiescence, then **kills** the `kills` nodes —
+    /// their threads exit on the spot with no goodbye traffic — and lets
+    /// the survivors run for `grace` wall-clock time so their failure
+    /// detectors (configure one via
+    /// [`ProtocolOptions::with_failure_detector`](hyperring_core::ProtocolOptions::with_failure_detector))
+    /// can evict the dead and repair their tables. Returns the survivors'
+    /// final tables (crash-churn extension).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`run_joins`](Self::run_joins) reports, plus
+    /// [`NetError::UnknownDestination`] when a kill target is neither a
+    /// member nor a joiner.
+    pub fn run_crash_scenario(
+        self,
+        joiners: &[(NodeId, NodeId)],
+        kills: &[NodeId],
+        grace: Duration,
+    ) -> Result<Vec<NeighborTable>, NetError> {
+        let engines = self.run_inner(joiners, kills, grace)?;
+        Ok(engines
+            .iter()
+            .filter(|e| e.status() != Status::Crashed)
+            .map(|e| e.table().clone())
+            .collect())
+    }
+
+    fn run_inner(
+        self,
+        joiners: &[(NodeId, NodeId)],
+        kills: &[NodeId],
+        grace: Duration,
+    ) -> Result<Vec<JoinEngine>, NetError> {
+        let flight = Arc::new(Flight {
+            in_flight: AtomicI64::new(0),
+            joining: AtomicI64::new(joiners.len() as i64),
+        });
+
+        // Channels for every node.
+        let mut senders: HashMap<NodeId, Sender<Envelope>> = HashMap::new();
+        let mut receivers: Vec<Receiver<Envelope>> = Vec::new();
+        let member_ids: Vec<NodeId> = self.members.iter().map(|t| t.owner()).collect();
+        for id in member_ids.iter().chain(joiners.iter().map(|(id, _)| id)) {
+            let (tx, rx) = unbounded();
+            if senders.insert(*id, tx).is_some() {
+                return Err(NetError::DuplicateNode(*id));
+            }
+            receivers.push(rx);
+        }
+        let senders = Arc::new(senders);
+        for (_, gateway) in joiners {
+            if !senders.contains_key(gateway) {
+                return Err(NetError::UnknownGateway(*gateway));
+            }
+        }
+        for id in kills {
+            if !senders.contains_key(id) {
+                return Err(NetError::UnknownDestination(*id));
+            }
+        }
+
+        // Spawn one thread per node.
+        let epoch = Instant::now();
+        let mut handles = Vec::new();
+        let mut rx_iter = receivers.into_iter();
+        for table in self.members {
+            let rx = rx_iter.next().expect("receiver per node");
+            let engine = JoinEngine::new_member(self.space, self.opts, table);
+            handles.push(spawn_node(
+                engine,
+                rx,
+                Arc::clone(&senders),
+                Arc::clone(&flight),
+                self.trace.clone(),
+                epoch,
+            ));
+        }
+        for (id, _) in joiners {
+            let rx = rx_iter.next().expect("receiver per node");
+            let engine = JoinEngine::new_joiner(self.space, self.opts, *id);
+            handles.push(spawn_node(
+                engine,
+                rx,
+                Arc::clone(&senders),
+                Arc::clone(&flight),
+                self.trace.clone(),
+                epoch,
+            ));
+        }
+
+        let shutdown_all = |handles: Vec<thread::JoinHandle<(JoinEngine, Option<NetError>)>>| {
+            for s in senders.values() {
+                let _ = s.send(Envelope::Shutdown);
+            }
+            let mut engines = Vec::with_capacity(handles.len());
+            let mut first_error = None;
+            for h in handles {
+                match h.join() {
+                    Ok((engine, err)) => {
+                        if let Some(e) = err {
+                            first_error.get_or_insert(e);
+                        }
+                        engines.push(engine);
+                    }
+                    Err(_) => {
+                        first_error.get_or_insert(NetError::NodePanicked);
+                    }
+                }
+            }
+            if let Some(stream) = &self.trace {
+                if let Ok(mut stream) = stream.lock() {
+                    stream.flush();
+                }
+            }
+            (engines, first_error)
+        };
+
+        // Fire all starts "at the same time" (the paper starts all joins at
+        // t = 0).
+        for (id, gateway) in joiners {
+            flight.in_flight.fetch_add(1, Ordering::SeqCst);
+            if senders[id]
+                .send(Envelope::Start { gateway: *gateway })
+                .is_err()
+            {
+                let (_, err) = shutdown_all(handles);
+                return Err(err.unwrap_or(NetError::NodePanicked));
+            }
+        }
+
+        // Wait for quiescence: no in-flight messages and no joining nodes.
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let in_flight = flight.in_flight.load(Ordering::SeqCst);
+            let joining = flight.joining.load(Ordering::SeqCst);
+            if in_flight == 0 && joining == 0 {
+                break;
+            }
+            if Instant::now() >= deadline {
+                let (_, err) = shutdown_all(handles);
+                return Err(err.unwrap_or(NetError::QuiesceTimeout { in_flight, joining }));
+            }
+            thread::sleep(Duration::from_micros(200));
+        }
+
+        // Crash phase: kill the victims (their threads exit immediately,
+        // dropping their receive channels, so traffic addressed to them
+        // simply dies) and give the survivors a wall-clock grace period to
+        // detect, evict, and repair. The in-flight counter is no longer
+        // exact once channels die mid-message, so this phase is bounded by
+        // time rather than by quiescence.
+        if !kills.is_empty() {
+            for id in kills {
+                let _ = senders[id].send(Envelope::Kill);
+            }
+            thread::sleep(grace);
+        }
+
+        let (engines, err) = shutdown_all(handles);
+        if let Some(e) = err {
+            return Err(e);
+        }
+        Ok(engines)
+    }
+}
+
+/// Feeds one input through the node's shared driver, with the wall clock
+/// sampled immediately before dispatch.
+#[allow(clippy::too_many_arguments)]
+fn drive_node(
+    node: &mut EngineDriver,
+    input: NodeInput,
+    epoch: Instant,
+    senders: &HashMap<NodeId, Sender<Envelope>>,
+    flight: &Flight,
+    wheel: &mut TimerWheel<TimerId>,
+    error: &mut Option<NetError>,
+    trace: &Option<Arc<Mutex<TraceStream>>>,
+) -> hyperring_core::StepReport {
+    let mut handler = ThreadHandler {
+        me: node.engine().id(),
+        now_us: epoch.elapsed().as_micros() as u64,
+        senders,
+        flight,
+        wheel,
+        error,
+    };
+    match trace.as_ref().map(|t| t.lock()) {
+        Some(Ok(mut stream)) => node.drive(input, &mut handler, Some(&mut stream)),
+        // A poisoned trace lock loses trace records, never protocol
+        // traffic.
+        _ => node.drive(input, &mut handler, None),
+    }
+}
+
+fn spawn_node(
+    engine: JoinEngine,
+    rx: Receiver<Envelope>,
+    senders: Arc<HashMap<NodeId, Sender<Envelope>>>,
+    flight: Arc<Flight>,
+    trace: Option<Arc<Mutex<TraceStream>>>,
+    epoch: Instant,
+) -> thread::JoinHandle<(JoinEngine, Option<NetError>)> {
+    thread::spawn(move || {
+        let mut node = EngineDriver::new(engine);
+        let mut wheel: TimerWheel<TimerId> =
+            TimerWheel::new(TICK_US, epoch.elapsed().as_micros() as u64);
+        let mut error: Option<NetError> = None;
+        // Initial members never pass through the joiner's S-node switch,
+        // so arm their failure detector here (a no-op unless configured);
+        // the probe timer must be in the wheel before the first blocking
+        // receive, or the thread would sleep through its own ticks.
+        drive_node(
+            &mut node,
+            NodeInput::StartFailureDetector,
+            epoch,
+            &senders,
+            &flight,
+            &mut wheel,
+            &mut error,
+            &trace,
+        );
+        loop {
+            // Block for the next envelope, but only until the nearest
+            // (possibly conservative) timer deadline.
+            let wake = match wheel.next_deadline_us() {
+                Some(at_us) => {
+                    let deadline = epoch + Duration::from_micros(at_us);
+                    match rx.recv_timeout(deadline.saturating_duration_since(Instant::now())) {
+                        Ok(env) => Some(env),
+                        Err(RecvTimeoutError::Timeout) => None,
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+                None => match rx.recv() {
+                    Ok(env) => Some(env),
+                    Err(_) => break,
+                },
+            };
+            let (input, counted) = match wake {
+                Some(Envelope::Shutdown) => break,
+                Some(Envelope::Kill) => {
+                    // Crash failure: no goodbye, no flush — the thread
+                    // just stops. Dropping `rx` kills queued traffic.
+                    node.crash();
+                    break;
+                }
+                Some(Envelope::Start { gateway }) => (Some(NodeInput::StartJoin { gateway }), true),
+                Some(Envelope::Proto { from, msg }) => {
+                    (Some(NodeInput::Deliver { from, msg }), true)
+                }
+                None => (None, false),
+            };
+            let mut entered = false;
+            match input {
+                Some(input) => {
+                    entered = drive_node(
+                        &mut node, input, epoch, &senders, &flight, &mut wheel, &mut error, &trace,
+                    )
+                    .entered_system;
+                }
+                None => {
+                    for id in wheel.advance(epoch.elapsed().as_micros() as u64) {
+                        entered |= drive_node(
+                            &mut node,
+                            NodeInput::TimerFired(id),
+                            epoch,
+                            &senders,
+                            &flight,
+                            &mut wheel,
+                            &mut error,
+                            &trace,
+                        )
+                        .entered_system;
+                    }
+                }
+            }
+            if entered {
+                flight.joining.fetch_sub(1, Ordering::SeqCst);
+            }
+            if counted {
+                // Decrement only now: new sends were counted before our own
+                // decrement, so in_flight == 0 really means quiescent.
+                flight.in_flight.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        (node.into_engine(), error)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperring_core::{
+        build_consistent_tables, check_consistency, RetryPolicy, RingTrace, SharedSink,
+    };
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn distinct_ids(space: IdSpace, n: usize, seed: u64) -> Vec<NodeId> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut set = std::collections::BTreeSet::new();
+        while set.len() < n {
+            set.insert(space.random_id(&mut rng));
+        }
+        let mut v: Vec<NodeId> = set.into_iter().collect();
+        for i in (1..v.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            v.swap(i, j);
+        }
+        v
+    }
+
+    #[test]
+    fn threaded_concurrent_joins_are_consistent() {
+        let space = IdSpace::new(4, 5).unwrap();
+        let ids = distinct_ids(space, 30, 11);
+        let members = build_consistent_tables(space, &ids[..20]);
+        let gateway = ids[0];
+        let joiners: Vec<(NodeId, NodeId)> = ids[20..].iter().map(|&id| (id, gateway)).collect();
+        let tables = ThreadedNetwork::new(space, ProtocolOptions::new(), members)
+            .run_joins(&joiners)
+            .expect("run quiesces");
+        assert_eq!(tables.len(), 30);
+        let report = check_consistency(space, &tables);
+        assert!(report.is_consistent(), "{report}");
+    }
+
+    #[test]
+    fn threaded_repeated_runs_always_consistent() {
+        // Real thread scheduling differs run to run; Theorem 1 must hold
+        // every time.
+        let space = IdSpace::new(8, 4).unwrap();
+        for round in 0..5 {
+            let ids = distinct_ids(space, 24, 100 + round);
+            let members = build_consistent_tables(space, &ids[..16]);
+            let joiners: Vec<(NodeId, NodeId)> = ids[16..]
+                .iter()
+                .enumerate()
+                .map(|(i, &id)| (id, ids[i % 16]))
+                .collect();
+            let tables = ThreadedNetwork::new(space, ProtocolOptions::new(), members)
+                .run_joins(&joiners)
+                .expect("run quiesces");
+            let report = check_consistency(space, &tables);
+            assert!(report.is_consistent(), "round {round}: {report}");
+        }
+    }
+
+    #[test]
+    fn no_joiners_is_a_noop() {
+        let space = IdSpace::new(4, 3).unwrap();
+        let ids = distinct_ids(space, 5, 7);
+        let members = build_consistent_tables(space, &ids);
+        let tables = ThreadedNetwork::new(space, ProtocolOptions::new(), members.clone())
+            .run_joins(&[])
+            .expect("empty run quiesces");
+        assert_eq!(tables.len(), members.len());
+        assert!(check_consistency(space, &tables).is_consistent());
+    }
+
+    #[test]
+    fn unknown_gateway_is_an_error() {
+        let space = IdSpace::new(4, 3).unwrap();
+        let ids = distinct_ids(space, 4, 9);
+        let members = build_consistent_tables(space, &ids[..3]);
+        // Find an identifier that is neither a member nor the joiner.
+        let ghost = (0..space.capacity().unwrap())
+            .map(|v| space.id_from_value(v).unwrap())
+            .find(|id| !ids.contains(id))
+            .expect("space has spare ids");
+        let err = ThreadedNetwork::new(space, ProtocolOptions::new(), members)
+            .run_joins(&[(ids[3], ghost)])
+            .unwrap_err();
+        assert_eq!(err, NetError::UnknownGateway(ghost));
+        assert!(err.to_string().contains("unknown gateway"));
+    }
+
+    #[test]
+    fn duplicate_joiner_is_an_error() {
+        let space = IdSpace::new(4, 3).unwrap();
+        let ids = distinct_ids(space, 4, 13);
+        let members = build_consistent_tables(space, &ids[..3]);
+        let err = ThreadedNetwork::new(space, ProtocolOptions::new(), members)
+            .run_joins(&[(ids[0], ids[1])])
+            .unwrap_err();
+        assert_eq!(err, NetError::DuplicateNode(ids[0]));
+    }
+
+    #[test]
+    fn killed_threads_are_detected_and_survivor_tables_repaired() {
+        use hyperring_core::FailureDetector;
+
+        let space = IdSpace::new(4, 4).unwrap();
+        let ids = distinct_ids(space, 14, 31);
+        let members = build_consistent_tables(space, &ids[..10]);
+        let joiners: Vec<(NodeId, NodeId)> = ids[10..].iter().map(|&id| (id, ids[0])).collect();
+        let opts = ProtocolOptions::new().with_failure_detector(FailureDetector {
+            probe_interval_us: 20_000,
+            suspicion_threshold: 3,
+            repair: true,
+            ..FailureDetector::default()
+        });
+        // Kill two members after all joins quiesce; give the survivors
+        // plenty of detection cycles (wall-clock timing is best-effort,
+        // so the grace period is generous relative to the probe interval).
+        let kills = [ids[1], ids[2]];
+        let tables = ThreadedNetwork::new(space, opts, members)
+            .run_crash_scenario(&joiners, &kills, Duration::from_millis(2_000))
+            .expect("crash scenario quiesces");
+        assert_eq!(tables.len(), 12, "both victims excluded from the result");
+        for t in &tables {
+            for dead in &kills {
+                assert!(
+                    !t.iter().any(|(_, _, e)| e.node == *dead),
+                    "{} still stores killed {dead}",
+                    t.owner()
+                );
+            }
+        }
+        let report = check_consistency(space, &tables);
+        assert!(report.is_consistent(), "{report}");
+    }
+
+    #[test]
+    fn unknown_kill_target_is_an_error() {
+        let space = IdSpace::new(4, 3).unwrap();
+        let ids = distinct_ids(space, 4, 17);
+        let members = build_consistent_tables(space, &ids[..3]);
+        let ghost = (0..space.capacity().unwrap())
+            .map(|v| space.id_from_value(v).unwrap())
+            .find(|id| !ids.contains(id))
+            .expect("space has spare ids");
+        let err = ThreadedNetwork::new(space, ProtocolOptions::new(), members)
+            .run_crash_scenario(&[], &[ghost], Duration::from_millis(10))
+            .unwrap_err();
+        assert_eq!(err, NetError::UnknownDestination(ghost));
+    }
+
+    #[test]
+    fn retry_policy_and_trace_run_on_real_threads() {
+        // An aggressive timeout forces real retransmissions (the channels
+        // are reliable, so every retry produces a duplicate); the engine's
+        // duplicate-reply guards must keep the result consistent, and the
+        // shared trace stream must observe every joiner reach in_system.
+        let space = IdSpace::new(4, 4).unwrap();
+        let ids = distinct_ids(space, 16, 21);
+        let members = build_consistent_tables(space, &ids[..10]);
+        let joiners: Vec<(NodeId, NodeId)> = ids[10..].iter().map(|&id| (id, ids[0])).collect();
+        let opts = ProtocolOptions::new().with_retry(RetryPolicy {
+            timeout_us: 200,
+            max_retries: 8,
+            noti_repeats: 2,
+            ..RetryPolicy::default()
+        });
+        let sink = SharedSink::new(RingTrace::new(1 << 16));
+        let tables = ThreadedNetwork::new(space, opts, members)
+            .with_trace(Box::new(sink.clone()))
+            .run_joins(&joiners)
+            .expect("run quiesces under retransmission");
+        assert!(check_consistency(space, &tables).is_consistent());
+        let ring = sink.lock();
+        let in_system = ring
+            .records()
+            .filter(|r| r.to_jsonl().contains("\"to\":\"in_system\""))
+            .count();
+        assert_eq!(in_system, joiners.len(), "every joiner traced in_system");
+    }
+}

@@ -1,0 +1,108 @@
+//! Join waves over real loopback UDP sockets, with injected packet loss.
+//!
+//! The smoke test (CI-sized) runs ~120 nodes with 3% receive-side loss;
+//! the `#[ignore]`d acceptance test runs the paper-scale 1000-node wave
+//! with 5% loss (`cargo test -p hyperring-net --release -- --ignored`).
+//! Both assert full Definition-3.8 consistency: the retry policy must
+//! absorb every drop.
+
+use hyperring_core::{build_consistent_tables, check_consistency, ProtocolOptions, RetryPolicy};
+use hyperring_id::{IdSpace, NodeId};
+use hyperring_net::{UdpConfig, UdpNetwork};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn distinct(space: IdSpace, n: usize, seed: u64) -> Vec<NodeId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::with_capacity(n);
+    let mut ids = Vec::with_capacity(n);
+    while ids.len() < n {
+        let id = space.random_id(&mut rng);
+        if seen.insert(id) {
+            ids.push(id);
+        }
+    }
+    ids
+}
+
+fn lossy_wave(n_members: usize, n_joiners: usize, loss_permille: u32, space: IdSpace) {
+    let ids = distinct(space, n_members + n_joiners, 4242);
+    let (v, w) = ids.split_at(n_members);
+    let members = build_consistent_tables(space, v);
+    // Joiners spread their gateways across the members, as a deployed
+    // bootstrap service would.
+    let joiners: Vec<(NodeId, NodeId)> = w
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| (id, v[i % n_members]))
+        .collect();
+    let opts = ProtocolOptions::new().with_retry(RetryPolicy {
+        timeout_us: 100_000,
+        max_retries: 20,
+        noti_repeats: 6,
+        ..RetryPolicy::default()
+    });
+    let config = UdpConfig {
+        loss_permille,
+        settle: Duration::from_millis(300),
+        quiesce_timeout: Duration::from_secs(300),
+        ..UdpConfig::default()
+    };
+    let (tables, stats) = UdpNetwork::new(space, opts, members)
+        .with_config(config)
+        .run_joins(&joiners)
+        .expect("wave quiesces under loss");
+    eprintln!(
+        "wave n={}: {} datagrams ({} bytes) sent, {} received, {} dropped by injector, \
+         {} backpressure drops, {} timers, {:?} wall",
+        n_members + n_joiners,
+        stats.datagrams_sent,
+        stats.bytes_sent,
+        stats.datagrams_received,
+        stats.drops_injected,
+        stats.backpressure_drops,
+        stats.timers_fired,
+        stats.wall,
+    );
+    assert_eq!(tables.len(), n_members + n_joiners);
+    let report = check_consistency(space, &tables);
+    assert!(report.is_consistent(), "{report}");
+    assert!(
+        loss_permille == 0 || stats.drops_injected > 0,
+        "loss was configured but never exercised"
+    );
+}
+
+#[test]
+fn loopback_smoke_wave_with_injected_loss() {
+    // CI-sized: 40 members + 80 joiners, 3% loss.
+    lossy_wave(40, 80, 30, IdSpace::new(4, 6).unwrap());
+}
+
+#[test]
+fn lossless_wave_reports_clean_stats() {
+    let space = IdSpace::new(8, 4).unwrap();
+    let ids = distinct(space, 48, 77);
+    let (v, w) = ids.split_at(16);
+    let members = build_consistent_tables(space, v);
+    let joiners: Vec<(NodeId, NodeId)> = w.iter().map(|&id| (id, v[0])).collect();
+    let (tables, stats) = UdpNetwork::new(space, ProtocolOptions::new(), members)
+        .run_joins(&joiners)
+        .expect("lossless wave quiesces");
+    assert!(check_consistency(space, &tables).is_consistent());
+    assert_eq!(stats.drops_injected, 0);
+    assert!(stats.datagrams_sent > 0);
+    assert!(
+        stats.bytes_received <= stats.bytes_sent,
+        "received more bytes than were sent"
+    );
+}
+
+/// The acceptance workload: a 1000-node join wave over real loopback
+/// sockets, 5% injected loss, full Definition-3.8 consistency.
+#[test]
+#[ignore = "paper-scale; run with --ignored (release profile recommended)"]
+fn loopback_wave_1000_nodes_under_loss() {
+    lossy_wave(250, 750, 50, IdSpace::new(16, 4).unwrap());
+}
