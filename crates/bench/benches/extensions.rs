@@ -59,7 +59,8 @@ fn bench_optimize(c: &mut Criterion) {
 fn bench_object_lookup(c: &mut Criterion) {
     let space = IdSpace::new(16, 8).unwrap();
     let ids = distinct_ids(space, 512, 9);
-    let mut store = ObjectStore::new(space, build_consistent_tables(space, &ids));
+    let tables = build_consistent_tables(space, &ids);
+    let mut store = ObjectStore::over(space, &tables);
     for i in 0..100 {
         store.publish(ids[i % ids.len()], &format!("obj-{i}"));
     }

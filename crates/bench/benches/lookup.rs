@@ -1,0 +1,130 @@
+//! Lookup-plane throughput: surrogate routing over borrowed tables.
+//!
+//! Measures `ObjectStore::root_from` on oracle-built consistent tables —
+//! the de-cloned hot path with zero per-lookup allocations — at n = 256,
+//! 1024, and 4096, and exports lookups/sec and ns/lookup to
+//! `BENCH_lookup.json` at the workspace root. Hand-rolled `main`: the
+//! `(source, object)` schedule is precompiled and each size's run is one
+//! long timed pass (median of three), so Criterion's sampling adds
+//! nothing. Set `BENCH_SMOKE=1` to run one small pass without touching
+//! the JSON.
+
+use hyperring_core::build_consistent_tables;
+use hyperring_harness::distinct_ids;
+use hyperring_harness::metrics::{cores, peak_rss_bytes};
+use hyperring_id::{IdSpace, NodeId};
+use hyperring_object::ObjectStore;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const SIZES: [usize; 3] = [256, 1024, 4096];
+/// Timed passes per size; the median-wall pass is exported.
+const RUNS: usize = 3;
+/// Lookups per timed pass.
+const LOOKUPS: usize = 200_000;
+
+struct Row {
+    n: usize,
+    lookups: usize,
+    hops: usize,
+    wall: Duration,
+}
+
+impl Row {
+    fn lookups_per_sec(&self) -> f64 {
+        self.lookups as f64 / self.wall.as_secs_f64()
+    }
+    fn mean_ns_per_lookup(&self) -> f64 {
+        self.wall.as_nanos() as f64 / self.lookups.max(1) as f64
+    }
+    fn mean_hops(&self) -> f64 {
+        self.hops as f64 / self.lookups.max(1) as f64
+    }
+}
+
+fn run_pass(space: IdSpace, n: usize, lookups: usize, seed: u64) -> Row {
+    let ids = distinct_ids(space, n, seed);
+    let tables = build_consistent_tables(space, &ids);
+    let store = ObjectStore::over(space, &tables);
+    // Precompile the schedule so the timed loop is routing and nothing
+    // else.
+    let schedule: Vec<(NodeId, NodeId)> = (0..lookups)
+        .map(|i| {
+            let src = ids[(i * 2_654_435_761) % n];
+            let oid = space.id_from_hash(format!("bench-key-{}", i % 4096).as_bytes());
+            (src, oid)
+        })
+        .collect();
+    let start = Instant::now();
+    let mut hops = 0usize;
+    for (src, oid) in &schedule {
+        let (root, h) = store.root_from(*src, oid);
+        black_box(root);
+        hops += h;
+    }
+    let wall = start.elapsed();
+    Row {
+        n,
+        lookups,
+        hops,
+        wall,
+    }
+}
+
+fn median_pass(space: IdSpace, n: usize, lookups: usize, runs: usize) -> Row {
+    let mut rows: Vec<Row> = (0..runs as u64)
+        .map(|r| run_pass(space, n, lookups, 9 + r))
+        .collect();
+    rows.sort_by_key(|a| a.wall);
+    rows.remove(rows.len() / 2)
+}
+
+fn main() {
+    let smoke = std::env::var("BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let space = IdSpace::new(16, 8).unwrap();
+    if smoke {
+        let row = run_pass(space, 128, 20_000, 9);
+        println!(
+            "smoke pass n=128: {} lookups, {:.0} lookups/sec, {:.2} mean hops; \
+             BENCH_lookup.json left untouched",
+            row.lookups,
+            row.lookups_per_sec(),
+            row.mean_hops()
+        );
+        return;
+    }
+
+    let mut json_rows = Vec::new();
+    for &n in &SIZES {
+        let row = median_pass(space, n, LOOKUPS, RUNS);
+        println!(
+            "lookup n={n}: {} lookups in {:?} → {:.0} lookups/sec, {:.1} ns/lookup, \
+             {:.2} mean hops",
+            row.lookups,
+            row.wall,
+            row.lookups_per_sec(),
+            row.mean_ns_per_lookup(),
+            row.mean_hops(),
+        );
+        json_rows.push(format!(
+            "  {{\"shape\": \"lookup_storm\", \"n\": {}, \"lookups\": {}, \"wall_ns\": {}, \
+             \"lookups_per_sec\": {:.1}, \"mean_ns_per_lookup\": {:.1}, \"mean_hops\": {:.3}}}",
+            row.n,
+            row.lookups,
+            row.wall.as_nanos(),
+            row.lookups_per_sec(),
+            row.mean_ns_per_lookup(),
+            row.mean_hops(),
+        ));
+    }
+
+    let rss = peak_rss_bytes().unwrap_or(0);
+    let ncores = cores();
+    let json = format!(
+        "{{\n\"rows\": [\n{}\n],\n\"peak_rss_bytes\": {rss},\n\"cores\": {ncores}\n}}\n",
+        json_rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_lookup.json");
+    std::fs::write(path, json).expect("write BENCH_lookup.json");
+    println!("wrote {path}");
+}

@@ -61,6 +61,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adaptive;
 mod consistency;
 mod digest;
 mod dispatch;
@@ -82,6 +83,10 @@ mod suffix_index;
 mod table;
 mod trace;
 
+pub use adaptive::{
+    build_proximate_tables, build_proximate_tables_sampled, promote_secondaries, DemandProfile,
+    PromotionReport,
+};
 pub use consistency::{
     check_consistency, check_consistency_naive, check_consistency_streaming,
     check_consistency_with_compact, check_consistency_with_index, check_reachability,
@@ -96,7 +101,7 @@ pub use engine::{JoinEngine, Status};
 pub use incremental::IncrementalChecker;
 pub use messages::{packed_id_bytes, BitVec, Message, MessageKind};
 pub use optimize::{optimize_tables, OptimizeReport};
-pub use options::{FailureDetector, PayloadMode, ProtocolOptions, RetryPolicy};
+pub use options::{FailureDetector, NeighborSelection, PayloadMode, ProtocolOptions, RetryPolicy};
 pub use oracle::build_consistent_tables;
 pub use routing::{next_hop, route, RouteOutcome};
 pub use simnet::{

@@ -156,6 +156,28 @@ impl Default for FailureDetector {
     }
 }
 
+/// How a node chooses among suffix-equivalent candidates when filling a
+/// table slot (the adaptive-routing extension; the paper's protocol keeps
+/// the first/lowest-id candidate it learns of).
+///
+/// Any node whose id extends the slot's `(level, digit)` suffix constraint
+/// satisfies Definition 3.8 equally well, so the choice is a pure
+/// performance knob: it can never affect consistency, only routed delay.
+/// See `hyperring_core::adaptive` for the fill-time and demand-driven
+/// machinery the harness drives when this is set to
+/// [`Proximity`](NeighborSelection::Proximity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NeighborSelection {
+    /// Paper-faithful: keep the protocol's own candidate (the default,
+    /// and what every golden pins).
+    #[default]
+    Paper,
+    /// Prefer the lowest-delay candidate satisfying the slot's suffix
+    /// constraint, and allow demand-driven promotion of secondary
+    /// neighbors observed in forwarding traffic.
+    Proximity,
+}
+
 /// Tunable options of the join protocol.
 ///
 /// The defaults reproduce the paper's base protocol exactly; the payload
@@ -190,6 +212,10 @@ pub struct ProtocolOptions {
     /// Crash-failure detection; `None` (the default) assumes crash-free
     /// nodes and sends no probes.
     pub(crate) failure_detector: Option<FailureDetector>,
+    /// Candidate choice among suffix-equivalent neighbors. The engine's
+    /// message schedule is unaffected (goldens pin the default); the
+    /// harness reads this to pick the table-fill and promotion strategy.
+    pub(crate) neighbor_selection: NeighborSelection,
 }
 
 impl ProtocolOptions {
@@ -224,6 +250,13 @@ impl ProtocolOptions {
         self
     }
 
+    /// Sets the candidate-choice strategy among suffix-equivalent
+    /// neighbors.
+    pub fn with_neighbor_selection(mut self, selection: NeighborSelection) -> Self {
+        self.neighbor_selection = selection;
+        self
+    }
+
     /// The configured table-payload reduction mode.
     pub fn payload(&self) -> PayloadMode {
         self.payload
@@ -242,6 +275,11 @@ impl ProtocolOptions {
     /// The configured crash-failure detector, if any.
     pub fn failure_detector(&self) -> Option<FailureDetector> {
         self.failure_detector
+    }
+
+    /// The configured candidate-choice strategy.
+    pub fn neighbor_selection(&self) -> NeighborSelection {
+        self.neighbor_selection
     }
 }
 
@@ -269,6 +307,14 @@ mod tests {
         let o = o.with_retry(RetryPolicy::default()).with_trace();
         assert_eq!(o.retry().unwrap().max_retries, 16);
         assert!(o.trace());
+    }
+
+    #[test]
+    fn neighbor_selection_defaults_to_paper() {
+        let o = ProtocolOptions::new();
+        assert_eq!(o.neighbor_selection(), NeighborSelection::Paper);
+        let o = o.with_neighbor_selection(NeighborSelection::Proximity);
+        assert_eq!(o.neighbor_selection(), NeighborSelection::Proximity);
     }
 
     #[test]

@@ -8,6 +8,7 @@ mod crashchurn;
 mod faults;
 mod fig15a;
 mod fig15b;
+mod lookup;
 mod msgsize;
 mod occupancy;
 mod poisson;
@@ -21,6 +22,7 @@ pub use crashchurn::{run_crashchurn, CrashChurnConfig, CrashChurnResult};
 pub use faults::{run_faults, FaultsConfig, FaultsResult};
 pub use fig15a::{fig15a_series, Fig15aPoint};
 pub use fig15b::{run_fig15b, run_fig15b_trials, DelayKind, Fig15bConfig, Fig15bResult};
+pub use lookup::{run_lookup_storm, LookupArm, LookupStormConfig, LookupStormResult};
 pub use msgsize::{run_msgsize_ablation, MsgSizeResult};
 pub use occupancy::{run_occupancy, OccupancyPoint};
 pub use poisson::{poisson_timeline, run_poisson_churn, PoissonChurnConfig, PoissonChurnResult};

@@ -34,6 +34,7 @@
 pub mod baseline;
 pub mod cli;
 pub mod experiments;
+pub mod lookup;
 pub mod metrics;
 pub mod report;
 pub mod scenario;
@@ -42,11 +43,14 @@ pub mod topo_delay;
 pub mod workload;
 
 pub use cli::TrialOpts;
+pub use lookup::{
+    run_schedule, storm_keys, DelayFn, LoadStats, LookupStats, StormSchedule, StretchSummary, Zipf,
+};
 pub use report::Table;
 pub use scenario::{RunReport, Scenario};
 pub use timeline::{
-    Action, At, CheckpointReport, CompiledTimeline, StormReport, Timeline, TimelineReport,
-    TimelineScenario,
+    Action, At, CheckpointReport, CompiledTimeline, KeyedStormReport, StormReport, Timeline,
+    TimelineReport, TimelineScenario,
 };
 pub use topo_delay::{CachedTopologyDelay, SharedTopology, TopologyDelay};
 pub use workload::{distinct_ids, run_trials, run_trials_sequential, trial_seed, JoinWorkload};

@@ -37,7 +37,9 @@ use hyperring_net::{NetError, ThreadedNetwork};
 use hyperring_sim::{Time, UniformDelay};
 
 use crate::baseline::run_optimistic_tables;
+use crate::lookup::{run_schedule, storm_keys, LookupStats, StormSchedule};
 use crate::workload::JoinWorkload;
+use hyperring_object::ObjectStore;
 
 /// Outcome metrics of one scenario run, whatever the backend.
 ///
@@ -64,6 +66,11 @@ pub struct RunReport {
     /// Virtual (sim) or wall-clock (net) microseconds at the end of the
     /// run, when the backend reports one (0 for the threaded backend).
     pub finished_at: u64,
+    /// Keyed lookup-storm statistics over the final tables, when the
+    /// scenario asked for one via [`Scenario::lookup_storm`] (`None`
+    /// otherwise; stretch is always `None` here — scenarios have no
+    /// latency oracle).
+    pub lookup: Option<LookupStats>,
 }
 
 impl RunReport {
@@ -106,7 +113,28 @@ pub(crate) fn summarize(
         unreachable_pairs: unreachable.len(),
         total_pairs: n.saturating_sub(1) * n,
         finished_at,
+        lookup: None,
     }
+}
+
+/// Runs one keyed storm over borrowed final tables — the shared tail of
+/// every backend's [`Scenario::lookup_storm`] handling.
+fn storm_over(
+    space: IdSpace,
+    tables: &[&NeighborTable],
+    (lookups, keys, exponent): (usize, usize, f64),
+    seed: u64,
+) -> LookupStats {
+    let sources: Vec<NodeId> = tables.iter().map(|t| t.owner()).collect();
+    let schedule = StormSchedule::compile(
+        sources,
+        storm_keys(space, "scenario-key", keys),
+        lookups,
+        exponent,
+        seed ^ 0x5ca1_ab1e_0b57_ac1e,
+    );
+    let store = ObjectStore::over(space, tables.iter().copied());
+    run_schedule(&store, &schedule, None, None)
 }
 
 /// Draws `k` crash victims from `members` without replacement,
@@ -155,6 +183,7 @@ pub struct Scenario {
     horizon: Time,
     workload: Option<JoinWorkload>,
     trace: Option<Box<dyn TraceSink + Send>>,
+    storm: Option<(usize, usize, f64)>,
 }
 
 impl std::fmt::Debug for Scenario {
@@ -187,6 +216,7 @@ impl Scenario {
             horizon: 0,
             workload: None,
             trace: None,
+            storm: None,
         }
     }
 
@@ -262,6 +292,16 @@ impl Scenario {
         self
     }
 
+    /// Runs a keyed lookup storm over the final tables: `lookups` draws
+    /// with sources uniform over the survivors and keys
+    /// Zipf(`exponent`)-popular over `keys` object identifiers. The storm
+    /// is a pure observation after the run ends; its [`LookupStats`] land
+    /// in [`RunReport::lookup`].
+    pub fn lookup_storm(mut self, lookups: usize, keys: usize, exponent: f64) -> Self {
+        self.storm = Some((lookups, keys, exponent));
+        self
+    }
+
     /// Attaches a [`TraceSink`] receiving every node's protocol events
     /// (simulator: virtual-time stamped and deterministic per seed;
     /// threads: wall-clock stamped). Implies trace emission.
@@ -306,7 +346,11 @@ impl Scenario {
             );
             let tables = run_optimistic_tables(&w, self.seed, self.gap_us, self.delay_bounds);
             let refs: Vec<&NeighborTable> = tables.iter().collect();
-            return summarize(w.space, &refs, w.joiners.len(), 0, 0);
+            let mut r = summarize(w.space, &refs, w.joiners.len(), 0, 0);
+            r.lookup = self
+                .storm
+                .map(|cfg| storm_over(w.space, &refs, cfg, self.seed));
+            return r;
         }
         let mut b = SimNetworkBuilder::new(w.space);
         b.options(self.opts);
@@ -341,7 +385,11 @@ impl Scenario {
             (0, report)
         };
         let refs: Vec<&NeighborTable> = net.tables_iter().collect();
-        summarize(w.space, &refs, w.joiners.len(), crashed, report.finished_at)
+        let mut r = summarize(w.space, &refs, w.joiners.len(), crashed, report.finished_at);
+        r.lookup = self
+            .storm
+            .map(|cfg| storm_over(w.space, &refs, cfg, self.seed));
+        r
     }
 
     /// Runs the scenario on real threads ([`ThreadedNetwork`]) and
@@ -387,7 +435,11 @@ impl Scenario {
             net.run_joins(&w.joiners)?
         };
         let refs: Vec<&NeighborTable> = tables.iter().collect();
-        Ok(summarize(w.space, &refs, w.joiners.len(), self.crashes, 0))
+        let mut r = summarize(w.space, &refs, w.joiners.len(), self.crashes, 0);
+        r.lookup = self
+            .storm
+            .map(|cfg| storm_over(w.space, &refs, cfg, self.seed));
+        Ok(r)
     }
 }
 
@@ -470,6 +522,29 @@ mod tests {
         assert_eq!(r.joiners, 2);
         assert_eq!(r.survivors, members.len() + 2);
         assert!(r.consistent());
+    }
+
+    #[test]
+    fn scenario_storm_reports_full_lookup_stats() {
+        let r = Scenario::new(space())
+            .nodes(12)
+            .joiners(4)
+            .seed(13)
+            .lookup_storm(300, 10, 0.9)
+            .run_sim();
+        assert!(r.consistent());
+        let s = r.lookup.expect("storm requested");
+        assert_eq!(s.lookups, 300);
+        assert_eq!(s.keys, 10);
+        assert_eq!(s.hop_histogram.iter().sum::<u64>(), 300);
+        assert!(s.stretch.is_none());
+        // Without a storm the field stays empty.
+        let plain = Scenario::new(space())
+            .nodes(8)
+            .joiners(2)
+            .seed(13)
+            .run_sim();
+        assert!(plain.lookup.is_none());
     }
 
     #[test]

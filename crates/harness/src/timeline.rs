@@ -57,8 +57,10 @@ use hyperring_core::{
 use hyperring_id::{IdSpace, NodeId};
 use hyperring_sim::{Time, UniformDelay};
 
+use crate::lookup::{run_schedule, storm_keys, LookupStats, StormSchedule};
 use crate::scenario::pick_victims;
 use crate::workload::JoinWorkload;
+use hyperring_object::ObjectStore;
 
 /// One scheduled action of a [`Timeline`].
 #[derive(Debug, Clone, PartialEq)]
@@ -90,6 +92,17 @@ pub enum Action {
     LookupStorm {
         /// Number of lookups routed.
         lookups: usize,
+    },
+    /// Route `lookups` keyed (object-identifier) lookups through a
+    /// borrowed [`ObjectStore`] over the current S-node tables: sources
+    /// uniform over the live nodes, keys Zipf(`exponent`)-popular.
+    KeyedStorm {
+        /// Number of lookups routed.
+        lookups: usize,
+        /// Distinct object keys.
+        keys: usize,
+        /// Zipf exponent of key popularity (0 = uniform).
+        exponent: f64,
     },
     /// Pause and run the incremental Definition-3.8 checker over the
     /// current S-node tables.
@@ -189,6 +202,7 @@ impl Timeline {
             crashes: Vec::new(),
             leaves: Vec::new(),
             storms: Vec::new(),
+            keyed_storms: Vec::new(),
             checkpoints: Vec::new(),
             horizon,
         };
@@ -242,6 +256,11 @@ impl Timeline {
                     }
                 }
                 Action::LookupStorm { lookups } => out.storms.push((ev.at, *lookups)),
+                Action::KeyedStorm {
+                    lookups,
+                    keys,
+                    exponent,
+                } => out.keyed_storms.push((ev.at, *lookups, *keys, *exponent)),
                 Action::Checkpoint { label } => out.checkpoints.push((ev.at, label.clone())),
             }
         }
@@ -288,6 +307,16 @@ impl At {
         self.push(Action::LookupStorm { lookups })
     }
 
+    /// Routes `lookups` keyed lookups (Zipf(`exponent`) over `keys`
+    /// object identifiers) through a borrowed object store here.
+    pub fn keyed_storm(self, lookups: usize, keys: usize, exponent: f64) -> Self {
+        self.push(Action::KeyedStorm {
+            lookups,
+            keys,
+            exponent,
+        })
+    }
+
     /// Runs the incremental consistency checker here.
     pub fn checkpoint(self, label: &str) -> Self {
         self.push(Action::Checkpoint {
@@ -331,6 +360,8 @@ pub struct CompiledTimeline {
     pub leaves: Vec<(NodeId, Time)>,
     /// `(at, lookups)` storms, in schedule order.
     pub storms: Vec<(Time, usize)>,
+    /// `(at, lookups, keys, exponent)` keyed storms, in schedule order.
+    pub keyed_storms: Vec<(Time, usize, usize, f64)>,
     /// `(at, label)` checkpoints, in schedule order.
     pub checkpoints: Vec<(Time, String)>,
     /// Virtual end of the run.
@@ -440,6 +471,18 @@ pub struct StormReport {
     pub hops_max: usize,
 }
 
+/// One keyed storm's routing outcome: full [`LookupStats`] from a
+/// borrowed object store stood on the network's live tables at that
+/// instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyedStormReport {
+    /// Virtual time the storm ran at.
+    pub at: Time,
+    /// Routing statistics (no latency oracle under the abstract delay
+    /// model, so `stats.stretch` is `None`).
+    pub stats: LookupStats,
+}
+
 /// Outcome of one timeline run.
 #[derive(Debug, Clone)]
 pub struct TimelineReport {
@@ -465,6 +508,8 @@ pub struct TimelineReport {
     pub checkpoints: Vec<CheckpointReport>,
     /// Storm outcomes, in schedule order.
     pub storms: Vec<StormReport>,
+    /// Keyed-storm outcomes, in schedule order.
+    pub keyed_storms: Vec<KeyedStormReport>,
     /// Eviction-to-repair latency samples (µs).
     pub ttr_from_eviction_us: Vec<u64>,
     /// Crash-to-repair latency samples (µs).
@@ -577,6 +622,11 @@ impl TimelineScenario {
         enum Pause<'a> {
             Check(&'a str),
             Storm(usize),
+            Keyed {
+                lookups: usize,
+                keys: usize,
+                exponent: f64,
+            },
         }
         let mut pauses: Vec<(Time, usize, Pause)> = Vec::new();
         for (i, (at, label)) in c.checkpoints.iter().enumerate() {
@@ -584,6 +634,17 @@ impl TimelineScenario {
         }
         for (i, (at, lookups)) in c.storms.iter().enumerate() {
             pauses.push((*at, i, Pause::Storm(*lookups)));
+        }
+        for (i, (at, lookups, keys, exponent)) in c.keyed_storms.iter().enumerate() {
+            pauses.push((
+                *at,
+                i,
+                Pause::Keyed {
+                    lookups: *lookups,
+                    keys: *keys,
+                    exponent: *exponent,
+                },
+            ));
         }
         pauses.sort_by_key(|(at, i, _)| (*at, *i));
 
@@ -605,6 +666,7 @@ impl TimelineScenario {
         let mut checker = IncrementalChecker::new(space);
         let mut checkpoints = Vec::new();
         let mut storms = Vec::new();
+        let mut keyed_storms = Vec::new();
         for (at, _, pause) in &pauses {
             net.run_until(*at);
             match pause {
@@ -647,6 +709,21 @@ impl TimelineScenario {
                 Pause::Storm(lookups) => {
                     storms.push(run_storm(&net, *at, *lookups, self.seed, storms.len()));
                 }
+                Pause::Keyed {
+                    lookups,
+                    keys,
+                    exponent,
+                } => {
+                    keyed_storms.push(run_keyed_storm(
+                        &net,
+                        *at,
+                        *lookups,
+                        *keys,
+                        *exponent,
+                        self.seed,
+                        keyed_storms.len(),
+                    ));
+                }
             }
         }
         let report = net.run_until(c.horizon);
@@ -678,6 +755,7 @@ impl TimelineScenario {
             dead_refs,
             checkpoints,
             storms,
+            keyed_storms,
             ttr_from_eviction_us: log.ttr_from_eviction_us.clone(),
             ttr_from_crash_us: log.ttr_from_crash_us.clone(),
             recovery_us,
@@ -757,6 +835,38 @@ fn run_storm<D: hyperring_sim::DelayModel>(
         hops_total,
         hops_max,
     }
+}
+
+/// Routes a compiled keyed storm through a borrowed [`ObjectStore`] over
+/// the current S-node tables. Like [`run_storm`], this is a pure
+/// observation: the store borrows the engines' tables in place and the
+/// simulator never sees an event.
+fn run_keyed_storm<D: hyperring_sim::DelayModel>(
+    net: &hyperring_core::SimNetwork<D>,
+    at: Time,
+    lookups: usize,
+    keys: usize,
+    exponent: f64,
+    seed: u64,
+    storm_idx: usize,
+) -> KeyedStormReport {
+    let space = net.space();
+    let tables: Vec<&NeighborTable> = net
+        .engines()
+        .filter(|e| e.status() == Status::InSystem)
+        .map(|e| e.table())
+        .collect();
+    let sources: Vec<NodeId> = tables.iter().map(|t| t.owner()).collect();
+    let schedule = StormSchedule::compile(
+        sources,
+        storm_keys(space, "timeline-key", keys),
+        lookups,
+        exponent,
+        seed ^ 0x517c_c1b7_2722_0a95_u64.wrapping_mul(storm_idx as u64 + 1),
+    );
+    let store = ObjectStore::over(space, tables.iter().copied());
+    let stats = run_schedule(&store, &schedule, None, None);
+    KeyedStormReport { at, stats }
 }
 
 #[cfg(test)]
@@ -875,6 +985,8 @@ mod tests {
                     .checkpoint("a")
                     .at(2_000_000)
                     .lookup_storm(16)
+                    .at(2_500_000)
+                    .keyed_storm(64, 8, 0.9)
                     .at(3_000_000)
                     .checkpoint("b")
                     .horizon(5_000_000),
@@ -882,6 +994,34 @@ mod tests {
         assert_eq!(plain.trace_digest, observed.trace_digest);
         assert_eq!(plain.delivered, observed.delivered);
         assert_eq!(plain.finished_at, observed.finished_at);
+        // The keyed storm really ran — it just couldn't perturb anything.
+        assert_eq!(observed.keyed_storms.len(), 1);
+        assert_eq!(observed.keyed_storms[0].stats.lookups, 64);
+    }
+
+    #[test]
+    fn keyed_storms_report_full_lookup_stats() {
+        let tl = Timeline::new()
+            .at(100_000)
+            .crash(0.2)
+            .at(4_500_000)
+            .keyed_storm(200, 12, 0.8)
+            .horizon(5_000_000);
+        let r = TimelineScenario::new(space())
+            .members(16)
+            .seed(5)
+            .options(ProtocolOptions::new().with_failure_detector(fd()))
+            .run(tl);
+        assert!(r.consistent, "{} violations", r.violations);
+        let s = &r.keyed_storms[0].stats;
+        assert_eq!(s.lookups, 200);
+        assert_eq!(s.keys, 12);
+        assert_eq!(s.hop_histogram.iter().sum::<u64>(), 200);
+        assert!(s.stretch.is_none(), "abstract delay model has no oracle");
+        assert!(s.load.imbalance >= 1.0);
+        // Post-repair tables are consistent, so every lookup terminates
+        // within d hops.
+        assert!(s.max_hops <= 5);
     }
 
     #[test]

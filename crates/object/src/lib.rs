@@ -16,6 +16,14 @@
 //! applications, and the property tests here verify it on live tables
 //! produced by join-protocol runs.
 //!
+//! The store *borrows* its tables ([`ObjectStore::over`]): routing a
+//! lookup clones nothing, so a storm of millions of lookups allocates
+//! only when a directory row is touched. After membership changes,
+//! [`ObjectStore::retarget`] (or the [`unbind`](ObjectStore::unbind) /
+//! [`bind`](UnboundStore::bind) pair, when the new tables are built while
+//! the store is set aside) rebinds the directory state to fresh tables
+//! and republishes every object to its new root.
+//!
 //! # Examples
 //!
 //! ```
@@ -30,7 +38,8 @@
 //! while ids.len() < 24 { ids.insert(space.random_id(&mut rng)); }
 //! let ids: Vec<_> = ids.into_iter().collect();
 //!
-//! let mut store = ObjectStore::new(space, build_consistent_tables(space, &ids));
+//! let tables = build_consistent_tables(space, &ids);
+//! let mut store = ObjectStore::over(space, &tables);
 //! let receipt = store.publish(ids[0], "skylark.mp3");
 //! let hit = store.lookup(ids[5], "skylark.mp3").expect("object published");
 //! assert_eq!(hit.root, receipt.root);
@@ -47,45 +56,107 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use hyperring_core::NeighborTable;
 use hyperring_id::{IdSpace, NodeId};
 
-/// Resolves the surrogate root of `object_id` starting from `start`.
+/// One overlay hop taken by surrogate routing: `from`'s `(level, digit)`
+/// entry advanced the query to `to`.
+///
+/// The digit is the entry actually used — after cyclic fallover — not
+/// necessarily the object's own digit at that level. Self-hops (the entry
+/// resolving back to `from`) are not reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hop {
+    /// The forwarding node.
+    pub from: NodeId,
+    /// The table level whose entry was used.
+    pub level: usize,
+    /// The digit of the entry used (post-fallover).
+    pub digit: u8,
+    /// The next node on the path.
+    pub to: NodeId,
+}
+
+/// Resolves the surrogate root of `object_id` from `start`, reporting
+/// every overlay hop to `on_hop` — the allocation-free routing core.
 ///
 /// Walks levels `0..d`; at each level the desired digit is the object's,
 /// falling over cyclically (`j, j+1, …, mod b`) to the first populated
 /// entry. Given consistent tables every start resolves the same node.
 ///
-/// Returns the root and the overlay path taken (deduplicated self-hops).
+/// Returns the root and the number of overlay hops (self-hops excluded).
 ///
 /// # Panics
 ///
 /// Panics if `lookup` cannot resolve a visited node's table, or if a level
 /// has no populated entry at all (impossible: self entries are always
 /// present).
-pub fn surrogate_route<'a, F>(
+pub fn surrogate_root_with<'a, F, V>(
     space: IdSpace,
     start: NodeId,
     object_id: &NodeId,
     mut lookup: F,
+    mut on_hop: V,
+) -> (NodeId, usize)
+where
+    F: FnMut(&NodeId) -> Option<&'a NeighborTable>,
+    V: FnMut(Hop),
+{
+    let b = space.base() as u8;
+    let mut at = start;
+    let mut hops = 0;
+    for level in 0..space.digit_count() {
+        let table = lookup(&at).unwrap_or_else(|| panic!("no table for {at}"));
+        let want = object_id.digit(level);
+        let (digit, next) = (0..b)
+            .map(|delta| (want + delta) % b)
+            .find_map(|j| table.get(level, j).map(|e| (j, e.node)))
+            .unwrap_or_else(|| panic!("level {level} of {at} has no populated entry"));
+        if next != at {
+            on_hop(Hop {
+                from: at,
+                level,
+                digit,
+                to: next,
+            });
+            at = next;
+            hops += 1;
+        }
+    }
+    (at, hops)
+}
+
+/// Resolves the surrogate root of `object_id` from `start` without
+/// materializing the path. See [`surrogate_root_with`].
+pub fn surrogate_root<'a, F>(
+    space: IdSpace,
+    start: NodeId,
+    object_id: &NodeId,
+    lookup: F,
+) -> (NodeId, usize)
+where
+    F: FnMut(&NodeId) -> Option<&'a NeighborTable>,
+{
+    surrogate_root_with(space, start, object_id, lookup, |_| {})
+}
+
+/// Resolves the surrogate root of `object_id` from `start` and returns the
+/// overlay path taken (deduplicated self-hops, `start` included). Allocates
+/// the path vector; the storm-grade variants are [`surrogate_root`] and
+/// [`surrogate_root_with`].
+///
+/// # Panics
+///
+/// As [`surrogate_root_with`].
+pub fn surrogate_route<'a, F>(
+    space: IdSpace,
+    start: NodeId,
+    object_id: &NodeId,
+    lookup: F,
 ) -> (NodeId, Vec<NodeId>)
 where
     F: FnMut(&NodeId) -> Option<&'a NeighborTable>,
 {
-    let b = space.base() as u8;
-    let mut at = start;
     let mut path = vec![start];
-    for level in 0..space.digit_count() {
-        let table = lookup(&at).unwrap_or_else(|| panic!("no table for {at}"));
-        let want = object_id.digit(level);
-        let next = (0..b)
-            .map(|delta| (want + delta) % b)
-            .find_map(|j| table.get(level, j))
-            .unwrap_or_else(|| panic!("level {level} of {at} has no populated entry"))
-            .node;
-        if next != at {
-            path.push(next);
-            at = next;
-        }
-    }
-    (at, path)
+    let (root, _) = surrogate_root_with(space, start, object_id, lookup, |h| path.push(h.to));
+    (root, path)
 }
 
 /// Proof of publication: where an object landed.
@@ -112,32 +183,105 @@ pub struct LookupHit {
     pub hops: usize,
 }
 
+/// The store's view of the network: borrowed per-node table references
+/// (the normal, zero-clone case) or owned tables (the deprecated shims).
+#[derive(Debug)]
+enum Tables<'a> {
+    Borrowed(HashMap<NodeId, &'a NeighborTable>),
+    Owned(HashMap<NodeId, NeighborTable>),
+}
+
+impl Tables<'_> {
+    fn get(&self, id: &NodeId) -> Option<&NeighborTable> {
+        match self {
+            Tables::Borrowed(m) => m.get(id).copied(),
+            Tables::Owned(m) => m.get(id),
+        }
+    }
+
+    fn contains(&self, id: &NodeId) -> bool {
+        match self {
+            Tables::Borrowed(m) => m.contains_key(id),
+            Tables::Owned(m) => m.contains_key(id),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Tables::Borrowed(m) => m.len(),
+            Tables::Owned(m) => m.len(),
+        }
+    }
+
+    fn keys(&self) -> impl Iterator<Item = NodeId> + '_ {
+        match self {
+            Tables::Borrowed(m) => Keys::Borrowed(m.keys()),
+            Tables::Owned(m) => Keys::Owned(m.keys()),
+        }
+    }
+}
+
+/// Either-map key iterator backing [`Tables::keys`].
+enum Keys<'s, 'a> {
+    Borrowed(std::collections::hash_map::Keys<'s, NodeId, &'a NeighborTable>),
+    Owned(std::collections::hash_map::Keys<'s, NodeId, NeighborTable>),
+}
+
+impl Iterator for Keys<'_, '_> {
+    type Item = NodeId;
+    fn next(&mut self) -> Option<NodeId> {
+        match self {
+            Keys::Borrowed(it) => it.next().copied(),
+            Keys::Owned(it) => it.next().copied(),
+        }
+    }
+}
+
 /// A directory service over a set of (consistent) neighbor tables:
 /// per-root object directories plus publish/lookup via surrogate routing.
 ///
-/// The store holds tables by value; refresh them with
-/// [`ObjectStore::update_tables`] after membership changes and republished
-/// objects move to their new roots (PRR's dynamic root-maintenance
-/// machinery is out of the paper's — and this crate's — scope).
+/// Construct with [`ObjectStore::over`], borrowing the network's tables
+/// directly (e.g. `ObjectStore::over(net.space(), net.tables_iter())`
+/// over a `SimNetwork`) — no table is cloned, and routing allocates
+/// nothing per lookup. After membership changes, rebind with
+/// [`retarget`](Self::retarget) (or [`unbind`](Self::unbind) +
+/// [`bind`](UnboundStore::bind) when the store must be set aside while
+/// the network mutates) and republished objects move to their new roots
+/// (PRR's dynamic root-maintenance machinery is out of the paper's — and
+/// this crate's — scope).
 #[derive(Debug)]
-pub struct ObjectStore {
+pub struct ObjectStore<'a> {
     space: IdSpace,
-    tables: HashMap<NodeId, NeighborTable>,
+    tables: Tables<'a>,
     /// Directory rows: root -> object id -> homes.
     directories: HashMap<NodeId, BTreeMap<NodeId, Vec<NodeId>>>,
 }
 
-impl ObjectStore {
-    /// Creates a store over the given tables.
+impl<'a> ObjectStore<'a> {
+    /// Creates a store borrowing the given tables — the primary
+    /// constructor; nothing is cloned.
     ///
     /// # Panics
     ///
     /// Panics if `tables` is empty.
-    pub fn new(space: IdSpace, tables: Vec<NeighborTable>) -> Self {
+    pub fn over(space: IdSpace, tables: impl IntoIterator<Item = &'a NeighborTable>) -> Self {
+        let map: HashMap<NodeId, &'a NeighborTable> =
+            tables.into_iter().map(|t| (t.owner(), t)).collect();
+        assert!(!map.is_empty(), "store needs at least one node");
+        ObjectStore {
+            space,
+            tables: Tables::Borrowed(map),
+            directories: HashMap::new(),
+        }
+    }
+
+    /// Creates a store owning a snapshot of the given tables.
+    #[deprecated(note = "use `ObjectStore::over` with borrowed tables — it clones nothing")]
+    pub fn new(space: IdSpace, tables: Vec<NeighborTable>) -> ObjectStore<'static> {
         assert!(!tables.is_empty(), "store needs at least one node");
         ObjectStore {
             space,
-            tables: tables.into_iter().map(|t| (t.owner(), t)).collect(),
+            tables: Tables::Owned(tables.into_iter().map(|t| (t.owner(), t)).collect()),
             directories: HashMap::new(),
         }
     }
@@ -148,8 +292,19 @@ impl ObjectStore {
     }
 
     /// Live nodes.
-    pub fn nodes(&self) -> impl Iterator<Item = &NodeId> {
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.tables.keys()
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether the store has no nodes (never true: construction requires
+    /// at least one).
+    pub fn is_empty(&self) -> bool {
+        self.tables.len() == 0
     }
 
     /// Hashes an object name into the node ID space (SHA-1, as the paper
@@ -164,9 +319,30 @@ impl ObjectStore {
     ///
     /// Panics if `start` is not a live node.
     pub fn root_from(&self, start: NodeId, object_id: &NodeId) -> (NodeId, usize) {
-        assert!(self.tables.contains_key(&start), "unknown start {start}");
-        let (root, path) = surrogate_route(self.space, start, object_id, |id| self.tables.get(id));
-        (root, path.len() - 1)
+        self.root_from_with(start, object_id, |_| {})
+    }
+
+    /// As [`root_from`](Self::root_from), reporting every overlay hop to
+    /// `on_hop` — the storm workload's per-hop load/demand accounting
+    /// hook.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is not a live node.
+    pub fn root_from_with(
+        &self,
+        start: NodeId,
+        object_id: &NodeId,
+        on_hop: impl FnMut(Hop),
+    ) -> (NodeId, usize) {
+        assert!(self.tables.contains(&start), "unknown start {start}");
+        surrogate_root_with(
+            self.space,
+            start,
+            object_id,
+            |id| self.tables.get(id),
+            on_hop,
+        )
     }
 
     /// Publishes `name` from `home`: the object pointer is stored in the
@@ -211,40 +387,34 @@ impl ObjectStore {
         })
     }
 
-    /// Replaces the tables (after joins/leaves) and republishes every
-    /// directory row from its homes, so objects move to their new roots.
-    /// Returns the number of objects whose root changed.
-    pub fn update_tables(&mut self, tables: Vec<NeighborTable>) -> usize {
-        let old: Vec<(NodeId, NodeId, Vec<NodeId>)> = self
-            .directories
-            .iter()
-            .flat_map(|(root, dir)| {
-                dir.iter()
-                    .map(move |(oid, homes)| (*root, *oid, homes.clone()))
-            })
-            .collect();
-        self.tables = tables.into_iter().map(|t| (t.owner(), t)).collect();
-        self.directories.clear();
-        let mut moved = 0;
-        for (old_root, oid, homes) in old {
-            // Homes that left the network drop their copies.
-            let live_homes: Vec<NodeId> = homes
-                .into_iter()
-                .filter(|h| self.tables.contains_key(h))
-                .collect();
-            if live_homes.is_empty() {
-                continue;
-            }
-            let (root, _) = self.root_from(live_homes[0], &oid);
-            if root != old_root {
-                moved += 1;
-            }
-            self.directories
-                .entry(root)
-                .or_default()
-                .insert(oid, live_homes);
+    /// Releases the borrowed tables, keeping only the directory state —
+    /// use when the network must be mutated while the store survives,
+    /// then [`bind`](UnboundStore::bind) to the fresh tables.
+    pub fn unbind(self) -> UnboundStore {
+        UnboundStore {
+            space: self.space,
+            directories: self.directories,
         }
-        moved
+    }
+
+    /// Rebinds the store to fresh tables in one step (after
+    /// joins/leaves), republishing every directory row from its homes so
+    /// objects move to their new roots. Returns the rebound store and the
+    /// number of objects whose root changed.
+    pub fn retarget<'b>(
+        self,
+        tables: impl IntoIterator<Item = &'b NeighborTable>,
+    ) -> (ObjectStore<'b>, usize) {
+        self.unbind().bind(tables)
+    }
+
+    /// Replaces the tables with an owned snapshot and republishes every
+    /// directory row. Returns the number of objects whose root changed.
+    #[deprecated(note = "use `ObjectStore::retarget` (or `unbind` + `bind`) with borrowed tables")]
+    pub fn update_tables(&mut self, tables: Vec<NeighborTable>) -> usize {
+        self.tables = Tables::Owned(tables.into_iter().map(|t| (t.owner(), t)).collect());
+        let old = std::mem::take(&mut self.directories);
+        republish(self, old)
     }
 
     /// Total directory rows currently stored, per node — the paper's P3
@@ -257,13 +427,70 @@ impl ObjectStore {
     }
 }
 
+/// An [`ObjectStore`] with its table borrow released: directory state
+/// only, waiting to be [`bind`](Self::bind)ed to fresh tables.
+#[derive(Debug)]
+pub struct UnboundStore {
+    space: IdSpace,
+    directories: HashMap<NodeId, BTreeMap<NodeId, Vec<NodeId>>>,
+}
+
+impl UnboundStore {
+    /// Binds the directory state to fresh tables, republishing every row
+    /// from its surviving homes (homes that left the network drop their
+    /// copies). Returns the bound store and the number of objects whose
+    /// root changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tables` is empty.
+    pub fn bind<'b>(
+        self,
+        tables: impl IntoIterator<Item = &'b NeighborTable>,
+    ) -> (ObjectStore<'b>, usize) {
+        let mut store = ObjectStore::over(self.space, tables);
+        let moved = republish(&mut store, self.directories);
+        (store, moved)
+    }
+}
+
+/// Re-homes every directory row of `old` onto `store`'s current tables.
+fn republish(
+    store: &mut ObjectStore<'_>,
+    old: HashMap<NodeId, BTreeMap<NodeId, Vec<NodeId>>>,
+) -> usize {
+    let mut moved = 0;
+    for (old_root, dir) in old {
+        for (oid, homes) in dir {
+            // Homes that left the network drop their copies.
+            let live_homes: Vec<NodeId> = homes
+                .into_iter()
+                .filter(|h| store.tables.contains(h))
+                .collect();
+            if live_homes.is_empty() {
+                continue;
+            }
+            let (root, _) = store.root_from(live_homes[0], &oid);
+            if root != old_root {
+                moved += 1;
+            }
+            store
+                .directories
+                .entry(root)
+                .or_default()
+                .insert(oid, live_homes);
+        }
+    }
+    moved
+}
+
 /// Returns the set of distinct roots observed when resolving `object_id`
 /// from every node — a diagnostic for the uniqueness property (singleton
 /// iff resolution is consistent).
-pub fn roots_from_everywhere(store: &ObjectStore, object_id: &NodeId) -> BTreeSet<NodeId> {
+pub fn roots_from_everywhere(store: &ObjectStore<'_>, object_id: &NodeId) -> BTreeSet<NodeId> {
     store
         .nodes()
-        .map(|n| store.root_from(*n, object_id).0)
+        .map(|n| store.root_from(n, object_id).0)
         .collect()
 }
 
@@ -274,7 +501,12 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn make_store(b: u16, d: usize, n: usize, seed: u64) -> (IdSpace, Vec<NodeId>, ObjectStore) {
+    fn make_network(
+        b: u16,
+        d: usize,
+        n: usize,
+        seed: u64,
+    ) -> (IdSpace, Vec<NodeId>, Vec<NeighborTable>) {
         let space = IdSpace::new(b, d).unwrap();
         let mut rng = StdRng::seed_from_u64(seed);
         let mut ids = std::collections::BTreeSet::new();
@@ -282,13 +514,14 @@ mod tests {
             ids.insert(space.random_id(&mut rng));
         }
         let ids: Vec<NodeId> = ids.into_iter().collect();
-        let store = ObjectStore::new(space, build_consistent_tables(space, &ids));
-        (space, ids, store)
+        let tables = build_consistent_tables(space, &ids);
+        (space, ids, tables)
     }
 
     #[test]
     fn every_source_resolves_the_same_root() {
-        let (space, _ids, store) = make_store(8, 5, 40, 3);
+        let (space, _ids, tables) = make_network(8, 5, 40, 3);
+        let store = ObjectStore::over(space, &tables);
         let mut rng = StdRng::seed_from_u64(9);
         for _ in 0..50 {
             let oid = space.random_id(&mut rng);
@@ -300,7 +533,8 @@ mod tests {
     #[test]
     fn exact_owner_is_its_own_root() {
         // An object id equal to a node id must resolve to that node.
-        let (_space, ids, store) = make_store(4, 4, 30, 5);
+        let (space, ids, tables) = make_network(4, 4, 30, 5);
+        let store = ObjectStore::over(space, &tables);
         for id in &ids {
             let (root, hops) = store.root_from(ids[0], id);
             assert_eq!(root, *id);
@@ -310,7 +544,8 @@ mod tests {
 
     #[test]
     fn publish_then_lookup_roundtrip_from_everywhere() {
-        let (_space, ids, mut store) = make_store(16, 6, 32, 7);
+        let (space, ids, tables) = make_network(16, 6, 32, 7);
+        let mut store = ObjectStore::over(space, &tables);
         let names = ["alpha.txt", "beta.bin", "gamma.iso", "delta.tar"];
         for (i, name) in names.iter().enumerate() {
             store.publish(ids[i], name);
@@ -326,7 +561,8 @@ mod tests {
 
     #[test]
     fn replicas_accumulate_homes() {
-        let (_space, ids, mut store) = make_store(16, 6, 32, 8);
+        let (space, ids, tables) = make_network(16, 6, 32, 8);
+        let mut store = ObjectStore::over(space, &tables);
         store.publish(ids[1], "popular.mp3");
         store.publish(ids[2], "popular.mp3");
         store.publish(ids[1], "popular.mp3"); // duplicate publish is idempotent
@@ -335,8 +571,9 @@ mod tests {
     }
 
     #[test]
-    fn update_tables_moves_roots_and_preserves_lookups() {
-        let (space, ids, mut store) = make_store(16, 6, 24, 11);
+    fn retarget_moves_roots_and_preserves_lookups() {
+        let (space, ids, tables) = make_network(16, 6, 24, 11);
+        let mut store = ObjectStore::over(space, &tables);
         for (i, name) in ["a", "b", "c", "d", "e", "f", "g", "h"].iter().enumerate() {
             store.publish(ids[i % ids.len()], name);
         }
@@ -347,7 +584,8 @@ mod tests {
             all.insert(space.random_id(&mut rng));
         }
         let all: Vec<NodeId> = all.into_iter().collect();
-        store.update_tables(build_consistent_tables(space, &all));
+        let grown = build_consistent_tables(space, &all);
+        let (store, _moved) = store.retarget(&grown);
         for name in ["a", "b", "c", "d", "e", "f", "g", "h"] {
             let hit = store
                 .lookup(all[0], name)
@@ -357,10 +595,74 @@ mod tests {
     }
 
     #[test]
+    fn unbind_bind_drops_departed_homes() {
+        let (space, ids, tables) = make_network(16, 5, 20, 21);
+        let mut store = ObjectStore::over(space, &tables);
+        store.publish(ids[0], "lonely");
+        store.publish(ids[1], "shared");
+        store.publish(ids[2], "shared");
+        let unbound = store.unbind();
+        // Shrink the network: ids[0] departs.
+        let survivors: Vec<NodeId> = ids[1..].to_vec();
+        let shrunk = build_consistent_tables(space, &survivors);
+        let (store, _moved) = unbound.bind(&shrunk);
+        assert!(store.lookup(ids[1], "lonely").is_none(), "home departed");
+        let hit = store.lookup(ids[1], "shared").unwrap();
+        assert_eq!(hit.homes, vec![ids[1], ids[2]]);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
+        let (space, ids, tables) = make_network(16, 6, 24, 11);
+        let mut store = ObjectStore::new(space, tables);
+        for (i, name) in ["a", "b", "c", "d"].iter().enumerate() {
+            store.publish(ids[i], name);
+        }
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut all: std::collections::BTreeSet<NodeId> = ids.iter().copied().collect();
+        while all.len() < 48 {
+            all.insert(space.random_id(&mut rng));
+        }
+        let all: Vec<NodeId> = all.into_iter().collect();
+        store.update_tables(build_consistent_tables(space, &all));
+        for name in ["a", "b", "c", "d"] {
+            assert!(store.lookup(all[0], name).is_some());
+        }
+    }
+
+    #[test]
+    fn route_and_root_agree() {
+        let (space, ids, tables) = make_network(8, 5, 40, 19);
+        let store = ObjectStore::over(space, &tables);
+        let mut rng = StdRng::seed_from_u64(23);
+        let by_owner: HashMap<NodeId, &NeighborTable> =
+            tables.iter().map(|t| (t.owner(), t)).collect();
+        for _ in 0..50 {
+            let oid = space.random_id(&mut rng);
+            let start = ids[0];
+            let (root_a, path) =
+                surrogate_route(space, start, &oid, |id| by_owner.get(id).copied());
+            let (root_b, hops) = store.root_from(start, &oid);
+            assert_eq!(root_a, root_b);
+            assert_eq!(path.len() - 1, hops);
+            // The hop stream reconstructs the path exactly.
+            let mut replayed = vec![start];
+            store.root_from_with(start, &oid, |h| {
+                assert_eq!(h.from, *replayed.last().unwrap());
+                assert!(h.level < space.digit_count());
+                replayed.push(h.to);
+            });
+            assert_eq!(replayed, path);
+        }
+    }
+
+    #[test]
     fn directory_load_is_spread() {
         // P3 sanity: with many objects, no single node hoards the
         // directory (load is hash-spread).
-        let (_space, ids, mut store) = make_store(16, 6, 64, 13);
+        let (space, ids, tables) = make_network(16, 6, 64, 13);
+        let mut store = ObjectStore::over(space, &tables);
         for i in 0..256 {
             store.publish(ids[i % ids.len()], &format!("file-{i}"));
         }
@@ -377,7 +679,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "unknown start")]
     fn lookup_from_stranger_panics() {
-        let (space, ids, store) = make_store(4, 4, 10, 2);
+        let (space, ids, tables) = make_network(4, 4, 10, 2);
+        let store = ObjectStore::over(space, &tables);
         let stranger = (0..space.capacity().unwrap())
             .map(|v| space.id_from_value(v).unwrap())
             .find(|x| !ids.contains(x))

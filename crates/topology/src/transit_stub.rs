@@ -1,3 +1,5 @@
+use std::collections::HashMap;
+
 use rand::Rng;
 
 use crate::{dijkstra_multi, floyd_warshall, waxman, Graph, HostMap, WaxmanConfig};
@@ -317,6 +319,51 @@ impl TransitStub {
     pub fn stub_routers(&self) -> impl Iterator<Item = u32> + '_ {
         (0..self.router_count() as u32).filter(|&r| self.is_stub(r))
     }
+
+    /// Exact direct (shortest-path) host-to-host latency rows for the
+    /// given source hosts: `rows[i][h]` is the end-to-end latency from
+    /// `sources[i]` to host `h`, including both access links (0 on the
+    /// diagonal, as [`host_latency`](Self::host_latency)).
+    ///
+    /// One [`dijkstra_multi`] sweep over the deduplicated attachment
+    /// routers serves every source host — the lookup-storm experiment's
+    /// stretch denominator (and its per-hop routed-delay numerator) in a
+    /// single pass, instead of `sources × hosts` hierarchical queries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a source host id is out of range for `hosts`.
+    pub fn host_direct_rows(&self, hosts: &HostMap, sources: &[usize]) -> Vec<Vec<u64>> {
+        // Dedupe the attachment routers; many hosts share a stub router.
+        let mut router_slot: HashMap<u32, usize> = HashMap::new();
+        let mut routers: Vec<u32> = Vec::new();
+        for &s in sources {
+            let r = hosts.router_of(s);
+            router_slot.entry(r).or_insert_with(|| {
+                routers.push(r);
+                routers.len() - 1
+            });
+        }
+        let router_rows = dijkstra_multi(&self.graph, &routers);
+        sources
+            .iter()
+            .map(|&s| {
+                let row = &router_rows[router_slot[&hosts.router_of(s)]];
+                let s_access = hosts.access_latency(s) as u64;
+                (0..hosts.len())
+                    .map(|h| {
+                        if h == s {
+                            0
+                        } else {
+                            s_access
+                                + row[hosts.router_of(h) as usize]
+                                + hosts.access_latency(h) as u64
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -375,6 +422,23 @@ mod tests {
         let b = TransitStub::generate(&TransitStubConfig::small(), &mut StdRng::seed_from_u64(4));
         assert_eq!(a.router_latency(3, 50), b.router_latency(3, 50));
         assert_eq!(a.graph().edge_count(), b.graph().edge_count());
+    }
+
+    #[test]
+    fn host_direct_rows_match_pairwise_host_latency() {
+        let cfg = TransitStubConfig::small();
+        let ts = TransitStub::generate(&cfg, &mut StdRng::seed_from_u64(31));
+        let mut rng = StdRng::seed_from_u64(32);
+        let hosts = HostMap::attach(&ts, 20, &mut rng);
+        let sources: Vec<usize> = vec![0, 3, 7, 19];
+        let rows = ts.host_direct_rows(&hosts, &sources);
+        assert_eq!(rows.len(), sources.len());
+        for (i, &s) in sources.iter().enumerate() {
+            assert_eq!(rows[i].len(), hosts.len());
+            for (h, &row) in rows[i].iter().enumerate() {
+                assert_eq!(row, ts.host_latency(&hosts, s, h), "src {s} dst {h}");
+            }
+        }
     }
 
     #[test]

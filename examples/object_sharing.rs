@@ -30,8 +30,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     assert!(net.all_in_system());
     assert!(net.check_consistency().is_consistent());
 
-    // Stand a directory service on the resulting tables.
-    let mut store = ObjectStore::new(space, net.tables());
+    // Stand a directory service directly on the network's tables — the
+    // store borrows them, nothing is cloned.
+    let mut store = ObjectStore::over(space, net.tables_iter());
     let files = [
         ("thesis-draft.pdf", 3usize),
         ("holiday-photos.tar", 7),

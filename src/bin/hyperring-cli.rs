@@ -2,10 +2,15 @@
 //!
 //! ```console
 //! $ hyperring-cli analyze  --b 16 --d 8 --n 3096 --m 1000
-//! $ hyperring-cli simulate --b 16 --d 8 --n 512 --m 128 --seed 7
+//! $ hyperring-cli simulate --b 16 --d 8 --n 512 --m 128 --seed 7 --lookups 2000
 //! $ hyperring-cli bootstrap --n 128
 //! $ hyperring-cli route    --n 256 --pairs 5 --seed 3
 //! ```
+//!
+//! `simulate` and `bootstrap` ride the harness's [`Scenario`] and
+//! [`TimelineScenario`] runners — the same engines, options, and report
+//! types every experiment binary uses — instead of hand-rolled
+//! `SimNetworkBuilder` loops.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -14,10 +19,9 @@ use hyperring::analysis::{
     expected_filled_entries, expected_join_noti, expected_noti_level, theorem3_bound,
     upper_bound_join_noti,
 };
-use hyperring::core::{route, NeighborTable, RouteOutcome, SimNetworkBuilder};
-use hyperring::harness::distinct_ids;
+use hyperring::core::{route, NeighborTable, RouteOutcome};
+use hyperring::harness::{distinct_ids, Scenario, Timeline, TimelineScenario};
 use hyperring::id::{IdSpace, NodeId};
-use hyperring::sim::UniformDelay;
 
 /// Minimal `--key value` flag parser with typed lookups and defaults.
 struct Flags(HashMap<String, String>);
@@ -56,7 +60,7 @@ fn usage() -> &'static str {
        analyze    closed-form cost model (Theorems 3-5, occupancy)\n\
                   flags: --b 16 --d 8 --n 3096 --m 1000\n\
        simulate   run n members + m concurrent joins, report stats\n\
-                  flags: --b 16 --d 8 --n 512 --m 128 --seed 7\n\
+                  flags: --b 16 --d 8 --n 512 --m 128 --seed 7 --lookups 0\n\
        bootstrap  initialize a network from one node (§6.1)\n\
                   flags: --b 16 --d 8 --n 128 --seed 7\n\
        route      sample routes over a consistent network\n\
@@ -99,55 +103,42 @@ fn cmd_analyze(f: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn build_network(
-    space: IdSpace,
-    n: usize,
-    m: usize,
-    seed: u64,
-) -> (Vec<NodeId>, hyperring::core::SimNetwork<UniformDelay>) {
-    let ids = distinct_ids(space, n + m, seed);
-    let mut builder = SimNetworkBuilder::new(space);
-    for id in &ids[..n] {
-        builder.add_member(*id);
-    }
-    for (i, id) in ids[n..].iter().enumerate() {
-        builder.add_joiner(*id, ids[i % n], 0);
-    }
-    let net = builder.build(UniformDelay::new(1_000, 80_000), seed);
-    (ids, net)
-}
-
 fn cmd_simulate(f: &Flags) -> Result<(), String> {
     let b: u16 = f.get("b", 16)?;
     let d: usize = f.get("d", 8)?;
     let n: usize = f.get("n", 512)?;
     let m: usize = f.get("m", 128)?;
     let seed: u64 = f.get("seed", 7)?;
+    let lookups: usize = f.get("lookups", 0)?;
     let space = IdSpace::new(b, d).map_err(|e| e.to_string())?;
     eprintln!("simulating {n} members + {m} concurrent joins (b={b}, d={d}, seed={seed}) …");
-    let (_, mut net) = build_network(space, n, m, seed);
-    let report = net.run();
-    println!("messages delivered : {}", report.delivered);
+    let mut sc = Scenario::new(space)
+        .nodes(n)
+        .joiners(m)
+        .seed(seed)
+        .delay_bounds(1_000, 80_000);
+    if lookups > 0 {
+        sc = sc.lookup_storm(lookups, 64.min(n), 0.9);
+    }
+    let r = sc.run_sim();
+    println!("survivors          : {}", r.survivors);
+    println!("virtual time       : {:.3} s", r.finished_at as f64 / 1e6);
+    println!("consistency        : {}", r.report);
     println!(
-        "virtual time       : {:.3} s",
-        report.finished_at as f64 / 1e6
+        "reachability       : {}/{} pairs unreachable",
+        r.unreachable_pairs, r.total_pairs
     );
-    println!("all in system      : {}", net.all_in_system());
-    let c = net.check_consistency();
-    println!("consistency        : {c}");
-    let total_noti: u64 = net.joiners().map(|e| e.stats().join_noti()).sum();
     println!(
-        "JoinNotiMsg / join : {:.3} (Theorem 5 bound {:.3})",
-        total_noti as f64 / m as f64,
+        "Theorem 5 bound    : {:.3} JoinNotiMsg per join",
         upper_bound_join_noti(b as u32, d as u32, n as u64, m as u64)
     );
-    let worst = net
-        .joiners()
-        .map(|e| e.stats().cprst_plus_joinwait())
-        .max()
-        .unwrap_or(0);
-    println!("max CpRst+JoinWait : {worst} (bound {})", d + 1);
-    if !c.is_consistent() || !net.all_in_system() {
+    if let Some(s) = &r.lookup {
+        println!(
+            "lookup storm       : {} lookups over {} keys, {:.2} mean hops (max {}), load imbalance {:.2}",
+            s.lookups, s.keys, s.mean_hops, s.max_hops, s.load.imbalance
+        );
+    }
+    if !r.consistent() {
         return Err("run violated the paper's theorems — this is a bug".into());
     }
     Ok(())
@@ -159,20 +150,31 @@ fn cmd_bootstrap(f: &Flags) -> Result<(), String> {
     let n: usize = f.get("n", 128)?;
     let seed: u64 = f.get("seed", 7)?;
     let space = IdSpace::new(b, d).map_err(|e| e.to_string())?;
-    let ids = distinct_ids(space, n, seed);
     eprintln!("bootstrapping {n} nodes from a single seed node (concurrently) …");
-    let mut builder = SimNetworkBuilder::new(space);
-    builder.add_member(ids[0]);
-    for id in &ids[1..] {
-        builder.add_joiner(*id, ids[0], 0);
+    // One member, n-1 concurrent joins at t=0; a late keyed storm probes
+    // the settled network and the horizon lets everything quiesce first.
+    let tl = Timeline::new()
+        .at(0)
+        .join(n - 1)
+        .at(600_000_000)
+        .keyed_storm(256, 32.min(n), 0.9)
+        .horizon(u64::MAX);
+    let r = TimelineScenario::new(space)
+        .members(1)
+        .seed(seed)
+        .delay_bounds(500, 50_000)
+        .run(tl);
+    println!("nodes        : {}", r.survivors);
+    println!("virtual time : {:.3} s", r.finished_at as f64 / 1e6);
+    println!("consistency  : {}", r.final_report);
+    let s = &r.keyed_storms[0].stats;
+    println!(
+        "lookups      : {} over {} keys, {:.2} mean hops (max {})",
+        s.lookups, s.keys, s.mean_hops, s.max_hops
+    );
+    if !r.consistent {
+        return Err("bootstrap ended inconsistent — this is a bug".into());
     }
-    let mut net = builder.build(UniformDelay::new(500, 50_000), seed);
-    let report = net.run();
-    let c = net.check_consistency();
-    println!("nodes        : {n}");
-    println!("messages     : {}", report.delivered);
-    println!("virtual time : {:.3} s", report.finished_at as f64 / 1e6);
-    println!("consistency  : {c}");
     Ok(())
 }
 
@@ -184,15 +186,13 @@ fn cmd_route(f: &Flags) -> Result<(), String> {
     let seed: u64 = f.get("seed", 7)?;
     let space = IdSpace::new(b, d).map_err(|e| e.to_string())?;
     let ids = distinct_ids(space, n, seed);
-    let tables: HashMap<NodeId, NeighborTable> =
-        hyperring::core::build_consistent_tables(space, &ids)
-            .into_iter()
-            .map(|t| (t.owner(), t))
-            .collect();
+    let tables = hyperring::core::build_consistent_tables(space, &ids);
+    // Borrowed view — routing never needs to own the tables.
+    let by_id: HashMap<NodeId, &NeighborTable> = tables.iter().map(|t| (t.owner(), t)).collect();
     for k in 0..pairs {
         let s = ids[(k * 17) % n];
         let t = ids[(k * 101 + 31) % n];
-        match route(s, t, |id| tables.get(id)) {
+        match route(s, t, |id| by_id.get(id).copied()) {
             RouteOutcome::Delivered { path } => {
                 let pretty: Vec<String> = path.iter().map(|p| p.to_string()).collect();
                 println!("{}", pretty.join(" -> "));

@@ -35,7 +35,7 @@ proptest! {
         net.run_limited(20_000_000);
         prop_assert!(net.all_in_system());
 
-        let store = ObjectStore::new(space, net.tables());
+        let store = ObjectStore::over(space, net.tables_iter());
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         use rand::SeedableRng;
         for _ in 0..10 {
@@ -44,6 +44,33 @@ proptest! {
             let oid = space.random_id(&mut rng);
             let roots = roots_from_everywhere(&store, &oid);
             prop_assert_eq!(roots.len(), 1, "object {} resolved to {:?}", oid, roots);
+        }
+    }
+
+    /// The borrowed-view store routes identically to the deprecated
+    /// owned-snapshot store: same roots, same hop counts, on random
+    /// consistent tables.
+    #[test]
+    #[allow(deprecated)]
+    fn borrowed_store_routes_like_the_owned_one(
+        b in 2u16..=16,
+        d in 3usize..=8,
+        n in 2usize..=40,
+        seed in 0u64..5_000,
+    ) {
+        let space = IdSpace::new(b, d).unwrap();
+        let cap = space.capacity().unwrap_or(u128::MAX);
+        prop_assume!(cap >= n as u128 * 4);
+        let ids = distinct_ids(space, n, seed);
+        let tables = hyperring::core::build_consistent_tables(space, &ids);
+        let old = ObjectStore::new(space, tables.clone());
+        let new = ObjectStore::over(space, &tables);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x0b9e);
+        use rand::SeedableRng;
+        for i in 0..20 {
+            let oid = space.random_id(&mut rng);
+            let start = ids[i % ids.len()];
+            prop_assert_eq!(old.root_from(start, &oid), new.root_from(start, &oid));
         }
     }
 }
@@ -58,7 +85,7 @@ fn publish_survives_a_join_wave() {
     }
     let mut net = builder.build(UniformDelay::new(1_000, 50_000), 1);
     net.run();
-    let mut store = ObjectStore::new(space, net.tables());
+    let mut store = ObjectStore::over(space, net.tables_iter());
     for (i, name) in ["a.txt", "b.txt", "c.txt"].iter().enumerate() {
         store.publish(ids[i], name);
     }
@@ -72,7 +99,7 @@ fn publish_survives_a_join_wave() {
     let mut net2 = builder.build(UniformDelay::new(1_000, 50_000), 2);
     net2.run();
     assert!(net2.all_in_system());
-    store.update_tables(net2.tables());
+    let (store, _moved) = store.retarget(net2.tables_iter());
 
     for name in ["a.txt", "b.txt", "c.txt"] {
         for from in &ids {
@@ -94,19 +121,21 @@ fn lookups_survive_graceful_leaves() {
     }
     let mut net = builder.build(UniformDelay::new(1_000, 40_000), 3);
     net.run();
-    let mut store = ObjectStore::new(space, net.tables());
+    let mut store = ObjectStore::over(space, net.tables_iter());
     store.publish(ids[5], "keep.dat");
     store.publish(ids[6], "keep.dat");
 
-    // One of the holders and two bystanders leave.
+    // One of the holders and two bystanders leave: release the table
+    // borrow while the network mutates, then rebind.
+    let unbound = store.unbind();
     for v in [ids[6], ids[10], ids[20]] {
         net.depart(&v);
     }
     assert!(net.check_consistency().is_consistent());
-    store.update_tables(net.tables());
+    let (store, _moved) = unbound.bind(net.tables_iter());
 
     // The surviving copy is still found from every live node.
-    for from in store.nodes().copied().collect::<Vec<_>>() {
+    for from in store.nodes().collect::<Vec<_>>() {
         let hit = store.lookup(from, "keep.dat").expect("copy survives");
         assert_eq!(hit.homes, vec![ids[5]]);
     }
